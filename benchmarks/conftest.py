@@ -1,0 +1,45 @@
+"""Shared configuration for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one of the paper's evaluation artifacts at
+reduced scale (so ``pytest benchmarks/ --benchmark-only`` completes in
+minutes) and asserts the artifact's headline *shape* — the benches are
+simultaneously the reproduction's acceptance harness and a performance
+regression net for the simulators.
+
+Full-scale regeneration is ``python -m repro.experiments.figN``; the
+numbers recorded in EXPERIMENTS.md come from those runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentSettings
+from repro.workloads.dlt import DLWorkloadConfig
+
+#: Cluster-simulation sizing used by the benchmark harness.
+BENCH_SETTINGS = ExperimentSettings(duration_s=12.0, seed=1)
+
+#: DL-simulation sizing used by the benchmark harness.
+BENCH_DL_CONFIG = DLWorkloadConfig(
+    n_training=80,
+    n_inference=250,
+    window_s=3_600.0,
+    dlt_median_s=2_500.0,
+    dlt_sigma=0.9,
+)
+
+
+@pytest.fixture
+def bench_settings() -> ExperimentSettings:
+    return BENCH_SETTINGS
+
+
+@pytest.fixture
+def bench_dl_config() -> DLWorkloadConfig:
+    return BENCH_DL_CONFIG
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

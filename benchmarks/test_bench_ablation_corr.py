@@ -1,0 +1,13 @@
+"""Ablation bench: CBP's correlation threshold (0.5 in the paper)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ablation
+
+
+def test_bench_ablation_corr(benchmark):
+    rows = run_once(
+        benchmark, ablation.sweep_correlation_threshold, (0.1, 0.5, 0.9), "app-mix-1", 8.0, 1
+    )
+    assert len(rows) == 3
+    # the gate keeps every operating point near crash-free; QoS bounded
+    assert all(r["oom_kills"] <= 3 for r in rows)

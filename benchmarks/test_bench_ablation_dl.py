@@ -1,0 +1,18 @@
+"""Ablation bench: DL-baseline parameter sensitivity."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ablation_dl
+
+
+def test_bench_ablation_dl_tiresias(benchmark):
+    rows = run_once(benchmark, ablation_dl.sweep_tiresias_threshold, (1_000.0, 100_000.0))
+    by_thr = {r["threshold_gpu_s"]: r for r in rows}
+    # lower demotion threshold -> more preemption churn
+    assert by_thr[1_000.0]["preemptions"] >= by_thr[100_000.0]["preemptions"]
+
+
+def test_bench_ablation_dl_gandiva(benchmark):
+    rows = run_once(benchmark, ablation_dl.sweep_gandiva_migration, (120.0, 3_600.0))
+    by_int = {r["interval_s"]: r for r in rows}
+    # more frequent rebalancing -> more migrations
+    assert by_int[120.0]["migrations"] >= by_int[3_600.0]["migrations"]

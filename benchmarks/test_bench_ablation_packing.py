@@ -1,0 +1,13 @@
+"""Ablation bench: Res-Ag request handling (honour vs clip)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ablation
+
+
+def test_bench_ablation_packing(benchmark):
+    rows = run_once(benchmark, ablation.sweep_resag_clipping, "app-mix-1", 8.0, 1)
+    honour = next(r for r in rows if not r["clip_requests"])
+    clip = next(r for r in rows if r["clip_requests"])
+    # clipping packs denser (utilization) at the cost of more OOM risk
+    assert clip["util_p50"] >= honour["util_p50"] * 0.8
+    assert clip["oom_kills"] >= honour["oom_kills"]

@@ -1,0 +1,15 @@
+"""Ablation bench: PP's provisioning percentile (80 in the paper)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ablation
+
+
+def test_bench_ablation_percentile(benchmark):
+    rows = run_once(
+        benchmark, ablation.sweep_percentile, (50.0, 80.0, 100.0), "app-mix-1", 8.0, 1
+    )
+    by_pct = {r["percentile"]: r for r in rows}
+    # provisioning at peak (100) forfeits harvesting: fewer resizes
+    assert by_pct[100.0]["resizes"] <= by_pct[50.0]["resizes"]
+    # all operating points remain essentially crash-free
+    assert all(r["oom_kills"] <= 3 for r in rows)

@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig. 1 (energy efficiency vs utilization)."""
+
+import numpy as np
+
+from repro.experiments import fig1
+
+
+def test_bench_fig1(benchmark):
+    data = benchmark(fig1.run_fig1, 50)
+    gpu = data["GPU"]
+    # the GPU curve is linear-monotone; the CPU curves peak interior
+    assert np.all(np.diff(gpu) > 0)
+    assert data["Intel-Sandybridge"].max() > 1.0
+    assert 0.5 < data["sandybridge_peak_util"] < 0.9

@@ -1,0 +1,26 @@
+"""Bench: regenerate Fig. 10 (QoS violations + prediction accuracy)."""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SETTINGS, run_once
+from repro.experiments import fig10
+
+
+def test_bench_fig10a(benchmark):
+    data = run_once(benchmark, fig10.run_fig10a, BENCH_SETTINGS)
+    mean = lambda s: np.mean([data[m][s] for m in data])
+    # Knots schedulers violate least on average
+    assert mean("peak-prediction") <= max(mean("res-ag"), mean("uniform")) + 35.0
+
+
+def test_bench_fig10b(benchmark):
+    data = run_once(
+        benchmark,
+        fig10.run_fig10b,
+        heartbeats_ms=(1000.0, 10.0, 0.1),
+        forecasters=("arima", "sgd"),
+        max_windows=25,
+    )
+    acc = data["arima"]
+    assert acc[10.0] > acc[1000.0]     # finer heartbeat resolves peaks
+    assert acc[10.0] > acc[0.1]        # oversampling noise hurts

@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 11 (cluster power + pairwise load COV)."""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SETTINGS, run_once
+from repro.experiments import fig11
+
+
+def test_bench_fig11a(benchmark):
+    data = run_once(benchmark, fig11.run_fig11a, BENCH_SETTINGS)
+    for mix in data:
+        assert max(data[mix].values()) == data[mix]["uniform"]
+        assert data[mix]["peak-prediction"] < 1.0
+
+
+def test_bench_fig11b(benchmark):
+    ids, mat = run_once(benchmark, fig11.run_fig11b, BENCH_SETTINGS)
+    upper = mat[np.triu_indices(len(ids), k=1)]
+    # bounded imbalance across the consolidated working set (a pair can
+    # reach 1.0 only if one device was woken solely for a transient query)
+    assert np.nanmax(upper) <= 1.0
+    assert np.nanmean(upper) < 0.8

@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 12 (DL-cluster JCT CDF + DLI violations)."""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_DL_CONFIG, run_once
+from repro.experiments import fig12
+
+
+def test_bench_fig12a(benchmark):
+    cdfs = run_once(benchmark, fig12.run_fig12a, 11, BENCH_DL_CONFIG)
+    # CBP+PP front-loads its CDF: most jobs (the inference tasks) finish
+    # almost immediately
+    x, f = cdfs["cbp-pp"]
+    frac_fast = float(np.interp(1.0 / 3600.0, x, f))   # done within a second
+    assert frac_fast > 0.5
+
+
+def test_bench_fig12b(benchmark):
+    viol = run_once(benchmark, fig12.run_fig12b, 11, BENCH_DL_CONFIG)
+    assert viol["cbp-pp"] <= min(viol.values()) + 1e-9

@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 2 (Alibaba trace analysis)."""
+
+import numpy as np
+
+from repro.experiments import fig2
+
+
+def test_bench_fig2(benchmark):
+    data = benchmark(fig2.run_fig2, 3_000, 3_000)
+    names, mat = data["batch_metrics"], data["batch_corr"]
+    core, mem = names.index("core_util"), names.index("mem_util")
+    assert mat[core][mem] > 0.6            # Observation 3
+    assert data["avg_cpu_mean"] == pytest_approx(0.47)
+    assert abs(data["avg_mem_median"] - 0.45) < 0.06
+
+
+def pytest_approx(target, tol=0.05):
+    class _A:
+        def __eq__(self, other):
+            return abs(other - target) < tol
+    return _A()

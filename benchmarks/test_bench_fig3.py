@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 3 (Rodinia suite resource timeline)."""
+
+from repro.experiments import fig3
+
+
+def test_bench_fig3(benchmark):
+    data = benchmark(fig3.run_fig3, 42, 1.0)
+    stats = data["stats"]
+    # bursty consumption: large bandwidth median-to-peak gap, peaks rare
+    assert stats["bw_median_to_peak"] > 50
+    assert stats["peak_residency_fraction"] < 0.2
+    assert len(data["per_app"]) == 8

@@ -1,0 +1,10 @@
+"""Bench: regenerate Fig. 4 (inference memory vs batch size)."""
+
+from repro.experiments import fig4
+
+
+def test_bench_fig4(benchmark):
+    data = benchmark(fig4.run_fig4)
+    assert data["single_query_max_pct"] < 10.0      # <10 % single queries
+    assert data["batch128_under_50pct"] == 6        # all classes under 50 %
+    assert float(data["series"]["TF"][0]) > 95.0    # TF earmark

@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 6 (per-node percentiles under Res-Ag)."""
+
+from benchmarks.conftest import BENCH_SETTINGS, run_once
+from repro.experiments import fig6
+
+
+def test_bench_fig6(benchmark):
+    data = run_once(benchmark, fig6.run_fig6, "res-ag", BENCH_SETTINGS)
+    assert set(data) == {"app-mix-1", "app-mix-2", "app-mix-3"}
+    # high-load mix busier than low-load mix at the median, cluster-wide
+    med = lambda mix: sum(p.p50 for p in data[mix].values())
+    assert med("app-mix-1") > med("app-mix-3")

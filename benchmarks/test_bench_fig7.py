@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig. 7 (per-node COV per app-mix)."""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SETTINGS, run_once
+from repro.experiments import fig7
+
+
+def test_bench_fig7(benchmark):
+    data = run_once(benchmark, fig7.run_fig7, "res-ag", BENCH_SETTINGS)
+    for covs in data.values():
+        assert np.all(np.diff(covs) >= 0)    # sorted, as plotted
+    # the bursty low-load mix carries the heaviest variability tail
+    assert data["app-mix-3"].max() > 0

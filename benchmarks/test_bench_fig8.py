@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 8 (per-node percentiles under PP)."""
+
+from benchmarks.conftest import BENCH_SETTINGS, run_once
+from repro.experiments import fig8
+
+
+def test_bench_fig8(benchmark):
+    data = run_once(benchmark, fig8.run_fig8, BENCH_SETTINGS)
+    # consolidation: in the low-load mix some devices are left unused
+    mix3 = data["app-mix-3"]
+    unused = [p for p in mix3.values() if p.max == 0.0]
+    assert len(unused) >= 1

@@ -1,0 +1,11 @@
+"""Bench: regenerate Fig. 9 (cluster-wide utilization comparison)."""
+
+from benchmarks.conftest import BENCH_SETTINGS, run_once
+from repro.experiments import fig9
+
+
+def test_bench_fig9(benchmark):
+    data = run_once(benchmark, fig9.run_fig9, BENCH_SETTINGS)
+    mix1 = data["app-mix-1"]
+    # the paper's headline: PP's utilization leads Res-Ag's
+    assert mix1["peak-prediction"].p50 >= mix1["res-ag"].p50

@@ -1,0 +1,12 @@
+"""Bench: the heterogeneous-cluster extension experiment."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import hetero
+
+
+def test_bench_hetero(benchmark):
+    results = run_once(benchmark, hetero.run_hetero, 0)
+    # spill protection: capacity awareness eliminates the OOM relaunches
+    assert results["hetero-pp"].oom_kills <= results["peak-prediction"].oom_kills
+    for r in results.values():
+        assert len(r.completed()) == len(r.pods)

@@ -1,0 +1,22 @@
+"""Bench: the load-sensitivity sweep (deployment-envelope study)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import sensitivity
+
+
+def test_bench_sensitivity(benchmark):
+    rows = run_once(
+        benchmark,
+        sensitivity.run_sensitivity,
+        (0.5, 1.5),
+        ("uniform", "peak-prediction"),
+        "app-mix-1",
+        8.0,
+        1,
+    )
+    by = {(r["load_factor"], r["scheduler"]): r for r in rows}
+    # PP's QoS advantage must hold at the stressed end of the sweep
+    assert (
+        by[(1.5, "peak-prediction")]["qos_per_kilo"]
+        <= by[(1.5, "uniform")]["qos_per_kilo"] + 1e-9
+    )

@@ -1,0 +1,12 @@
+"""Bench: regenerate Table IV (JCT normalized by CBP+PP)."""
+
+from benchmarks.conftest import BENCH_DL_CONFIG, run_once
+from repro.experiments import table4
+
+
+def test_bench_table4(benchmark):
+    ratios = run_once(benchmark, table4.run_table4, 11, BENCH_DL_CONFIG)
+    assert ratios["cbp-pp"] == (1.0, 1.0, 1.0)
+    # every baseline's average JCT is at or above CBP+PP's
+    for name in ("res-ag", "gandiva", "tiresias"):
+        assert ratios[name][0] >= 0.99

@@ -1,0 +1,65 @@
+"""Scenario: the 256-GPU deep-learning cluster (paper Sec. V-C).
+
+Runs the 520-DLT / 1400-DLI workload under all four policies — the
+GPU-agnostic baseline, Gandiva (time-slicing + migration), Tiresias
+(two-queue LAS with preemption) and CBP+PP (backfill + harvested
+co-location) — on 32 nodes x 8 GPUs, and prints the Table-IV JCT
+ratios plus the Fig.-12b violation rates.
+
+Run:  python examples/dl_cluster_scheduling.py          # full workload (~15 s)
+      python examples/dl_cluster_scheduling.py --quick  # reduced workload
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.metrics.jct import normalized_jct
+from repro.metrics.report import format_table
+from repro.sim.dlsim import run_dl_comparison
+from repro.workloads.dlt import DLJobKind, DLWorkloadConfig
+
+
+def main(quick: bool = False) -> None:
+    config = (
+        DLWorkloadConfig(n_training=100, n_inference=300, window_s=2 * 3_600.0)
+        if quick
+        else None
+    )
+    results = run_dl_comparison(jobs_seed=1, config=config)
+    ratios = normalized_jct({n: r.jcts_s() for n, r in results.items()}, reference="cbp-pp")
+
+    rows = []
+    for name in ("res-ag", "gandiva", "tiresias", "cbp-pp"):
+        r = results[name]
+        dli = r.jcts_s(DLJobKind.INFERENCE)
+        rows.append(
+            (
+                name,
+                *[round(x, 2) for x in ratios[name]],
+                float(np.median(dli) * 1_000.0),
+                r.qos_violations(),
+                sum(j.preemptions for j in r.jobs),
+                sum(j.migrations for j in r.jobs),
+            )
+        )
+
+    print(
+        format_table(
+            ["policy", "avg JCT x", "med JCT x", "p99 JCT x", "DLI med ms", "SLO viol", "preempts", "migrations"],
+            rows,
+            title="DL-cluster comparison (JCT normalized by CBP+PP)",
+        )
+    )
+    print(
+        "\nCBP+PP wins on average/median JCT by scheduling inference without\n"
+        "queueing, preemption or migration; Tiresias trails closely on DLT\n"
+        "thanks to LAS; Gandiva pays slice + migration overheads; the\n"
+        "agnostic baseline drowns burst queries on its first-fit device."
+    )
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

@@ -1,0 +1,61 @@
+"""Scenario: a mixed-model GPU cluster (the Fig. 5 picture, realized).
+
+Runs the working-set-diverse workload from the heterogeneity extension
+on a 2xP100 / M40 / V100 / 2xK80 cluster under plain Peak Prediction
+and the capacity-aware extension, then renders each device's
+utilization timeline as terminal sparklines — you can *see* the
+spill-protected placement keep the 13 GB-peak pods on the big devices.
+
+Run:  python examples/heterogeneous_cluster.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.cluster import make_heterogeneous_cluster
+from repro.cluster.node import GPU_MODELS
+from repro.core.schedulers import make_scheduler
+from repro.experiments.hetero import FIG5_MODELS, build_hetero_workload
+from repro.metrics.plots import hbar_chart, sparkline_table
+from repro.sim.simulator import KubeKnotsSimulator
+
+
+def main() -> None:
+    for sched_name in ("peak-prediction", "hetero-pp"):
+        cluster = make_heterogeneous_cluster(FIG5_MODELS)
+        sim = KubeKnotsSimulator(cluster, make_scheduler(sched_name), build_hetero_workload())
+        result = sim.run()
+
+        labels = {}
+        for node, model in zip(cluster.nodes, FIG5_MODELS):
+            gid = node.gpus[0].gpu_id
+            gb = GPU_MODELS[model].mem_mb / 1024
+            labels[f"{gid} ({model} {gb:.0f}G)"] = result.gpu_util_series[gid]
+
+        print("=" * 72)
+        print(f"{sched_name}: per-device SM utilization over the run")
+        print("=" * 72)
+        print(sparkline_table(labels, width=56, lo=0.0, hi=1.0))
+        print()
+        print(
+            hbar_chart(
+                {
+                    "completed pods": float(len(result.completed())),
+                    "OOM relaunches": float(result.oom_kills),
+                    "harvest resizes": float(result.resizes),
+                },
+                width=30,
+            )
+        )
+        print()
+
+    print(
+        "Under plain PP a harvested large pod can land on a 12 GB device and\n"
+        "die at its first memory peak; hetero-PP's spill protection pins the\n"
+        "large pods to the P100/V100 rows above."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Scenario: latency-critical DNN inference serving next to batch HPC.
+
+The paper's motivating workload: user-facing ML queries (object
+detection, NLP tagging, ...) arrive in bursts and must finish within a
+150 ms SLO while long Rodinia batch jobs churn on the same cluster.
+This example builds that workload *by hand* from the public API —
+rather than via the Table-I generator — and shows how each scheduler
+treats the queries: latency distribution, violations, and where they
+were placed.
+
+Run:  python examples/inference_serving.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import KubeKnotsSimulator, make_paper_cluster, make_scheduler
+from repro.kube.pod import PodSpec
+from repro.metrics.qos import qos_report
+from repro.metrics.report import format_table
+from repro.workloads.djinn_tonic import QOS_THRESHOLD_MS, make_inference_trace
+from repro.workloads.rodinia import make_rodinia_trace
+
+
+def build_workload(seed: int = 3) -> list:
+    """Four long batch jobs plus three bursts of inference queries."""
+    rng = np.random.default_rng(seed)
+    items = []
+
+    # Long-running batch substrate: one heavy job every 1.5 s.
+    for i, app in enumerate(("leukocyte", "mummergpu", "kmeans", "streamcluster")):
+        trace = make_rodinia_trace(app, rng, scale=80.0, mem_scale=3.0)
+        items.append((i * 1_500.0, PodSpec(f"batch-{app}", f"rodinia/{app}", trace)))
+
+    # Query bursts: 12 queries within ~200 ms, every 2 seconds.
+    for burst in range(3):
+        t0 = 1_000.0 + burst * 2_000.0
+        for q in range(12):
+            query = ("face", "key", "ner")[q % 3]
+            trace = make_inference_trace(query, rng, batch_size=int(2 ** rng.integers(0, 3)))
+            items.append(
+                (
+                    t0 + q * 18.0,
+                    PodSpec(
+                        f"query-{burst}-{q}",
+                        f"djinn/{query}",
+                        trace,
+                        qos_threshold_ms=QOS_THRESHOLD_MS,
+                    ),
+                )
+            )
+    return items
+
+
+def main() -> None:
+    rows = []
+    for name in ("uniform", "res-ag", "peak-prediction"):
+        cluster = make_paper_cluster(num_nodes=4)
+        result = KubeKnotsSimulator(cluster, make_scheduler(name), build_workload()).run()
+        report = qos_report(result.pods)
+        placements = {
+            p.gpu_id for p in result.latency_pods() if p.gpu_id is not None
+        }
+        rows.append(
+            (
+                name,
+                report.total_queries,
+                report.mean_latency_ms,
+                report.p99_latency_ms,
+                report.violations,
+                len(placements),
+            )
+        )
+
+    print(
+        format_table(
+            ["scheduler", "queries", "mean ms", "p99 ms", "violations", "GPUs used"],
+            rows,
+            title="Inference serving under batch pressure (150 ms SLO)",
+            float_fmt="{:.1f}",
+        )
+    )
+    print(
+        "\nThe agnostic packer piles burst queries onto busy devices\n"
+        "(interference stretches the tail); Peak Prediction spreads each\n"
+        "burst across compute-cool devices and keeps the SLO."
+    )
+
+
+if __name__ == "__main__":
+    main()

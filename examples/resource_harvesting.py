@@ -1,0 +1,80 @@
+"""Scenario: watching the harvester work.
+
+CBP/PP right-size containers from *runtime feedback*: the first pods of
+an image run with the user's (over-stated) request; once Knots has
+observed the image, new pods are provisioned at the 80th-percentile
+footprint and over-provisioned residents are resized down.  This
+example submits three waves of the same over-requesting batch image and
+prints, per wave, the reservations granted and the resize (harvest)
+events — the mechanism behind the paper's utilization gains.
+
+Run:  python examples/resource_harvesting.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import KubeKnotsSimulator, make_paper_cluster, make_scheduler
+from repro.kube.api import EventType
+from repro.kube.pod import PodSpec
+from repro.metrics.report import format_table
+from repro.workloads.rodinia import make_rodinia_trace
+
+
+def build_waves(n_waves: int = 3, pods_per_wave: int = 4, seed: int = 11) -> list:
+    rng = np.random.default_rng(seed)
+    items = []
+    for wave in range(n_waves):
+        for i in range(pods_per_wave):
+            # users ask for 1.6x the true peak — classic over-provisioning
+            trace = make_rodinia_trace(
+                "kmeans", rng, scale=25.0, mem_scale=3.0, requested_headroom=1.6
+            )
+            items.append(
+                (wave * 2_500.0 + i * 60.0, PodSpec(f"w{wave}-p{i}", "rodinia/kmeans", trace))
+            )
+    return items
+
+
+def main() -> None:
+    cluster = make_paper_cluster(num_nodes=2)
+    workload = build_waves()
+    sim = KubeKnotsSimulator(cluster, make_scheduler("peak-prediction"), workload)
+    result = sim.run()
+
+    api = sim.orchestrator.api
+    bound = {e.pod_uid: e for e in api.events if e.type is EventType.BOUND}
+    rows = []
+    for pod in sorted(result.pods, key=lambda p: p.submitted_ms):
+        event = bound.get(pod.uid)
+        rows.append(
+            (
+                pod.spec.name,
+                pod.spec.requested_mem_mb,
+                float(event.detail.split("alloc=")[1].rstrip("MB")) if event else float("nan"),
+                pod.spec.trace.peak_mem_mb(),
+            )
+        )
+
+    print(
+        format_table(
+            ["pod", "requested MB", "granted MB", "true peak MB"],
+            rows,
+            title="Reservations shrink as the image profile accumulates",
+            float_fmt="{:.0f}",
+        )
+    )
+    resizes = api.events_of(EventType.RESIZED)
+    print(f"\nharvest (docker resize) events during the run: {len(resizes)}")
+    for e in resizes[:5]:
+        print(f"  t={e.time:7.0f} ms  {e.pod_uid}: {e.detail}")
+    print(
+        "\nWave 0 runs at the user's request (no profile yet); later waves\n"
+        "are provisioned near the observed 80th-percentile footprint, and\n"
+        "residents admitted before the profile existed get resized down."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment is offline and lacks the ``wheel`` package,
+so PEP-660 editable installs (``pip install -e .``) cannot build; this
+shim lets ``python setup.py develop`` (which pip falls back to with
+``--no-use-pep517``) install the package in editable mode.  All real
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,235 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the workflows a user reaches for first:
+
+``experiment``
+    Regenerate one of the paper's figures/tables (or ``all``) and print
+    the ASCII rendition — the same output recorded in EXPERIMENTS.md.
+``simulate``
+    One cluster run: a Table-I app-mix under a chosen scheduler, with a
+    summary of utilization, QoS, energy and crash counts.
+``dlsim``
+    The DL-cluster comparison (Sec. V-C) for a chosen policy set.
+``replay``
+    Drive the simulator from a real Alibaba ``batch_task.csv``.
+``list``
+    Enumerate available experiments, schedulers, mixes and policies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import Sequence
+
+import numpy as np
+
+EXPERIMENTS = (
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "table4",
+    "ablation",
+    "ablation_dl",
+    "hetero",
+    "sensitivity",
+)
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    from repro.core.schedulers import SCHEDULERS
+    from repro.sim.dlsim import DL_POLICIES
+    from repro.workloads.appmix import APP_MIXES
+
+    print("experiments :", ", ".join(EXPERIMENTS))
+    print("schedulers  :", ", ".join(sorted(SCHEDULERS)))
+    print("app mixes   :", ", ".join(sorted(APP_MIXES)))
+    print("DL policies :", ", ".join(sorted(DL_POLICIES)))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    names = EXPERIMENTS if args.name == "all" else (args.name,)
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+            return 2
+        module = importlib.import_module(f"repro.experiments.{name}")
+        if len(names) > 1:
+            print("#" * 70)
+            print("##", name)
+            print("#" * 70)
+        print(module.main())
+        print()
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.core.schedulers import make_scheduler
+    from repro.metrics.percentiles import cluster_percentiles
+    from repro.metrics.report import format_table
+    from repro.sim.simulator import run_appmix
+
+    result = run_appmix(
+        args.mix,
+        make_scheduler(args.scheduler),
+        duration_s=args.duration,
+        seed=args.seed,
+        num_nodes=args.nodes,
+        load_factor=args.load_factor,
+    )
+    util = cluster_percentiles(result.gpu_util_series)
+    mean_power = result.total_energy_j() / (result.makespan_ms / 1_000.0)
+    rows = [
+        ("pods completed", f"{len(result.completed())}/{len(result.pods)}"),
+        ("makespan", f"{result.makespan_ms / 1_000.0:.1f} s"),
+        ("utilization p50/p90/p99/max %", "/".join(f"{v:.0f}" for v in util.as_tuple())),
+        ("QoS violations per kilo-query", f"{result.qos_violations_per_kilo():.1f}"),
+        ("OOM kills", str(result.oom_kills)),
+        ("container resizes (harvests)", str(result.resizes)),
+        ("mean cluster power", f"{mean_power:.0f} W"),
+        ("total energy", f"{result.total_energy_j() / 1_000.0:.1f} kJ"),
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=f"{args.mix} under {args.scheduler} ({args.nodes} nodes, seed {args.seed})",
+        )
+    )
+    if args.export:
+        from repro.telemetry.export import export_result_json
+
+        export_result_json(result, args.export)
+        print(f"run exported to {args.export}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.cluster.cluster import make_paper_cluster
+    from repro.core.schedulers import make_scheduler
+    from repro.metrics.report import format_table
+    from repro.sim.simulator import KubeKnotsSimulator
+    from repro.workloads.trace_replay import load_batch_tasks, tasks_to_workload
+
+    tasks = load_batch_tasks(args.trace, max_tasks=args.max_tasks)
+    if not tasks:
+        print(f"no terminated tasks found in {args.trace}", file=sys.stderr)
+        return 2
+    workload = tasks_to_workload(
+        tasks, time_scale=args.time_scale, duration_scale=args.duration_scale, seed=args.seed
+    )
+    cluster = make_paper_cluster(num_nodes=args.nodes)
+    result = KubeKnotsSimulator(cluster, make_scheduler(args.scheduler), workload).run()
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ("replayed tasks", str(len(tasks))),
+                ("completed", f"{len(result.completed())}/{len(result.pods)}"),
+                ("makespan", f"{result.makespan_ms / 1_000.0:.1f} s"),
+                ("OOM kills", str(result.oom_kills)),
+                ("harvest resizes", str(result.resizes)),
+            ],
+            title=f"trace replay: {args.trace} under {args.scheduler}",
+        )
+    )
+    return 0
+
+
+def _cmd_dlsim(args: argparse.Namespace) -> int:
+    from repro.metrics.jct import normalized_jct
+    from repro.metrics.report import format_table
+    from repro.sim.dlsim import run_dl_comparison
+    from repro.workloads.dlt import DLJobKind, DLWorkloadConfig
+
+    config = None
+    if args.quick:
+        config = DLWorkloadConfig(n_training=100, n_inference=300, window_s=2 * 3_600.0)
+    results = run_dl_comparison(jobs_seed=args.seed, policies=args.policies, config=config)
+    ref = "cbp-pp" if "cbp-pp" in results else args.policies[0]
+    ratios = normalized_jct({n: r.jcts_s() for n, r in results.items()}, reference=ref)
+    rows = []
+    for name, r in results.items():
+        dli = r.jcts_s(DLJobKind.INFERENCE)
+        rows.append(
+            (
+                name,
+                *[round(x, 2) for x in ratios[name]],
+                float(np.median(dli) * 1_000.0) if len(dli) else float("nan"),
+                r.qos_violations(),
+            )
+        )
+    print(
+        format_table(
+            ["policy", f"avg/{ref}", f"med/{ref}", f"p99/{ref}", "DLI med ms", "SLO viol"],
+            rows,
+            title="DL-cluster comparison",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Kube-Knots reproduction (CLUSTER 2019) command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="enumerate experiments, schedulers, mixes, policies")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper figure/table")
+    p_exp.add_argument("name", help=f"one of: {', '.join(EXPERIMENTS)}, or 'all'")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_sim = sub.add_parser("simulate", help="run one app-mix under one scheduler")
+    p_sim.add_argument("--mix", default="app-mix-1", help="Table-I mix name")
+    p_sim.add_argument("--scheduler", default="peak-prediction",
+                       help="uniform | res-ag | cbp | peak-prediction")
+    p_sim.add_argument("--duration", type=float, default=20.0, help="arrival window, seconds")
+    p_sim.add_argument("--seed", type=int, default=1)
+    p_sim.add_argument("--nodes", type=int, default=10)
+    p_sim.add_argument("--load-factor", type=float, default=1.0, dest="load_factor")
+    p_sim.add_argument("--export", default=None, metavar="PATH",
+                       help="write the run (pods + telemetry) to a JSON file")
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_rep = sub.add_parser("replay", help="replay an Alibaba batch_task.csv trace")
+    p_rep.add_argument("trace", help="path to batch_task.csv (v2017 schema)")
+    p_rep.add_argument("--scheduler", default="peak-prediction")
+    p_rep.add_argument("--nodes", type=int, default=10)
+    p_rep.add_argument("--max-tasks", type=int, default=200, dest="max_tasks")
+    p_rep.add_argument("--time-scale", type=float, default=0.01, dest="time_scale")
+    p_rep.add_argument("--duration-scale", type=float, default=0.05, dest="duration_scale")
+    p_rep.add_argument("--seed", type=int, default=0)
+    p_rep.set_defaults(func=_cmd_replay)
+
+    p_dl = sub.add_parser("dlsim", help="run the DL-cluster comparison (Sec. V-C)")
+    p_dl.add_argument("--policies", nargs="+",
+                      default=["res-ag", "gandiva", "tiresias", "cbp-pp"])
+    p_dl.add_argument("--seed", type=int, default=1)
+    p_dl.add_argument("--quick", action="store_true", help="reduced workload")
+    p_dl.set_defaults(func=_cmd_dlsim)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,24 @@
+"""GPU cluster substrate: devices, nodes, power models."""
+
+from repro.cluster.cluster import Cluster, make_heterogeneous_cluster, make_paper_cluster
+from repro.cluster.gpu import GPU, CapacityViolation, GpuSample
+from repro.cluster.node import GPU_MODELS, GpuNode, GpuSpec, HeadNode, HostSpec
+from repro.cluster.power import CpuEfficiencyModel, GpuPowerModel, SANDY_BRIDGE, WESTMERE
+
+__all__ = [
+    "Cluster",
+    "make_paper_cluster",
+    "make_heterogeneous_cluster",
+    "GPU",
+    "GpuSample",
+    "CapacityViolation",
+    "GpuNode",
+    "GpuSpec",
+    "HeadNode",
+    "HostSpec",
+    "GPU_MODELS",
+    "GpuPowerModel",
+    "CpuEfficiencyModel",
+    "SANDY_BRIDGE",
+    "WESTMERE",
+]

@@ -1,0 +1,84 @@
+"""Cluster container: a head node plus GPU workers.
+
+Provides the factory used by the evaluation — ten P100 workers and one
+CPU-only head node (Sec. V-A) — and a heterogeneous variant mixing the
+GPU models pictured in the Kube-Knots design figure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.cluster.gpu import GPU
+from repro.cluster.node import GPU_MODELS, GpuNode, HeadNode, HostSpec
+
+__all__ = ["Cluster", "make_paper_cluster", "make_heterogeneous_cluster"]
+
+
+class Cluster:
+    """A named set of GPU worker nodes plus the head node."""
+
+    def __init__(self, nodes: Sequence[GpuNode], head: HeadNode | None = None) -> None:
+        if not nodes:
+            raise ValueError("cluster needs at least one worker node")
+        ids = [n.node_id for n in nodes]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate node ids: {ids}")
+        self.nodes: list[GpuNode] = list(nodes)
+        self.head = head or HeadNode()
+        self._by_id = {n.node_id: n for n in self.nodes}
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[GpuNode]:
+        return iter(self.nodes)
+
+    def node(self, node_id: str) -> GpuNode:
+        try:
+            return self._by_id[node_id]
+        except KeyError:
+            raise KeyError(f"no node {node_id!r} in cluster") from None
+
+    def gpus(self) -> Iterator[GPU]:
+        """All GPUs across all workers, in node order."""
+        for n in self.nodes:
+            yield from n.gpus
+
+    def find_gpu(self, gpu_id: str) -> GPU:
+        node_id = gpu_id.split("/", 1)[0]
+        return self.node(node_id).find_gpu(gpu_id)
+
+    def active_gpus(self) -> list[GPU]:
+        """Awake devices — the candidate set PP iterates (Algorithm 1)."""
+        return [g for g in self.gpus() if not g.asleep]
+
+    def total_gpu_mem_mb(self) -> float:
+        return sum(g.mem_capacity_mb for g in self.gpus())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        n_gpus = sum(len(n.gpus) for n in self.nodes)
+        return f"Cluster({len(self.nodes)} nodes, {n_gpus} GPUs)"
+
+
+def make_paper_cluster(
+    num_nodes: int = 10,
+    gpus_per_node: int = 1,
+    gpu_model: str = "P100",
+) -> Cluster:
+    """The evaluation cluster: ten P100 workers + a CPU-only head node."""
+    nodes = [
+        GpuNode.build(f"node{i + 1}", gpu_model=gpu_model, num_gpus=gpus_per_node)
+        for i in range(num_nodes)
+    ]
+    return Cluster(nodes)
+
+
+def make_heterogeneous_cluster(models: Iterable[str] = ("P100", "P100", "M40", "V100", "K80")) -> Cluster:
+    """A mixed-model cluster like the one in the design figure (Fig. 5)."""
+    nodes = []
+    for i, model in enumerate(models):
+        if model not in GPU_MODELS:
+            raise KeyError(f"unknown GPU model {model!r}; known: {sorted(GPU_MODELS)}")
+        nodes.append(GpuNode.build(f"node{i + 1}", gpu_model=model))
+    return Cluster(nodes)

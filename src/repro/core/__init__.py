@@ -1,0 +1,27 @@
+"""Kube-Knots core: Knots runtime, schedulers, orchestrator, profiles."""
+
+from repro.core.knots import Knots, KnotsConfig
+from repro.core.orchestrator import KubeKnots
+from repro.core.profiles import ImageProfile, ProfileStore
+from repro.core.schedulers import (
+    CBPScheduler,
+    PeakPredictionScheduler,
+    ResourceAgnosticScheduler,
+    Scheduler,
+    UniformScheduler,
+    make_scheduler,
+)
+
+__all__ = [
+    "Knots",
+    "KnotsConfig",
+    "KubeKnots",
+    "ProfileStore",
+    "ImageProfile",
+    "Scheduler",
+    "UniformScheduler",
+    "ResourceAgnosticScheduler",
+    "CBPScheduler",
+    "PeakPredictionScheduler",
+    "make_scheduler",
+]

@@ -1,0 +1,69 @@
+"""Knots: the GPU-aware orchestration runtime (paper Sec. IV-A).
+
+Knots is the glue between raw device telemetry and scheduling policy:
+
+* it owns one :class:`NodeMonitor` per worker, each writing the five
+  GPU metrics into the node-local TSDB every *heartbeat*;
+* it owns the head-node :class:`UtilizationAggregator`, the only view
+  schedulers get of the cluster;
+* it owns the :class:`ProfileStore` of per-image usage profiles built
+  from runtime feedback (no a priori profiling);
+* it exposes Algorithm 1's primitives: ``query`` (all metric windows
+  for a device) and the sorted active-device list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+from repro.core.profiles import ProfileStore
+from repro.telemetry.aggregator import GpuView, NodeMonitor, UtilizationAggregator
+from repro.telemetry.tsdb import SeriesWindow
+
+__all__ = ["KnotsConfig", "Knots"]
+
+
+@dataclass(frozen=True)
+class KnotsConfig:
+    """Timing parameters of the monitoring plane."""
+
+    heartbeat_ms: float = 10.0      # TSDB logging cadence (1 ms in the paper)
+    window_ms: float = 5_000.0      # sliding window the schedulers query (5 s)
+
+
+class Knots:
+    """The runtime system aggregating cluster-wide GPU telemetry."""
+
+    def __init__(self, cluster: Cluster, config: KnotsConfig | None = None) -> None:
+        self.cluster = cluster
+        self.config = config or KnotsConfig()
+        self.monitors: dict[str, NodeMonitor] = {
+            node.node_id: NodeMonitor(node) for node in cluster
+        }
+        self.aggregator = UtilizationAggregator(list(self.monitors.values()))
+        self.profiles = ProfileStore()
+
+    # -- monitoring plane ---------------------------------------------------
+
+    def heartbeat(self, now: float) -> None:
+        """Sample every node's devices into its TSDB (one heartbeat)."""
+        for monitor in self.monitors.values():
+            monitor.heartbeat(now)
+
+    # -- Algorithm 1 primitives ---------------------------------------------
+
+    def query(self, gpu_id: str, now: float) -> dict[str, SeriesWindow]:
+        """``QUERY(gpu_node)``: recent windows of all five metrics."""
+        return self.aggregator.query_node_stats(gpu_id, self.config.window_ms, now)
+
+    def memory_window(self, gpu_id: str, now: float) -> SeriesWindow:
+        """The memory-utilization series PP autocorrelates and forecasts."""
+        return self.aggregator.query(gpu_id, "mem_util", self.config.window_ms, now)
+
+    def active_gpus_by_free_memory(self) -> list[GpuView]:
+        """``Sort_by_Free_Memory(All_Active_GPUs)``."""
+        return self.aggregator.sorted_by_free_memory(active_only=True)
+
+    def all_gpus_by_free_memory(self) -> list[GpuView]:
+        return self.aggregator.sorted_by_free_memory(active_only=False)

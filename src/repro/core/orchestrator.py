@@ -1,0 +1,113 @@
+"""Kube-Knots: the integrated orchestrator.
+
+Binds the Kubernetes substrate (API server + kubelets + device
+plugins), the Knots monitoring runtime, and one placement policy.  Each
+*scheduling pass* it assembles a :class:`SchedulingContext` from the
+Knots aggregator, asks the policy for actions, and applies them through
+the substrate — bind via the API server and kubelet, resize via the
+device plugin's docker-resize path, sleep/wake on the devices.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster
+from repro.core.knots import Knots, KnotsConfig
+from repro.core.schedulers.base import (
+    Action,
+    Bind,
+    Resize,
+    ResidentPod,
+    Scheduler,
+    SchedulingContext,
+    Sleep,
+    Wake,
+)
+from repro.kube.api import APIServer
+from repro.kube.device_plugin import SharedGPUDevicePlugin
+from repro.kube.kubelet import Kubelet, KubeletConfig
+
+__all__ = ["KubeKnots"]
+
+
+class KubeKnots:
+    """Kubernetes + Knots + a placement policy."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        scheduler: Scheduler,
+        knots_config: KnotsConfig | None = None,
+        kubelet_config: KubeletConfig | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self.api = APIServer()
+        self.knots = Knots(cluster, knots_config)
+        self.kubelets: dict[str, Kubelet] = {}
+        for node in cluster:
+            plugin = SharedGPUDevicePlugin(node, sharing_enabled=scheduler.requires_sharing)
+            self.kubelets[node.node_id] = Kubelet(node, self.api, plugin, kubelet_config)
+
+    # -- context assembly ----------------------------------------------------
+
+    def build_context(self, now: float) -> SchedulingContext:
+        residents: dict[str, list[ResidentPod]] = {}
+        for kubelet in self.kubelets.values():
+            for pod in kubelet.hosted_pods():
+                residents.setdefault(pod.gpu_id, []).append(
+                    ResidentPod(
+                        uid=pod.uid,
+                        image=pod.spec.image,
+                        alloc_mb=pod.alloc_mb,
+                        qos_class=pod.spec.qos_class,
+                    )
+                )
+        return SchedulingContext(
+            now=now,
+            pending=self.api.pending_pods(),
+            knots=self.knots,
+            residents=residents,
+        )
+
+    # -- the pass --------------------------------------------------------------
+
+    def scheduling_pass(self, now: float) -> list[Action]:
+        """Run one policy pass and apply its actions.  Returns them."""
+        ctx = self.build_context(now)
+        actions = self.scheduler.schedule(ctx)
+        for action in actions:
+            self._apply(action, now)
+        return actions
+
+    def _apply(self, action: Action, now: float) -> None:
+        if isinstance(action, Bind):
+            pod = self.api.pod(action.pod_uid)
+            node_id = action.gpu_id.split("/", 1)[0]
+            self.api.bind(pod, node_id, action.gpu_id, action.alloc_mb, now)
+            self.kubelets[node_id].admit(pod, now)
+        elif isinstance(action, Resize):
+            pod = self.api.pod(action.pod_uid)
+            node_id = action.gpu_id.split("/", 1)[0]
+            self.kubelets[node_id].resize(pod, action.new_alloc_mb, now)
+        elif isinstance(action, Sleep):
+            gpu = self.cluster.find_gpu(action.gpu_id)
+            if not gpu.containers:
+                gpu.sleep()
+        elif isinstance(action, Wake):
+            self.cluster.find_gpu(action.gpu_id).asleep = False
+        else:  # pragma: no cover - future action types
+            raise TypeError(f"unknown action {action!r}")
+
+    # -- execution hooks used by the simulator ----------------------------------
+
+    def step_kubelets(self, now: float, dt_ms: float) -> None:
+        """Advance every node by one tick; record completed-pod profiles."""
+        before = {p.uid for p in self.api.pods() if p.done}
+        for kubelet in self.kubelets.values():
+            kubelet.step(now, dt_ms)
+        for pod in self.api.pods():
+            if pod.done and pod.uid not in before:
+                self.knots.profiles.record_trace(pod.spec.image, pod.spec.trace)
+
+    def heartbeat(self, now: float) -> None:
+        self.knots.heartbeat(now)

@@ -1,0 +1,67 @@
+"""Placement policies evaluated in the paper.
+
+==================  =============================================
+Name                Policy
+==================  =============================================
+``uniform``         Kubernetes default: exclusive GPU, FIFO (HOL)
+``res-ag``          GPU sharing, FFD on static requests, agnostic
+``cbp``             Correlation Based Provisioning (Sec. IV-C)
+``peak-prediction`` CBP + ARIMA peak forecasting (Sec. IV-D)
+``hetero-pp``       PP + device-capacity awareness (extension)
+==================  =============================================
+
+:func:`make_scheduler` builds one by name; the DL-cluster baselines
+(Gandiva, Tiresias) live in :mod:`repro.sim.dlsim` because they
+schedule gang jobs, not pods.
+"""
+
+from repro.core.schedulers.base import (
+    Action,
+    Bind,
+    Resize,
+    ResidentPod,
+    Scheduler,
+    SchedulingContext,
+    Sleep,
+    Wake,
+)
+from repro.core.schedulers.cbp import CBPScheduler
+from repro.core.schedulers.hetero import HeteroAwarePeakPrediction
+from repro.core.schedulers.peak_prediction import PeakPredictionScheduler
+from repro.core.schedulers.resource_agnostic import ResourceAgnosticScheduler
+from repro.core.schedulers.uniform import UniformScheduler
+
+__all__ = [
+    "Action",
+    "Bind",
+    "Resize",
+    "Sleep",
+    "Wake",
+    "ResidentPod",
+    "Scheduler",
+    "SchedulingContext",
+    "UniformScheduler",
+    "ResourceAgnosticScheduler",
+    "CBPScheduler",
+    "PeakPredictionScheduler",
+    "HeteroAwarePeakPrediction",
+    "make_scheduler",
+    "SCHEDULERS",
+]
+
+SCHEDULERS = {
+    "uniform": UniformScheduler,
+    "res-ag": ResourceAgnosticScheduler,
+    "cbp": CBPScheduler,
+    "peak-prediction": PeakPredictionScheduler,
+    "hetero-pp": HeteroAwarePeakPrediction,
+}
+
+
+def make_scheduler(name: str, **kwargs) -> Scheduler:
+    """Instantiate a scheduler by its registry name."""
+    try:
+        cls = SCHEDULERS[name]
+    except KeyError:
+        raise KeyError(f"unknown scheduler {name!r}; known: {sorted(SCHEDULERS)}") from None
+    return cls(**kwargs)

@@ -1,0 +1,174 @@
+"""Scheduler interface and the action vocabulary.
+
+Schedulers are pure policies: they receive a :class:`SchedulingContext`
+(pending pods + the Knots view of the cluster) and return a list of
+:class:`Action` values — bind, resize, sleep, wake — which the
+orchestrator then applies through the Kubernetes substrate.  Keeping
+policies side-effect-free makes every scheduling decision unit-testable
+against a hand-built context.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Sequence, Union
+
+from repro.core.knots import Knots
+from repro.kube.pod import Pod
+from repro.workloads.base import QoSClass
+
+__all__ = [
+    "Bind",
+    "Resize",
+    "Sleep",
+    "Wake",
+    "Action",
+    "ResidentPod",
+    "SchedulingContext",
+    "PassState",
+    "Scheduler",
+]
+
+
+@dataclass(frozen=True)
+class Bind:
+    """Place a pending pod on a device with a memory reservation."""
+
+    pod_uid: str
+    gpu_id: str
+    alloc_mb: float
+
+
+@dataclass(frozen=True)
+class Resize:
+    """Dynamically resize a resident container's reservation (harvest)."""
+
+    pod_uid: str
+    gpu_id: str
+    new_alloc_mb: float
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Put a drained device into deep sleep (p_state 12)."""
+
+    gpu_id: str
+
+
+@dataclass(frozen=True)
+class Wake:
+    """Wake a sleeping device for incoming load."""
+
+    gpu_id: str
+
+
+Action = Union[Bind, Resize, Sleep, Wake]
+
+
+@dataclass(frozen=True)
+class ResidentPod:
+    """What a scheduler may know about a pod already on a device."""
+
+    uid: str
+    image: str
+    alloc_mb: float
+    qos_class: QoSClass
+
+
+@dataclass
+class SchedulingContext:
+    """Inputs to one scheduling pass."""
+
+    now: float
+    pending: list[Pod]
+    knots: Knots
+    residents: dict[str, list[ResidentPod]]   # gpu_id -> resident pods
+
+    def residents_on(self, gpu_id: str) -> list[ResidentPod]:
+        return self.residents.get(gpu_id, [])
+
+
+@dataclass
+class PassState:
+    """Mutable per-pass accounting the CBP/PP placement loop updates.
+
+    Built from the aggregator's device views at the start of a pass and
+    kept consistent as binds/resizes are planned, so several decisions
+    in one pass don't double-book a device.
+    """
+
+    free: dict[str, float]     # unreserved memory, MB
+    used: dict[str, float]     # physically used memory (telemetry), MB
+    caps: dict[str, float]     # capacity, MB
+    sm: dict[str, float]       # expected SM demand (profile-based pressure)
+    count: dict[str, int]      # resident pod count
+    # Per-device peak overshoots: how far each resident's *peak* memory
+    # exceeds its reservation.  The CBP/PP safety guard keeps room for
+    # the two largest overshoots to fire simultaneously.
+    overshoots: dict[str, list[float]] = field(default_factory=dict)
+    # Worst-case (peak) SM demand per device — what a latency-critical
+    # query could face if every co-runner hits its compute phase.
+    sm_peak: dict[str, float] = field(default_factory=dict)
+    # Latency-critical residents per device (batch placement avoids them).
+    lc_count: dict[str, int] = field(default_factory=dict)
+    # Images bound to each device *during this pass* — the correlation
+    # gate must see them too, or two correlated pods admitted in the
+    # same pass would land together.
+    planned_images: dict[str, list[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_views(cls, views, residents_on) -> "PassState":
+        return cls(
+            free={v.gpu_id: v.free_alloc_mb for v in views},
+            used={v.gpu_id: v.mem_used_mb for v in views},
+            caps={v.gpu_id: v.mem_capacity_mb for v in views},
+            sm={v.gpu_id: v.sm_util for v in views},
+            count={v.gpu_id: len(residents_on(v.gpu_id)) for v in views},
+        )
+
+    def add_gpu(self, view) -> None:
+        self.free[view.gpu_id] = view.free_alloc_mb
+        self.used[view.gpu_id] = view.mem_used_mb
+        self.caps[view.gpu_id] = view.mem_capacity_mb
+        self.sm[view.gpu_id] = view.sm_util
+        self.count[view.gpu_id] = 0
+
+    def book(self, gpu_id: str, alloc_mb: float, expected_sm: float = 0.0, peak_sm: float = 0.0) -> None:
+        self.free[gpu_id] -= alloc_mb
+        self.used[gpu_id] += alloc_mb
+        self.sm[gpu_id] = self.sm.get(gpu_id, 0.0) + expected_sm
+        self.sm_peak[gpu_id] = self.sm_peak.get(gpu_id, 0.0) + max(peak_sm, expected_sm)
+        self.count[gpu_id] = self.count.get(gpu_id, 0) + 1
+
+
+class Scheduler(ABC):
+    """Base class for all placement policies."""
+
+    #: Human-readable name used in reports and experiment tables.
+    name: str = "scheduler"
+
+    #: Whether the policy needs the shared-GPU device plugin.  The
+    #: orchestrator configures every node's plugin from this flag.
+    requires_sharing: bool = True
+
+    @abstractmethod
+    def schedule(self, ctx: SchedulingContext) -> list[Action]:
+        """Produce placement/resize/power actions for this pass."""
+
+    # -- shared helpers -----------------------------------------------------
+
+    @staticmethod
+    def split_by_qos(pending: Sequence[Pod]) -> tuple[list[Pod], list[Pod]]:
+        """(latency-critical, batch), each preserving queue order."""
+        lc = [p for p in pending if p.spec.qos_class is QoSClass.LATENCY_CRITICAL]
+        batch = [p for p in pending if p.spec.qos_class is QoSClass.BATCH]
+        return lc, batch
+
+    @staticmethod
+    def ffd_order(pods: Sequence[Pod]) -> list[Pod]:
+        """First-fit-decreasing order by requested memory (Sec. IV-B).
+
+        Ties break on uid for determinism.
+        """
+        return sorted(pods, key=lambda p: (-p.spec.requested_mem_mb, p.uid))

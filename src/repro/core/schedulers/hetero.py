@@ -1,0 +1,64 @@
+"""Heterogeneity-aware Peak Prediction (extension).
+
+The Kube-Knots design figure (Fig. 5) pictures a heterogeneous cluster
+— P100s next to M40s, V100s and K80s — but the evaluation runs on
+uniform P100s, leaving device heterogeneity as the obvious extension.
+This scheduler adds capacity-aware placement on top of PP:
+
+* **Best-capacity-fit for batch.**  A 2 GB job parked on a 32 GB V100
+  strands premium capacity that an 11 GB job will later need; among the
+  devices PP would accept, prefer the one whose *capacity* is smallest
+  while still leaving the pod's peak-footprint headroom.  This keeps
+  the big devices free for the big pods.
+* **Peak-aware spill protection.**  A pod whose observed peak footprint
+  simply cannot fit a small device is never routed to it, even when its
+  harvested (80th-percentile) reservation would — avoiding guaranteed
+  future capacity violations on the small models.
+
+Everything else — harvesting, the correlation gate, ARIMA forecasting,
+consolidation and deep sleep — is inherited unchanged from
+:class:`~repro.core.schedulers.peak_prediction.PeakPredictionScheduler`.
+"""
+
+from __future__ import annotations
+
+from repro.core.schedulers.base import PassState
+from repro.core.schedulers.peak_prediction import PeakPredictionScheduler
+from repro.kube.pod import Pod
+from repro.workloads.base import QoSClass
+
+__all__ = ["HeteroAwarePeakPrediction"]
+
+
+class HeteroAwarePeakPrediction(PeakPredictionScheduler):
+    """PP + device-capacity awareness for mixed-model clusters."""
+
+    name = "hetero-pp"
+    requires_sharing = True
+
+    def __init__(self, peak_headroom: float = 1.05, **kwargs) -> None:
+        super().__init__(**kwargs)
+        #: A device must fit ``peak_headroom x`` the pod's peak memory
+        #: (alone) to be considered at all — the spill-protection rule.
+        self.peak_headroom = peak_headroom
+
+    def _wake_pick(self, sleeping: list, pod, alloc: float, peak: float):
+        """Only wake a device whose capacity fits the pod's *peak*."""
+        need = max(alloc, self.peak_headroom * pod.spec.trace.peak_mem_mb())
+        for view in sleeping:
+            if view.mem_capacity_mb >= need:
+                return view
+        return None
+
+    def _candidate_gpus(
+        self, pod: Pod, state: PassState, lc_ceiling: float | None = None
+    ) -> list[str]:
+        order = super()._candidate_gpus(pod, state, lc_ceiling)
+        peak = pod.spec.trace.peak_mem_mb()
+        # Spill protection: drop devices that could never hold the peak.
+        order = [g for g in order if state.caps.get(g, 0.0) >= self.peak_headroom * peak]
+        if pod.spec.qos_class is QoSClass.BATCH:
+            # Best-capacity-fit: stable re-sort by capacity, keeping PP's
+            # consolidation order among devices of the same model.
+            order.sort(key=lambda g: state.caps.get(g, 0.0))
+        return order

@@ -1,0 +1,212 @@
+"""PP: Peak Prediction scheduler (paper Sec. IV-D, Algorithm 1).
+
+PP is layered on CBP and relaxes its most costly restriction.  CBP
+refuses to co-locate positively correlated pods; PP observes that
+correlated pods are still safe together **if their peak phases do not
+collide** — a GPU application's peaks are periodic (phase changes:
+bandwidth burst precedes compute/memory peak), so near-term utilization
+is forecastable.  Concretely, where CBP's correlation gate fails:
+
+1. Compute the lag-1 autocorrelation of the device's recent memory
+   series (Eq. 2).  ``r <= 0`` means no exploitable trend — move on to
+   the next node.
+2. Otherwise forecast the next second of device memory with first-order
+   ARIMA (Eq. 3) over the five-second sliding window.
+3. If predicted free memory covers the pod's reservation, schedule it
+   there anyway; else repeat the admission checks on the next node in
+   the sorted list.
+
+PP additionally performs the *consolidation* behind the energy savings
+of Fig. 11a: batch placement visits the fullest **active** device
+first, drained devices are put into deep sleep (p_state 12), and a
+sleeping device is woken only when nothing active can take a pod — or
+when every active device is too compute-loaded to host a
+latency-critical query without stretching it past its SLO.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.schedulers.base import (
+    Action,
+    Bind,
+    PassState,
+    SchedulingContext,
+    Sleep,
+    Wake,
+)
+from repro.core.schedulers.cbp import CBPScheduler
+from repro.forecast.arima import forecast_series
+from repro.forecast.autocorr import autocorrelation
+from repro.kube.pod import Pod
+from repro.workloads.base import QoSClass
+
+__all__ = ["PeakPredictionScheduler"]
+
+
+class PeakPredictionScheduler(CBPScheduler):
+    """CBP + peak-phase forecasting + consolidation ("CBP+PP")."""
+
+    name = "peak-prediction"
+    requires_sharing = True
+
+    def __init__(
+        self,
+        percentile: float = 80.0,
+        correlation_threshold: float = 0.5,
+        forecast_steps: int = 1,
+        min_active_gpus: int = 1,
+        forecast_safety: float = 1.2,
+        **kwargs,
+    ) -> None:
+        super().__init__(percentile=percentile, correlation_threshold=correlation_threshold, **kwargs)
+        self.forecast_steps = forecast_steps
+        self.min_active_gpus = min_active_gpus
+        #: Headroom multiplier over the raw point forecast: a point
+        #: estimate has no error bars, and an OOM kill costs a relaunch
+        #: (the exact failure mode PP exists to prevent).
+        self.forecast_safety = forecast_safety
+        self._forecast_hits = 0
+        self._forecast_misses = 0
+
+    def _candidate_gpus(
+        self, pod: Pod, state: PassState, lc_ceiling: float | None = None
+    ) -> list[str]:
+        """Like CBP's order, but latency-critical pods only see devices
+        under their SLO-derived SM ceiling: a busier device would
+        stretch the query past its budget through co-location
+        interference.  If that leaves nothing, the empty list sends the
+        pod to the wake/relaxed path in :meth:`schedule`."""
+        if pod.spec.qos_class is QoSClass.LATENCY_CRITICAL:
+            ok, _hot = self._lc_candidate_split(pod, state, lc_ceiling)
+            return ok
+        return super()._candidate_gpus(pod, state)
+
+    # -- pass ---------------------------------------------------------------
+
+    def schedule(self, ctx: SchedulingContext) -> list[Action]:
+        actions: list[Action] = []
+        active = ctx.knots.active_gpus_by_free_memory()
+        state = PassState.from_views(active, ctx.residents_on)
+        self._load_pressure(ctx, state)
+        actions.extend(self._harvest(ctx, state))
+
+        sleeping = [v for v in ctx.knots.all_gpus_by_free_memory() if v.asleep]
+        unplaced = 0
+        for pod in self._ordered_pending(ctx):
+            alloc = self._provision(ctx, pod)
+            expected_sm = self._expected_sm(ctx, pod)
+            peak = self._peak_of(ctx, pod, alloc)
+            placed = self._place_one(ctx, pod, alloc, peak, expected_sm, state, actions)
+            if placed:
+                continue
+            view = self._wake_pick(sleeping, pod, alloc, peak)
+            if view is not None:
+                # Nothing active can take the pod safely: wake a device.
+                sleeping.remove(view)
+                actions.append(Wake(view.gpu_id))
+                state.add_gpu(view)
+                state.sm[view.gpu_id] = 0.0
+                state.sm_peak[view.gpu_id] = 0.0
+                state.overshoots[view.gpu_id] = []
+                state.lc_count[view.gpu_id] = 0
+                actions.append(Bind(pod.uid, view.gpu_id, alloc))
+                self._book_pod(state, view.gpu_id, pod, alloc, expected_sm, peak)
+            elif pod.spec.qos_class is QoSClass.LATENCY_CRITICAL:
+                # No cool device and nothing to wake: place on the least
+                # loaded device anyway — a stretched query beats an
+                # indefinitely queued one.
+                if not self._place_one(
+                    ctx, pod, alloc, peak, expected_sm, state, actions, relaxed=True
+                ):
+                    unplaced += 1
+            else:
+                unplaced += 1
+
+        actions.extend(self._consolidate(state, unplaced))
+        return actions
+
+    def _wake_pick(self, sleeping: list, pod: Pod, alloc: float, peak: float):
+        """First sleeping device adequate for the pod, or None.
+
+        Adequacy here is reservation fit; the heterogeneity-aware
+        subclass tightens this to peak fit so a harvested reservation
+        never lures a large pod onto a small device.
+        """
+        for view in sleeping:
+            if alloc <= view.mem_capacity_mb:
+                return view
+        return None
+
+    def _place_one(
+        self,
+        ctx: SchedulingContext,
+        pod: Pod,
+        alloc: float,
+        peak: float,
+        expected_sm: float,
+        state: PassState,
+        actions: list[Action],
+        relaxed: bool = False,
+    ) -> bool:
+        """Algorithm 1's SCHEDULE procedure over the sorted node list."""
+        if relaxed:
+            candidates = CBPScheduler._candidate_gpus(self, pod, state)
+        else:
+            candidates = self._candidate_gpus(pod, state, self._lc_ceiling(ctx, pod))
+        for gpu_id in candidates:
+            if not self._fits(state, gpu_id, alloc, peak, pod, expected_sm):
+                continue
+            if self._admit(ctx, pod, gpu_id, alloc, state):
+                ok = True
+            else:
+                ok = self._forecast_admit(ctx, gpu_id, alloc, state.caps[gpu_id])
+            if ok:
+                actions.append(Bind(pod.uid, gpu_id, alloc))
+                self._book_pod(state, gpu_id, pod, alloc, expected_sm, peak)
+                return True
+        return False
+
+    def _forecast_admit(self, ctx: SchedulingContext, gpu_id: str, alloc: float, cap_mb: float) -> bool:
+        """The ARIMA branch: admit if predicted free memory covers ``alloc``."""
+        window = ctx.knots.memory_window(gpu_id, ctx.now)
+        if len(window) < 3:
+            return False
+        values = np.asarray(window.values)
+        if autocorrelation(values, lag=1) <= 0.0:
+            return False          # trend not strong enough to predict
+        pred_util = forecast_series(values, steps=self.forecast_steps, clip=(0.0, 1.0))[-1]
+        pred_free_mb = (1.0 - float(pred_util)) * cap_mb
+        if pred_free_mb >= alloc * self.forecast_safety:
+            self._forecast_hits += 1
+            return True
+        self._forecast_misses += 1
+        return False
+
+    # -- consolidation / power management ------------------------------------
+
+    def _consolidate(self, state: PassState, unplaced: int) -> list[Action]:
+        """Sleep drained devices beyond the minimum active set.
+
+        Only devices with no residents and no bind issued this pass are
+        candidates; the paper keeps low-load mixes on a minimal number
+        of active GPUs with the rest in minimum-power idle.
+        """
+        if unplaced:
+            return []            # demand still unplaced — keep capacity up
+        empty = sorted(gid for gid, c in state.count.items() if c == 0)
+        n_active = len(state.count)
+        sleeps: list[Action] = []
+        for gid in empty:
+            if n_active - len(sleeps) <= self.min_active_gpus:
+                break
+            sleeps.append(Sleep(gid))
+        return sleeps
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def forecast_stats(self) -> tuple[int, int]:
+        """(admits via forecast, rejects via forecast) this run."""
+        return self._forecast_hits, self._forecast_misses

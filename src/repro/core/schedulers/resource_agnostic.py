@@ -1,0 +1,72 @@
+"""Res-Ag: GPU-sharing, utilization-agnostic baseline (Sec. IV-B).
+
+The paper's fair baseline: sharing is enabled through the modified
+device plugin (compute time-shared, memory space-shared) and pods are
+packed with first-fit-decreasing bin packing on their *requested*
+memory — but the policy is blind to every GPU metric Knots collects.
+
+Two consequences the evaluation hinges on:
+
+* **Static earmarks fragment the device.**  Each pod's reservation is
+  its *declared* request — which users overstate (Observation 2) — so a
+  16 GB device "fills up" after two or three batch containers while its
+  physical memory sits largely unused.  Pending pods then queue behind
+  stranded reservations: the resource fragmentation and HOL queueing
+  that caps Res-Ag's utilization (Fig. 6) and blows inference SLOs.
+* **And it still crashes.**  Requests are static guesses; the policy
+  never looks at real-time usage, so a pod whose user *under*-declared
+  its peak bursts past its earmark, co-located peaks exceed physical
+  capacity, and the device OOM-kills a victim — the capacity violations
+  and relaunch storms of Sec. IV-B.
+"""
+
+from __future__ import annotations
+
+from repro.core.schedulers.base import Action, Bind, Scheduler, SchedulingContext
+
+__all__ = ["ResourceAgnosticScheduler"]
+
+
+class ResourceAgnosticScheduler(Scheduler):
+    """First-fit-decreasing packing on static requests."""
+
+    name = "res-ag"
+    requires_sharing = True
+
+    def __init__(self, max_pods_per_gpu: int = 8, clip_requests: bool = False) -> None:
+        #: Packing stops once a device hosts this many pods (the plugin's
+        #: share-count limit in the paper's modified k8s-device-plugin).
+        self.max_pods_per_gpu = max_pods_per_gpu
+        #: Ablation knob: if True, oversized requests are clipped into
+        #: the remaining reservation headroom instead of queueing —
+        #: trades fragmentation for much denser packing and more OOMs.
+        self.clip_requests = clip_requests
+
+    def schedule(self, ctx: SchedulingContext) -> list[Action]:
+        actions: list[Action] = []
+        views = ctx.knots.all_gpus_by_free_memory()
+        # Fixed node order = first-fit; ignore telemetry entirely.
+        views.sort(key=lambda v: v.gpu_id)
+        free = {v.gpu_id: v.free_alloc_mb for v in views}
+        count = {v.gpu_id: len(ctx.residents_on(v.gpu_id)) for v in views}
+
+        for pod in self.ffd_order(ctx.pending):
+            req = pod.spec.requested_mem_mb
+            for v in views:
+                gid = v.gpu_id
+                if count[gid] >= self.max_pods_per_gpu:
+                    continue
+                headroom = free[gid]
+                if self.clip_requests:
+                    alloc = min(req, headroom)
+                    if alloc < min(512.0, req):
+                        continue
+                else:
+                    if req > headroom:
+                        continue   # static earmark does not fit: try next
+                    alloc = req
+                actions.append(Bind(pod.uid, gid, alloc))
+                free[gid] -= alloc
+                count[gid] += 1
+                break
+        return actions

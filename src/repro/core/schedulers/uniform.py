@@ -1,0 +1,43 @@
+"""Uniform scheduler: Kubernetes' stock GPU behaviour.
+
+GPU sharing is disabled by default in Kubernetes (Sec. III-B); a pod
+gets a whole device exclusively until it completes and cannot be
+preempted.  Placement is utilization-agnostic spreading: the pending
+queue is served strictly FIFO and the head pod takes the first idle
+device in node order.  When every device is busy, the *entire queue
+waits* — the head-of-line blocking that drives this baseline's ~18 %
+QoS violations (Sec. VI-B): a 10 ms inference query stuck behind a
+batch job blows its 150 ms SLO long before a GPU frees up.
+"""
+
+from __future__ import annotations
+
+from repro.core.schedulers.base import Action, Bind, Scheduler, SchedulingContext
+
+__all__ = ["UniformScheduler"]
+
+
+class UniformScheduler(Scheduler):
+    """Exclusive-GPU FIFO baseline ("Uniform" in Figs. 10a/11a)."""
+
+    name = "uniform"
+    requires_sharing = False
+
+    def schedule(self, ctx: SchedulingContext) -> list[Action]:
+        actions: list[Action] = []
+        # Devices with nothing resident and no bind issued this pass.
+        free = [
+            v.gpu_id
+            for v in ctx.knots.all_gpus_by_free_memory()
+            if not ctx.residents_on(v.gpu_id)
+        ]
+        # Keep node order (spreading), not free-memory order: the stock
+        # scheduler is agnostic of GPU metrics.
+        free.sort()
+        it = iter(free)
+        for pod in ctx.pending:           # strict FIFO
+            gpu_id = next(it, None)
+            if gpu_id is None:
+                break                      # head-of-line blocking: all wait
+            actions.append(Bind(pod.uid, gpu_id, pod.spec.requested_mem_mb))
+        return actions

@@ -1,0 +1,27 @@
+"""Paper-figure regeneration harness.
+
+One module per evaluation artifact: ``fig1`` ... ``fig12``, ``table4``,
+``ablation``.  Each exposes ``run_*`` functions returning plain data
+structures plus a ``main()`` that renders the figure as an ASCII table;
+``python -m repro.experiments.figN`` prints it.
+"""
+
+__all__ = [
+    "fig1",
+    "hetero",
+    "ablation_dl",
+    "sensitivity",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "table4",
+    "ablation",
+    "runner",
+]

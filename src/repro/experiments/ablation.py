@@ -1,0 +1,172 @@
+"""Ablation studies for Kube-Knots' design choices (DESIGN.md list).
+
+* **Provisioning percentile** — the paper resizes to the 80th
+  percentile and argues 50/60 cause constant docker resizes while 100
+  (peak) forfeits harvesting.  We sweep the percentile and report
+  utilization, resize churn, OOM kills and QoS.
+* **Correlation threshold** — CBP's co-location gate fires at rho>=0.5;
+  sweeping it trades packing density against capacity-violation risk.
+* **Request clipping (Res-Ag)** — the utilization-agnostic packer with
+  and without clipping oversized requests into leftover headroom:
+  clipping packs denser but converts fragmentation into OOM storms.
+"""
+
+from __future__ import annotations
+
+from repro.core.schedulers import CBPScheduler, PeakPredictionScheduler, ResourceAgnosticScheduler
+from repro.kube.api import EventType
+from repro.metrics.percentiles import cluster_percentiles
+from repro.metrics.report import format_table
+from repro.sim.simulator import run_appmix
+
+__all__ = [
+    "sweep_percentile",
+    "sweep_correlation_threshold",
+    "sweep_resag_clipping",
+    "sweep_heartbeat",
+    "main",
+]
+
+
+def _run(scheduler, mix: str = "app-mix-1", duration_s: float = 12.0, seed: int = 1):
+    return run_appmix(mix, scheduler, duration_s=duration_s, seed=seed)
+
+
+def sweep_percentile(
+    percentiles: tuple[float, ...] = (50.0, 60.0, 80.0, 90.0, 100.0),
+    mix: str = "app-mix-1",
+    duration_s: float = 12.0,
+    seed: int = 1,
+) -> list[dict]:
+    """Resize-target sweep for PP."""
+    rows = []
+    for q in percentiles:
+        result = _run(PeakPredictionScheduler(percentile=q), mix, duration_s, seed)
+        util = cluster_percentiles(result.gpu_util_series)
+        rows.append(
+            {
+                "percentile": q,
+                "util_p50": util.p50,
+                "qos_per_kilo": result.qos_violations_per_kilo(),
+                "oom_kills": result.oom_kills,
+                "resizes": result.resizes,
+                "energy_j": result.total_energy_j(),
+            }
+        )
+    return rows
+
+
+def sweep_correlation_threshold(
+    thresholds: tuple[float, ...] = (0.1, 0.3, 0.5, 0.7, 0.9),
+    mix: str = "app-mix-1",
+    duration_s: float = 12.0,
+    seed: int = 1,
+) -> list[dict]:
+    """Co-location gate sweep for CBP."""
+    rows = []
+    for t in thresholds:
+        result = _run(CBPScheduler(correlation_threshold=t), mix, duration_s, seed)
+        util = cluster_percentiles(result.gpu_util_series)
+        rows.append(
+            {
+                "threshold": t,
+                "util_p50": util.p50,
+                "qos_per_kilo": result.qos_violations_per_kilo(),
+                "oom_kills": result.oom_kills,
+            }
+        )
+    return rows
+
+
+def sweep_resag_clipping(
+    mix: str = "app-mix-1", duration_s: float = 12.0, seed: int = 1
+) -> list[dict]:
+    """Res-Ag with/without request clipping."""
+    rows = []
+    for clip in (False, True):
+        result = _run(ResourceAgnosticScheduler(clip_requests=clip), mix, duration_s, seed)
+        util = cluster_percentiles(result.gpu_util_series)
+        rows.append(
+            {
+                "clip_requests": clip,
+                "util_p50": util.p50,
+                "qos_per_kilo": result.qos_violations_per_kilo(),
+                "oom_kills": result.oom_kills,
+            }
+        )
+    return rows
+
+
+def sweep_heartbeat(
+    heartbeats_ms: tuple[float, ...] = (10.0, 100.0, 500.0, 2_000.0),
+    mix: str = "app-mix-1",
+    duration_s: float = 12.0,
+    seed: int = 1,
+) -> list[dict]:
+    """Knots heartbeat sweep: how stale telemetry degrades PP.
+
+    The aggregator's polling cadence bounds how fresh the utilization
+    windows feeding the forecasts and placement decisions are; at
+    multi-second heartbeats the scheduler effectively flies blind
+    between samples (Sec. VI-D's cluster-level counterpart).
+    """
+    from repro.core.knots import KnotsConfig
+    from repro.sim.simulator import SimConfig
+
+    rows = []
+    for hb in heartbeats_ms:
+        config = SimConfig(knots=KnotsConfig(heartbeat_ms=hb))
+        result = run_appmix(
+            mix, PeakPredictionScheduler(), duration_s=duration_s, seed=seed, config=config
+        )
+        util = cluster_percentiles(result.gpu_util_series)
+        rows.append(
+            {
+                "heartbeat_ms": hb,
+                "util_p50": util.p50,
+                "qos_per_kilo": result.qos_violations_per_kilo(),
+                "oom_kills": result.oom_kills,
+            }
+        )
+    return rows
+
+
+def main() -> str:
+    parts = []
+    pct = sweep_percentile()
+    parts.append(
+        format_table(
+            ["percentile", "util p50 %", "QoS/kilo", "OOM", "resizes", "energy J"],
+            [(r["percentile"], r["util_p50"], r["qos_per_kilo"], r["oom_kills"], r["resizes"], r["energy_j"]) for r in pct],
+            title="Ablation: PP provisioning percentile (app-mix-1)",
+        )
+    )
+    corr = sweep_correlation_threshold()
+    parts.append(
+        format_table(
+            ["rho threshold", "util p50 %", "QoS/kilo", "OOM"],
+            [(r["threshold"], r["util_p50"], r["qos_per_kilo"], r["oom_kills"]) for r in corr],
+            title="Ablation: CBP correlation threshold (app-mix-1)",
+        )
+    )
+    hb = sweep_heartbeat()
+    parts.append(
+        format_table(
+            ["heartbeat ms", "util p50 %", "QoS/kilo", "OOM"],
+            [(r["heartbeat_ms"], r["util_p50"], r["qos_per_kilo"], r["oom_kills"]) for r in hb],
+            title="Ablation: Knots heartbeat interval under PP (app-mix-1)",
+        )
+    )
+    clip = sweep_resag_clipping()
+    parts.append(
+        format_table(
+            ["clip requests", "util p50 %", "QoS/kilo", "OOM"],
+            [(str(r["clip_requests"]), r["util_p50"], r["qos_per_kilo"], r["oom_kills"]) for r in clip],
+            title="Ablation: Res-Ag request clipping (app-mix-1)",
+        )
+    )
+    return "\n\n".join(parts)
+
+
+if __name__ == "__main__":
+    print(main())

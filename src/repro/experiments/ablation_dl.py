@@ -1,0 +1,142 @@
+"""Ablations for the DL-cluster baselines' key knobs.
+
+The Gandiva and Tiresias implementations carry the mechanisms the paper
+credits for their behaviour; these sweeps confirm each mechanism
+actually drives the outcome (and quantify how sensitive the Fig. 12 /
+Table IV comparison is to our parameter choices):
+
+* **Gandiva migration interval** — faster rebalancing packs better but
+  each migration pauses the job; too slow and the trial-and-error
+  placement never converges.
+* **Tiresias queue threshold** — the attained-GPU-time boundary between
+  the priority queues: tiny thresholds demote everything (long jobs
+  starve), huge thresholds degrade LAS to FIFO.
+* **CBP+PP co-location cap** — how many harvested inference tasks may
+  share one training device before interference erases the queueing
+  win.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.metrics.report import format_table
+from repro.sim.dlsim import DLClusterSimulator, make_dl_policy
+from repro.workloads.dlt import DLJobKind, DLWorkloadConfig, generate_dl_workload
+
+__all__ = [
+    "ABLATION_CONFIG",
+    "sweep_gandiva_migration",
+    "sweep_tiresias_threshold",
+    "sweep_cbp_pp_colocation",
+    "main",
+]
+
+#: Reduced workload: big enough to contend, small enough to sweep.
+ABLATION_CONFIG = DLWorkloadConfig(
+    n_training=120, n_inference=350, window_s=4 * 3_600.0, dlt_median_s=4_000.0, dlt_sigma=0.9
+)
+
+
+def _run(policy, jobs):
+    jobs = copy.deepcopy(jobs)
+    return DLClusterSimulator(jobs, policy).run()
+
+
+def sweep_gandiva_migration(
+    intervals_s: tuple[float, ...] = (120.0, 600.0, 3_600.0),
+    seed: int = 2,
+) -> list[dict]:
+    jobs = generate_dl_workload(ABLATION_CONFIG, seed=seed)
+    rows = []
+    for interval in intervals_s:
+        result = _run(make_dl_policy("gandiva", migration_interval_s=interval), jobs)
+        dlt = result.jcts_s(DLJobKind.TRAINING)
+        rows.append(
+            {
+                "interval_s": interval,
+                "dlt_mean_jct_h": float(dlt.mean() / 3_600.0),
+                "migrations": sum(j.migrations for j in result.jobs),
+                "violations": result.qos_violations(),
+            }
+        )
+    return rows
+
+
+def sweep_tiresias_threshold(
+    thresholds_gpu_s: tuple[float, ...] = (1_000.0, 10_000.0, 100_000.0),
+    seed: int = 2,
+) -> list[dict]:
+    jobs = generate_dl_workload(ABLATION_CONFIG, seed=seed)
+    rows = []
+    for threshold in thresholds_gpu_s:
+        result = _run(make_dl_policy("tiresias", queue_threshold_gpu_s=threshold), jobs)
+        jct = result.jcts_s()
+        rows.append(
+            {
+                "threshold_gpu_s": threshold,
+                "mean_jct_h": float(jct.mean() / 3_600.0),
+                "p99_jct_h": float(np.percentile(jct, 99) / 3_600.0),
+                "preemptions": sum(j.preemptions for j in result.jobs),
+                "violations": result.qos_violations(),
+            }
+        )
+    return rows
+
+
+def sweep_cbp_pp_colocation(
+    caps: tuple[int, ...] = (1, 4, 16),
+    seed: int = 2,
+) -> list[dict]:
+    jobs = generate_dl_workload(ABLATION_CONFIG, seed=seed)
+    rows = []
+    for cap in caps:
+        result = _run(make_dl_policy("cbp-pp", max_dli_per_gpu=cap), jobs)
+        dli = result.jcts_s(DLJobKind.INFERENCE)
+        rows.append(
+            {
+                "max_dli_per_gpu": cap,
+                "dli_median_ms": float(np.median(dli) * 1_000.0),
+                "dli_p99_ms": float(np.percentile(dli, 99) * 1_000.0),
+                "violations": result.qos_violations(),
+            }
+        )
+    return rows
+
+
+def main() -> str:
+    parts = []
+    g = sweep_gandiva_migration()
+    parts.append(
+        format_table(
+            ["interval s", "DLT mean JCT h", "migrations", "SLO viol"],
+            [(r["interval_s"], r["dlt_mean_jct_h"], r["migrations"], r["violations"]) for r in g],
+            title="Ablation: Gandiva migration interval",
+        )
+    )
+    t = sweep_tiresias_threshold()
+    parts.append(
+        format_table(
+            ["threshold gpu-s", "mean JCT h", "p99 JCT h", "preemptions", "SLO viol"],
+            [
+                (r["threshold_gpu_s"], r["mean_jct_h"], r["p99_jct_h"], r["preemptions"], r["violations"])
+                for r in t
+            ],
+            title="Ablation: Tiresias queue threshold (2DAS boundary)",
+        )
+    )
+    c = sweep_cbp_pp_colocation()
+    parts.append(
+        format_table(
+            ["max DLI/GPU", "DLI median ms", "DLI p99 ms", "SLO viol"],
+            [(r["max_dli_per_gpu"], r["dli_median_ms"], r["dli_p99_ms"], r["violations"]) for r in c],
+            title="Ablation: CBP+PP inference co-location cap",
+        )
+    )
+    return "\n\n".join(parts)
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,62 @@
+"""Fig. 1 — energy efficiency of CPU and GPU vs utilization.
+
+Regenerates the motivation figure: normalized energy efficiency (to the
+value at 100 % utilization) for a GPU and two CPU generations, in 10 %
+utilization steps.  The paper's reading: the GPU curve is linear (peak
+efficiency only at full utilization), while CPUs peak at 60-80 % — the
+"high energy proportionality zone" sits in the interior.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.power import SANDY_BRIDGE, WESTMERE, energy_proportionality_zone, gpu_energy_efficiency
+from repro.metrics.report import format_table
+
+__all__ = ["run_fig1", "main"]
+
+
+def run_fig1(points: int = 10) -> dict:
+    """Return the three efficiency series of Fig. 1.
+
+    ``utilization`` is in percent; each series is normalized to its
+    value at 100 % utilization, as in the paper.
+    """
+    u = np.linspace(0.1, 1.0, points)
+    sandy = SANDY_BRIDGE.efficiency_curve(u)
+    west = WESTMERE.efficiency_curve(u)
+    return {
+        "utilization_pct": u * 100.0,
+        "GPU": np.asarray(gpu_energy_efficiency(u)),
+        "Intel-Sandybridge": sandy,
+        "Intel-Westmere": west,
+        "sandybridge_peak_util": SANDY_BRIDGE.peak_efficiency_utilization(),
+        "westmere_peak_util": WESTMERE.peak_efficiency_utilization(),
+        "sandybridge_zone": energy_proportionality_zone(SANDY_BRIDGE),
+    }
+
+
+def main() -> str:
+    data = run_fig1()
+    rows = [
+        (int(u), float(g), float(s), float(w))
+        for u, g, s, w in zip(
+            data["utilization_pct"], data["GPU"], data["Intel-Sandybridge"], data["Intel-Westmere"]
+        )
+    ]
+    out = format_table(
+        ["Util %", "GPU", "Sandybridge", "Westmere"],
+        rows,
+        title="Fig. 1: normalized energy efficiency vs device utilization",
+    )
+    out += (
+        f"\n\nCPU peak-efficiency utilization: Sandybridge "
+        f"{data['sandybridge_peak_util'] * 100:.0f} %, Westmere "
+        f"{data['westmere_peak_util'] * 100:.0f} % (GPU: 100 % by linearity)"
+    )
+    return out
+
+
+if __name__ == "__main__":
+    print(main())

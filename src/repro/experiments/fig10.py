@@ -1,0 +1,131 @@
+"""Fig. 10 — QoS guarantees and prediction accuracy.
+
+**(a)** Average QoS violations per 1000 inference queries for the four
+schedulers on each app-mix.  Paper shape: Res-Ag worst (interference,
+crashes, TF fragmentation), Uniform ~18 % from HOL blocking, CBP and
+PP near zero.
+
+**(b)** Peak-prediction accuracy as the aggregator's heartbeat is
+varied from 1000 ms down to 0.1 ms, for the ARIMA-based CBP+PP
+predictor against Theil-Sen, SGD and MLP regressors.  Accuracy rises
+as finer sampling resolves the workload's short peaks (36 % -> ~84 %
+at 1 ms in the paper) and falls past the optimum where the window
+maximum drowns in NVML read noise — and the fancier models do not
+beat the simple statistical one on a five-second window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.runner import DEFAULT_SETTINGS, ExperimentSettings, mix_run
+from repro.forecast.regressors import FORECASTERS
+from repro.forecast.window import evaluate_peak_predictor
+from repro.metrics.report import format_table
+from repro.workloads.rodinia import suite_timeline
+
+__all__ = ["run_fig10a", "run_fig10b", "HEARTBEATS_MS", "main"]
+
+SCHEDULERS = ("res-ag", "cbp", "peak-prediction", "uniform")
+HEARTBEATS_MS = (1000.0, 500.0, 100.0, 10.0, 1.0, 0.1)
+
+#: NVML read-noise scale: counters integrate over ~100 ms internally,
+#: so sampling faster returns jittery, aliased values.  std ~ s0/sqrt(hb).
+NOISE_SCALE = 0.008
+
+
+def run_fig10a(settings: ExperimentSettings = DEFAULT_SETTINGS) -> dict[str, dict[str, float]]:
+    """``{mix: {scheduler: violations per kilo-inference}}``."""
+    out: dict[str, dict[str, float]] = {}
+    for mix in ("app-mix-1", "app-mix-2", "app-mix-3"):
+        out[mix] = {}
+        for sched in SCHEDULERS:
+            result = mix_run(mix, sched, settings)
+            out[mix][sched] = result.qos_violations_per_kilo()
+    return out
+
+
+def ground_truth_utilization(
+    seed: int = 7, step_ms: float = 0.25, scale: float = 60.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Ground truth for the accuracy sweep: a real workload signal.
+
+    The SM-utilization timeline of the Rodinia suite scaled so compute
+    iterations recur roughly every second with peaks lasting tens of
+    milliseconds — the phase structure whose *peaks* PP must predict
+    (Sec. IV-D).
+    """
+    timeline = suite_timeline(np.random.default_rng(seed), step_ms=step_ms, scale=scale)
+    return timeline["time_ms"], timeline["sm_util"]
+
+
+def run_fig10b(
+    heartbeats_ms: tuple[float, ...] = HEARTBEATS_MS,
+    forecasters: tuple[str, ...] = ("arima", "theil-sen", "sgd", "mlp"),
+    window_ms: float = 5_000.0,
+    horizon_ms: float = 1_000.0,
+    seed: int = 7,
+    max_windows: int = 40,
+    signal_scale: float = 60.0,
+) -> dict[str, dict[float, float]]:
+    """Peak-prediction accuracy sweep: ``{forecaster: {heartbeat: %}}``.
+
+    The predictor estimates the next second's peak utilization from the
+    five-second window (Sec. VI-D); accuracy is the fraction of
+    predictions within tolerance of the true peak.  Coarse heartbeats
+    alias the peaks away; sub-millisecond heartbeats bury the window
+    maximum in read noise — accuracy peaks in between, at the paper's
+    1 ms operating point.
+    """
+    times, values = ground_truth_utilization(seed=seed, scale=signal_scale)
+
+    out: dict[str, dict[float, float]] = {name: {} for name in forecasters}
+    for hb in heartbeats_ms:
+        noise = NOISE_SCALE / np.sqrt(hb)
+        for name in forecasters:
+            report = evaluate_peak_predictor(
+                times,
+                values,
+                heartbeat_ms=hb,
+                forecaster=FORECASTERS[name],
+                window_ms=window_ms,
+                horizon_ms=horizon_ms,
+                max_windows=max_windows,
+                noise_floor=noise,
+                rng=np.random.default_rng(seed + 2),
+            )
+            out[name][hb] = report.accuracy_pct
+    return out
+
+
+def main() -> str:
+    parts = []
+    a = run_fig10a()
+    rows = [
+        tuple([mix] + [float(a[mix][s]) for s in SCHEDULERS]) for mix in sorted(a)
+    ]
+    parts.append(
+        format_table(
+            ["mix"] + list(SCHEDULERS),
+            rows,
+            title="Fig. 10a: QoS violations per 1000 inference queries",
+            float_fmt="{:.1f}",
+        )
+    )
+    b = run_fig10b()
+    rows_b = []
+    for hb in HEARTBEATS_MS:
+        rows_b.append(tuple([hb] + [float(b[name][hb]) for name in sorted(b)]))
+    parts.append(
+        format_table(
+            ["heartbeat ms"] + sorted(b),
+            rows_b,
+            title="Fig. 10b: prediction accuracy % vs heartbeat interval",
+            float_fmt="{:.1f}",
+        )
+    )
+    return "\n\n".join(parts)
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,97 @@
+"""Fig. 2 — Alibaba trace analysis.
+
+Three panels over the synthesized production populations:
+
+* **(a)** Spearman heatmap across eight latency-critical container
+  metrics — weak, patternless correlations (short-lived tasks give no
+  early markers).
+* **(b)** CDFs of average/maximum CPU and memory utilization — jobs
+  overstate their requirements: average CPU ~47 %, half of pods under
+  ~45 % of provisioned memory.
+* **(c)** Spearman heatmap across six batch-job metrics — strong
+  positive core/memory/load correlations (plus the negative disk pair),
+  the signal CBP harvests on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.forecast.correlation import correlation_matrix
+from repro.metrics.report import format_table
+from repro.workloads.alibaba import (
+    synthesize_batch_jobs,
+    synthesize_latency_containers,
+    utilization_cdfs,
+)
+
+__all__ = ["run_fig2", "main"]
+
+
+def run_fig2(
+    n_latency: int = 11_089,
+    n_batch: int = 12_951,
+    seed: int = 0,
+) -> dict:
+    """Return heatmaps (a, c) and CDF series (b) for Fig. 2."""
+    rng_lc = np.random.default_rng(seed)
+    rng_b = np.random.default_rng(seed + 1)
+    lc = synthesize_latency_containers(n_latency, rng_lc)
+    batch = synthesize_batch_jobs(n_batch, rng_b)
+
+    lc_names, lc_mat = correlation_matrix({k: np.asarray(v) for k, v in lc.items()})
+    b_names, b_mat = correlation_matrix({k: np.asarray(v) for k, v in batch.items()})
+    return {
+        "latency_metrics": lc_names,
+        "latency_corr": lc_mat,
+        "batch_metrics": b_names,
+        "batch_corr": b_mat,
+        "cdfs": utilization_cdfs(lc),
+        "avg_cpu_mean": float(np.mean(lc["cpu_avg"])),
+        "avg_mem_median": float(np.median(lc["mem_avg"])),
+        "max_mem_mean": float(np.mean(lc["mem_max"])),
+    }
+
+
+def _heatmap_rows(names: list[str], mat: np.ndarray) -> list[tuple]:
+    return [tuple([names[i]] + [float(v) for v in mat[i]]) for i in range(len(names))]
+
+
+def main() -> str:
+    data = run_fig2()
+    parts = [
+        format_table(
+            ["metric"] + data["latency_metrics"],
+            _heatmap_rows(data["latency_metrics"], data["latency_corr"]),
+            title="Fig. 2a: Spearman correlation, latency-critical containers",
+        ),
+        format_table(
+            ["metric"] + data["batch_metrics"],
+            _heatmap_rows(data["batch_metrics"], data["batch_corr"]),
+            title="Fig. 2c: Spearman correlation, batch jobs",
+        ),
+    ]
+    cdf_rows = []
+    for q in (0.25, 0.50, 0.75, 0.90):
+        row = [f"p{int(q * 100)}"]
+        for label in ("avg_cpu", "max_cpu", "avg_mem", "max_mem"):
+            x, f = data["cdfs"][label]
+            row.append(float(np.interp(q, f, x)) * 100.0)
+        cdf_rows.append(tuple(row))
+    parts.append(
+        format_table(
+            ["quantile", "avg CPU %", "max CPU %", "avg mem %", "max mem %"],
+            cdf_rows,
+            title="Fig. 2b: utilization distribution quantiles",
+        )
+    )
+    parts.append(
+        f"mean average-CPU utilization: {data['avg_cpu_mean'] * 100:.1f} % "
+        f"(paper: ~47 %); median average-memory: {data['avg_mem_median'] * 100:.1f} % "
+        f"(paper: ~45 %)"
+    )
+    return "\n\n".join(parts)
+
+
+if __name__ == "__main__":
+    print(main())

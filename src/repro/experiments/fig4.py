@@ -1,0 +1,67 @@
+"""Fig. 4 — DNN inference memory footprint vs batch size.
+
+For each Djinn & Tonic query class, the percentage of a 16 GB P100's
+memory actually needed at batch sizes 1-128, against the flat ~99 %
+line TensorFlow's default allocator earmarks regardless of demand.
+The two facts the paper reads off: single queries need <10 %, and even
+at batch 128 most classes stay under 50 % — so the TF earmark wastes
+half the device or more (internal fragmentation, Observation 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.report import format_table
+from repro.workloads.djinn_tonic import (
+    DEVICE_MEM_MB,
+    DJINN_TONIC_PROFILES,
+    inference_memory_mb,
+    tf_managed_memory_mb,
+)
+
+__all__ = ["BATCH_SIZES", "run_fig4", "main"]
+
+BATCH_SIZES = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def run_fig4() -> dict:
+    """Return per-class memory percentages for every batch size."""
+    series: dict[str, np.ndarray] = {}
+    for name in sorted(DJINN_TONIC_PROFILES):
+        series[name] = np.asarray(
+            [100.0 * inference_memory_mb(name, b) / DEVICE_MEM_MB for b in BATCH_SIZES]
+        )
+    series["TF"] = np.full(len(BATCH_SIZES), 100.0 * tf_managed_memory_mb() / DEVICE_MEM_MB)
+    return {
+        "batch_sizes": BATCH_SIZES,
+        "series": series,
+        "single_query_max_pct": max(float(v[0]) for k, v in series.items() if k != "TF"),
+        "batch128_under_50pct": sum(
+            1 for k, v in series.items() if k != "TF" and v[-1] < 50.0
+        ),
+    }
+
+
+def main() -> str:
+    data = run_fig4()
+    names = sorted(data["series"])
+    rows = []
+    for i, b in enumerate(data["batch_sizes"]):
+        rows.append(tuple([b] + [float(data["series"][n][i]) for n in names]))
+    out = format_table(
+        ["batch"] + names,
+        rows,
+        title="Fig. 4: % of GPU memory used by DNN inference queries",
+        float_fmt="{:.1f}",
+    )
+    out += (
+        f"\n\nlargest single-query footprint: {data['single_query_max_pct']:.1f} % "
+        f"(paper: <10 %); classes under 50 % at batch 128: "
+        f"{data['batch128_under_50pct']}/{len(names) - 1}"
+    )
+    return out
+
+
+if __name__ == "__main__":
+    print(main())

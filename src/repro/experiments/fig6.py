@@ -1,0 +1,60 @@
+"""Fig. 6 — per-node utilization percentiles under the Res-Ag baseline.
+
+For each Table-I app-mix, the 50th/90th/99th percentile and maximum
+GPU utilization of every node in the ten-node cluster when scheduled
+by the GPU-agnostic sharing baseline.  The shapes the paper reads:
+
+* app-mix-1 (high, steady load): median close to the tail — sustained
+  utilization;
+* app-mix-2: percentiles evenly spread (medium, variable load);
+* app-mix-3 (low, bursty): medians near zero with tall maxima.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import DEFAULT_SETTINGS, ExperimentSettings, mix_run
+from repro.metrics.percentiles import node_percentiles
+from repro.metrics.report import format_table
+
+__all__ = ["run_fig6", "main"]
+
+
+def run_fig6(
+    scheduler: str = "res-ag",
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> dict:
+    """Per-node utilization percentiles for all three mixes.
+
+    Returns ``{mix: {gpu_id: UtilPercentiles}}``.  ``scheduler`` is a
+    parameter so Fig. 8 (same plot under PP) can share the code path.
+    """
+    out: dict[str, dict] = {}
+    for mix in ("app-mix-1", "app-mix-2", "app-mix-3"):
+        result = mix_run(mix, scheduler, settings)
+        out[mix] = {
+            gpu_id: node_percentiles(series)
+            for gpu_id, series in sorted(result.gpu_util_series.items())
+        }
+    return out
+
+
+def main(scheduler: str = "res-ag", title: str = "Fig. 6") -> str:
+    data = run_fig6(scheduler)
+    parts = []
+    for mix, nodes in data.items():
+        rows = [
+            (gpu_id, p.p50, p.p90, p.p99, p.max) for gpu_id, p in nodes.items()
+        ]
+        parts.append(
+            format_table(
+                ["node", "50%le", "90%le", "99%le", "Max"],
+                rows,
+                title=f"{title}: per-node GPU utilization % under {scheduler}, {mix}",
+                float_fmt="{:.1f}",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,62 @@
+"""Shared experiment driver with in-process result caching.
+
+Figures 6-11 all consume the same grid of (app-mix x scheduler) cluster
+runs; running each figure's module independently must not re-simulate
+what another figure already produced, so results are memoised on the
+full parameter tuple.  The cache is per-process (no files), which keeps
+benchmark runs honest — each pytest-benchmark process pays for its own
+simulations once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.core.schedulers import make_scheduler
+from repro.sim.simulator import SimConfig, SimResult, run_appmix
+
+__all__ = ["ExperimentSettings", "DEFAULT_SETTINGS", "QUICK_SETTINGS", "mix_run", "mix_grid"]
+
+#: Scheduler names in the order the paper's figures list them.
+SCHEDULER_ORDER = ("res-ag", "cbp", "peak-prediction", "uniform")
+MIX_ORDER = ("app-mix-1", "app-mix-2", "app-mix-3")
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Workload sizing shared by all app-mix experiments."""
+
+    duration_s: float = 30.0
+    seed: int = 1
+    num_nodes: int = 10
+    load_factor: float = 1.0
+
+
+#: Full-size runs used for EXPERIMENTS.md numbers.
+DEFAULT_SETTINGS = ExperimentSettings()
+
+#: Small runs for the pytest-benchmark harness.
+QUICK_SETTINGS = ExperimentSettings(duration_s=8.0)
+
+
+@lru_cache(maxsize=64)
+def mix_run(mix: str, scheduler: str, settings: ExperimentSettings = DEFAULT_SETTINGS) -> SimResult:
+    """One cached (mix, scheduler) cluster simulation."""
+    return run_appmix(
+        mix,
+        make_scheduler(scheduler),
+        duration_s=settings.duration_s,
+        seed=settings.seed,
+        num_nodes=settings.num_nodes,
+        load_factor=settings.load_factor,
+    )
+
+
+def mix_grid(
+    schedulers: tuple[str, ...] = SCHEDULER_ORDER,
+    mixes: tuple[str, ...] = MIX_ORDER,
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> dict[tuple[str, str], SimResult]:
+    """The full (mix, scheduler) result grid, cached per entry."""
+    return {(m, s): mix_run(m, s, settings) for m in mixes for s in schedulers}

@@ -1,0 +1,46 @@
+"""Table IV — JCT improvements normalized by CBP+PP.
+
+Average / median / 99th-percentile JCT of each baseline divided by
+CBP+PP's, over the full DL workload.  Paper values:
+
+==================  =======  ======  =====
+Scheduler           Average  Median  99 %
+==================  =======  ======  =====
+Resource-Agnostic   1.63x    1.67x   1.47x
+Gandiva             1.36x    1.30x   1.11x
+Tiresias            1.07x    1.11x   0.91x
+==================  =======  ======  =====
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig12 import dl_results
+from repro.metrics.jct import normalized_jct
+from repro.metrics.report import format_table
+from repro.workloads.dlt import DLWorkloadConfig
+
+__all__ = ["run_table4", "main"]
+
+
+def run_table4(seed: int = 1, config: DLWorkloadConfig | None = None) -> dict[str, tuple[float, float, float]]:
+    """``{policy: (avg_ratio, median_ratio, p99_ratio)}`` vs CBP+PP."""
+    results = dl_results(seed, config)
+    jcts = {name: r.jcts_s() for name, r in results.items()}
+    return normalized_jct(jcts, reference="cbp-pp")
+
+
+def main() -> str:
+    data = run_table4()
+    rows = [
+        (name, *[float(v) for v in data[name]])
+        for name in ("res-ag", "gandiva", "tiresias", "cbp-pp")
+    ]
+    return format_table(
+        ["scheduler", "Average", "Median", "99%"],
+        rows,
+        title="Table IV: JCT normalized by CBP+PP",
+    )
+
+
+if __name__ == "__main__":
+    print(main())

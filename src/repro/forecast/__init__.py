@@ -1,0 +1,34 @@
+"""Forecasting toolkit: correlation, autocorrelation, ARIMA, comparators."""
+
+from repro.forecast.arima import Arima1, fit_ar1, fit_ar1_at_lag, forecast_series
+from repro.forecast.autocorr import autocorrelation, autocorrelation_function, has_predictable_trend, peak_interval
+from repro.forecast.correlation import correlation_matrix, is_safe_to_colocate, spearman
+from repro.forecast.regressors import FORECASTERS, Forecaster
+from repro.forecast.window import (
+    AccuracyReport,
+    SlidingWindow,
+    evaluate_forecaster,
+    evaluate_peak_predictor,
+    resample,
+)
+
+__all__ = [
+    "Arima1",
+    "fit_ar1",
+    "fit_ar1_at_lag",
+    "forecast_series",
+    "autocorrelation",
+    "autocorrelation_function",
+    "has_predictable_trend",
+    "peak_interval",
+    "spearman",
+    "correlation_matrix",
+    "is_safe_to_colocate",
+    "FORECASTERS",
+    "Forecaster",
+    "SlidingWindow",
+    "AccuracyReport",
+    "evaluate_forecaster",
+    "evaluate_peak_predictor",
+    "resample",
+]

@@ -1,0 +1,110 @@
+"""First-order ARIMA forecasting (paper Eq. 3).
+
+The PP scheduler forecasts each device's utilization one step ahead
+with a non-seasonal ARIMA whose AR(1) form is a moving-window linear
+regression: ``Y_pred = mu + phi * Y_{t-1}``.  The coefficients are
+re-fit on every heartbeat over the sliding window (five seconds in the
+paper) by least squares on the lag-1 pairs.
+
+Richer models (Theil–Sen, SGD, MLP — :mod:`repro.forecast.regressors`)
+are implemented for the Fig. 10b accuracy comparison; the paper found
+they do not beat AR(1) on such short windows, and our reproduction of
+that figure shows the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Arima1", "fit_ar1", "fit_ar1_at_lag", "forecast_series"]
+
+
+@dataclass(frozen=True)
+class Arima1:
+    """A fitted AR(1) model: ``Y_pred = mu + phi * Y_prev``."""
+
+    mu: float
+    phi: float
+    n_obs: int
+
+    def predict(self, y_prev: float) -> float:
+        return self.mu + self.phi * y_prev
+
+    def forecast(self, y_last: float, steps: int = 1) -> np.ndarray:
+        """Iterated multi-step forecast from the last observation."""
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        out = np.empty(steps)
+        y = y_last
+        for i in range(steps):
+            y = self.predict(y)
+            out[i] = y
+        return out
+
+
+def fit_ar1(window: np.ndarray) -> Arima1:
+    """Least-squares fit of Eq. 3 over a sliding window.
+
+    Degenerate windows degrade gracefully: with fewer than 3 points or a
+    constant series the fit becomes a persistence forecast
+    (``phi = 0, mu = last/mean value``), which is the right behaviour
+    for a scheduler that must always produce *some* estimate.
+    """
+    y = np.asarray(window, dtype=float)
+    n = len(y)
+    if n == 0:
+        return Arima1(mu=0.0, phi=0.0, n_obs=0)
+    if n < 3 or np.all(y == y[0]):
+        return Arima1(mu=float(y.mean()), phi=0.0, n_obs=n)
+    x_prev, x_next = y[:-1], y[1:]
+    var = x_prev.var()
+    if var <= 1e-12:
+        return Arima1(mu=float(x_next.mean()), phi=0.0, n_obs=n)
+    phi = float(np.cov(x_prev, x_next, bias=True)[0, 1] / var)
+    # Clamp to the stationary region; an explosive fit on a 5 s window is
+    # noise and would forecast unbounded utilization.
+    phi = float(np.clip(phi, -1.0, 1.0))
+    mu = float(x_next.mean() - phi * x_prev.mean())
+    return Arima1(mu=mu, phi=phi, n_obs=n)
+
+
+def fit_ar1_at_lag(window: np.ndarray, lag: int) -> Arima1:
+    """Direct lag-``k`` regression: ``Y_{t+k} = mu + phi * Y_t``.
+
+    The forecasting form of Eq. 3 for a horizon of ``k`` samples: a
+    moving-window linear regression between observations ``k`` apart.
+    Statistically far better behaved than iterating a one-step AR(1)
+    ``k`` times (any noise-induced bias in phi is raised to the k-th
+    power under iteration; here it enters once).
+    """
+    y = np.asarray(window, dtype=float)
+    n = len(y)
+    if lag < 1:
+        raise ValueError(f"lag must be >= 1, got {lag}")
+    if n < lag + 3:
+        return fit_ar1(y)        # not enough pairs: one-step fallback
+    x_prev, x_next = y[:-lag], y[lag:]
+    var = x_prev.var()
+    if var <= 1e-12:
+        return Arima1(mu=float(x_next.mean()), phi=0.0, n_obs=n)
+    phi = float(np.cov(x_prev, x_next, bias=True)[0, 1] / var)
+    phi = float(np.clip(phi, -1.0, 1.0))
+    mu = float(x_next.mean() - phi * x_prev.mean())
+    return Arima1(mu=mu, phi=phi, n_obs=n)
+
+
+def forecast_series(window: np.ndarray, steps: int = 1, clip: tuple[float, float] | None = None) -> np.ndarray:
+    """Fit AR(1) on ``window`` and forecast ``steps`` ahead.
+
+    ``clip`` bounds the forecasts (e.g. ``(0, 1)`` for utilizations,
+    ``(0, capacity)`` for memory).
+    """
+    y = np.asarray(window, dtype=float)
+    model = fit_ar1(y)
+    last = float(y[-1]) if len(y) else 0.0
+    pred = model.forecast(last, steps)
+    if clip is not None:
+        np.clip(pred, clip[0], clip[1], out=pred)
+    return pred

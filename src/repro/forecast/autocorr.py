@@ -1,0 +1,79 @@
+"""Auto-correlation of utilization series (paper Eq. 2).
+
+PP uses the lag-k autocorrelation of a device's recent utilization
+window to decide whether the series has enough structure to forecast:
+``r_k <= 0`` means "trend not strong enough / data too limited" and the
+scheduler falls back to the next node instead of trusting a forecast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["autocorrelation", "autocorrelation_function", "has_predictable_trend", "peak_interval"]
+
+
+def autocorrelation(y: np.ndarray, lag: int = 1) -> float:
+    """Lag-``k`` autocorrelation r_k per Eq. 2.
+
+    r_k = sum_{i=1}^{n-k} (Y_i - Ybar)(Y_{i+k} - Ybar) / sum (Y_i - Ybar)^2
+
+    Returns 0.0 for series too short (n <= lag) or constant — both are
+    the paper's "cannot predict" cases.
+    """
+    y = np.asarray(y, dtype=float)
+    n = len(y)
+    if lag < 1:
+        raise ValueError(f"lag must be >= 1, got {lag}")
+    if n <= lag:
+        return 0.0
+    mean = y.mean()
+    dev = y - mean
+    denom = dev @ dev
+    if denom <= 0:
+        return 0.0
+    num = dev[: n - lag] @ dev[lag:]
+    return float(num / denom)
+
+
+def autocorrelation_function(y: np.ndarray, max_lag: int) -> np.ndarray:
+    """r_k for k = 1..max_lag (vectorized over the deviation products)."""
+    y = np.asarray(y, dtype=float)
+    n = len(y)
+    out = np.zeros(max_lag)
+    if n < 2:
+        return out
+    dev = y - y.mean()
+    denom = dev @ dev
+    if denom <= 0:
+        return out
+    for k in range(1, max_lag + 1):
+        if k >= n:
+            break
+        out[k - 1] = dev[: n - k] @ dev[k:] / denom
+    return out
+
+
+def has_predictable_trend(y: np.ndarray, lag: int = 1) -> bool:
+    """Algorithm 1's ``AutoCorrelation(...)`` gate: r_lag > 0."""
+    return autocorrelation(y, lag) > 0.0
+
+
+def peak_interval(y: np.ndarray, max_lag: int | None = None) -> int | None:
+    """Estimate the spacing between consecutive resource peaks.
+
+    Returns the lag of the first local maximum of the autocorrelation
+    function with a positive value, or ``None`` when the series shows no
+    periodic structure.  PP uses this to judge whether two pods' peak
+    phases will collide.
+    """
+    y = np.asarray(y, dtype=float)
+    if max_lag is None:
+        max_lag = max(len(y) // 2, 1)
+    acf = autocorrelation_function(y, max_lag)
+    if len(acf) < 3:
+        return None
+    for k in range(1, len(acf) - 1):
+        if acf[k] > 0 and acf[k] >= acf[k - 1] and acf[k] >= acf[k + 1]:
+            return k + 1  # lags are 1-based
+    return None

@@ -1,0 +1,100 @@
+"""Spearman rank correlation (paper Eq. 1) and correlation matrices.
+
+CBP decides whether two pods may share a device by the Spearman
+correlation of their utilization series: positively correlated pods
+(rho above the co-location threshold, 0.5 in the paper) are sent to
+different nodes because they will peak together.
+
+The implementation follows Eq. 1 — ``rho = 1 - 6*sum(d_i^2) / (n(n^2-1))``
+on ranks — with average ranks for ties (in which case the rank-Pearson
+form is used, since the d_i^2 shortcut is only exact without ties).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["rankdata", "spearman", "correlation_matrix", "is_safe_to_colocate"]
+
+
+def rankdata(x: np.ndarray) -> np.ndarray:
+    """Average ranks (1-based), matching scipy.stats.rankdata('average')."""
+    x = np.asarray(x, dtype=float)
+    order = np.argsort(x, kind="mergesort")
+    ranks = np.empty(len(x), dtype=float)
+    ranks[order] = np.arange(1, len(x) + 1, dtype=float)
+    # average ranks within tie groups
+    sorted_x = x[order]
+    i = 0
+    while i < len(x):
+        j = i
+        while j + 1 < len(x) and sorted_x[j + 1] == sorted_x[i]:
+            j += 1
+        if j > i:
+            avg = (i + j) / 2.0 + 1.0
+            ranks[order[i : j + 1]] = avg
+        i = j + 1
+    return ranks
+
+
+def spearman(x: Sequence[float] | np.ndarray, y: Sequence[float] | np.ndarray) -> float:
+    """Spearman's rho between two equal-length series.
+
+    Returns 0.0 for degenerate inputs (length < 2 or a constant series):
+    a constant utilization trace carries no co-location risk signal, so
+    treating it as uncorrelated is the safe scheduling default.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    n = len(x)
+    if n < 2:
+        return 0.0
+    if np.all(x == x[0]) or np.all(y == y[0]):
+        return 0.0
+    rx, ry = rankdata(x), rankdata(y)
+    if _has_ties(rx) or _has_ties(ry):
+        # Pearson on ranks (exact in the presence of ties).
+        rx -= rx.mean()
+        ry -= ry.mean()
+        denom = np.sqrt((rx @ rx) * (ry @ ry))
+        return float((rx @ ry) / denom) if denom > 0 else 0.0
+    d = rx - ry
+    return float(1.0 - 6.0 * (d @ d) / (n * (n * n - 1.0)))
+
+
+def _has_ties(ranks: np.ndarray) -> bool:
+    return len(np.unique(ranks)) != len(ranks)
+
+
+def correlation_matrix(series: Mapping[str, np.ndarray]) -> tuple[list[str], np.ndarray]:
+    """Pairwise Spearman matrix across named series (Fig. 2a / 2c heatmaps).
+
+    Returns the metric names (sorted for determinism) and the symmetric
+    rho matrix with unit diagonal.
+    """
+    names = sorted(series)
+    n = len(names)
+    mat = np.eye(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            rho = spearman(series[names[i]], series[names[j]])
+            mat[i, j] = mat[j, i] = rho
+    return names, mat
+
+
+def is_safe_to_colocate(
+    candidate: np.ndarray,
+    resident: np.ndarray,
+    threshold: float = 0.5,
+) -> bool:
+    """CBP's admission predicate.
+
+    Two usage series may share a device iff their Spearman correlation
+    is below ``threshold``; strongly co-moving pods would peak together
+    and risk a capacity violation.
+    """
+    return spearman(candidate, resident) < threshold

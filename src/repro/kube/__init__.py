@@ -1,0 +1,19 @@
+"""Kubernetes-like orchestration substrate."""
+
+from repro.kube.api import APIServer, EventType, PodEvent
+from repro.kube.device_plugin import DevicePluginError, SharedGPUDevicePlugin
+from repro.kube.kubelet import Kubelet, KubeletConfig
+from repro.kube.pod import Pod, PodPhase, PodSpec
+
+__all__ = [
+    "APIServer",
+    "EventType",
+    "PodEvent",
+    "SharedGPUDevicePlugin",
+    "DevicePluginError",
+    "Kubelet",
+    "KubeletConfig",
+    "Pod",
+    "PodPhase",
+    "PodSpec",
+]

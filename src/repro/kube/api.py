@@ -1,0 +1,131 @@
+"""API server: pod store, pending queue, binding, event log.
+
+A deliberately small slice of the Kubernetes control plane — exactly
+the surface Kube-Knots touches: submit pods, list pending pods, bind a
+pod to a node ("ship the container via the python client API call" in
+Algorithm 1), observe lifecycle events.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable
+
+from repro.kube.pod import Pod, PodPhase, PodSpec
+
+__all__ = ["EventType", "PodEvent", "APIServer"]
+
+
+class EventType(Enum):
+    SUBMITTED = "submitted"
+    BOUND = "bound"
+    STARTED = "started"
+    SUCCEEDED = "succeeded"
+    OOM_KILLED = "oom-killed"
+    EVICTED = "evicted"
+    REQUEUED = "requeued"
+    RESIZED = "resized"
+
+
+@dataclass(frozen=True)
+class PodEvent:
+    time: float
+    type: EventType
+    pod_uid: str
+    detail: str = ""
+
+
+class APIServer:
+    """Cluster-wide pod bookkeeping."""
+
+    def __init__(self) -> None:
+        self._pods: dict[str, Pod] = {}
+        self._pending: deque[str] = deque()
+        self.events: list[PodEvent] = []
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, spec: PodSpec, now: float) -> Pod:
+        """Create a pod from a spec and enqueue it."""
+        pod = Pod(spec=spec)
+        pod.mark_submitted(now)
+        self._pods[pod.uid] = pod
+        self._pending.append(pod.uid)
+        self._log(now, EventType.SUBMITTED, pod.uid)
+        return pod
+
+    def requeue(self, pod: Pod, now: float) -> None:
+        """Put an OOM-killed pod at the back of the pending queue."""
+        if pod.uid not in self._pods:
+            raise KeyError(f"unknown pod {pod.uid}")
+        pod.phase = PodPhase.PENDING
+        self._pending.append(pod.uid)
+        self._log(now, EventType.REQUEUED, pod.uid, f"restart #{pod.restart_count}")
+
+    # -- queries --------------------------------------------------------------
+
+    def pod(self, uid: str) -> Pod:
+        return self._pods[uid]
+
+    def pods(self) -> list[Pod]:
+        return list(self._pods.values())
+
+    def pending_pods(self) -> list[Pod]:
+        """Pods awaiting placement, in FIFO (submission/requeue) order."""
+        return [self._pods[uid] for uid in self._pending]
+
+    def num_pending(self) -> int:
+        return len(self._pending)
+
+    def unfinished(self) -> list[Pod]:
+        return [p for p in self._pods.values() if p.phase is not PodPhase.SUCCEEDED]
+
+    def all_done(self) -> bool:
+        return all(p.phase is PodPhase.SUCCEEDED for p in self._pods.values())
+
+    # -- binding (scheduler -> node) -----------------------------------------
+
+    def bind(self, pod: Pod, node_id: str, gpu_id: str, alloc_mb: float, now: float) -> None:
+        """Bind a pending pod to a device with a memory reservation."""
+        if pod.phase is not PodPhase.PENDING:
+            raise ValueError(f"cannot bind {pod.uid} in phase {pod.phase}")
+        try:
+            self._pending.remove(pod.uid)
+        except ValueError:
+            raise ValueError(f"{pod.uid} not in pending queue") from None
+        pod.mark_scheduled(now, node_id, gpu_id, alloc_mb)
+        self._log(now, EventType.BOUND, pod.uid, f"{gpu_id} alloc={alloc_mb:.0f}MB")
+
+    # -- status updates (kubelet -> API) ---------------------------------------
+
+    def notify_started(self, pod: Pod, now: float) -> None:
+        pod.mark_running(now)
+        self._log(now, EventType.STARTED, pod.uid)
+
+    def notify_succeeded(self, pod: Pod, now: float) -> None:
+        pod.mark_succeeded(now)
+        self._log(now, EventType.SUCCEEDED, pod.uid)
+
+    def notify_oom_killed(self, pod: Pod, now: float) -> None:
+        pod.mark_oom_killed()
+        self._log(now, EventType.OOM_KILLED, pod.uid)
+        self.requeue(pod, now)
+
+    def notify_evicted(self, pod: Pod, now: float) -> None:
+        """Device-failure eviction: back of the queue, like an OOM kill."""
+        pod.mark_evicted()
+        self._log(now, EventType.EVICTED, pod.uid)
+        self.requeue(pod, now)
+
+    def notify_resized(self, pod: Pod, new_alloc_mb: float, now: float) -> None:
+        old = pod.alloc_mb
+        pod.alloc_mb = new_alloc_mb
+        self._log(now, EventType.RESIZED, pod.uid, f"{old:.0f} -> {new_alloc_mb:.0f} MB")
+
+    def _log(self, time: float, type_: EventType, uid: str, detail: str = "") -> None:
+        self.events.append(PodEvent(time, type_, uid, detail))
+
+    def events_of(self, type_: EventType) -> list[PodEvent]:
+        return [e for e in self.events if e.type is type_]

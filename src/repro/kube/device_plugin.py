@@ -1,0 +1,59 @@
+"""Shared-GPU device plugin.
+
+Kubernetes' stock Nvidia device plugin hands out whole GPUs
+exclusively.  The paper modifies it so multiple pods can share a
+device — compute time-shared, memory space-shared — and adds the
+dynamic-resize hook Kube-Knots' harvesting uses (`nvidia-docker`
+resize in the paper).  This class is the per-node allocation gate: the
+kubelet routes every attach/detach/resize through it, and exclusive
+mode reproduces the stock behaviour for the Uniform baseline.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.node import GpuNode
+
+__all__ = ["DevicePluginError", "SharedGPUDevicePlugin"]
+
+
+class DevicePluginError(RuntimeError):
+    """Allocation request the device cannot satisfy."""
+
+
+class SharedGPUDevicePlugin:
+    """Allocation gate for one node's GPUs."""
+
+    def __init__(self, node: GpuNode, sharing_enabled: bool = True) -> None:
+        self.node = node
+        self.sharing_enabled = sharing_enabled
+
+    def allocatable(self, gpu_id: str, mem_mb: float) -> bool:
+        """Can ``mem_mb`` be reserved on the device right now?"""
+        gpu = self.node.find_gpu(gpu_id)
+        exclusive = not self.sharing_enabled
+        return gpu.can_fit(mem_mb, exclusive=exclusive)
+
+    def allocate(self, gpu_id: str, pod_uid: str, mem_mb: float) -> None:
+        """Reserve memory for a pod; exclusive when sharing is disabled."""
+        gpu = self.node.find_gpu(gpu_id)
+        exclusive = not self.sharing_enabled
+        if not gpu.can_fit(mem_mb, exclusive=exclusive):
+            raise DevicePluginError(
+                f"{gpu_id}: cannot allocate {mem_mb:.0f} MB for {pod_uid} "
+                f"(free {gpu.free_mem_mb:.0f} MB, sharing={self.sharing_enabled})"
+            )
+        gpu.attach(pod_uid, mem_mb, exclusive=exclusive)
+
+    def free(self, gpu_id: str, pod_uid: str) -> None:
+        self.node.find_gpu(gpu_id).detach(pod_uid)
+
+    def resize(self, gpu_id: str, pod_uid: str, new_mem_mb: float) -> float:
+        """Dynamically resize a container's reservation.
+
+        Returns the harvested (positive) or granted (negative) MB.
+        Only legal when sharing is enabled — the stock plugin has no
+        resize path.
+        """
+        if not self.sharing_enabled:
+            raise DevicePluginError("resize requires the shared-GPU plugin")
+        return self.node.find_gpu(gpu_id).resize(pod_uid, new_mem_mb)

@@ -1,0 +1,166 @@
+"""Kubelet: the per-node agent executing pods on GPUs.
+
+Responsibilities mirrored from the paper's setup (Sec. V-B):
+
+* **image pulls** — the first pod of an image on a node pays a
+  cold-start pull latency (dependent docker layers such as TensorFlow);
+  later pods of the same image start warm.  Host->GPU data transfer is
+  *not* hidden: it is the load phase of every workload trace.
+* **execution** — each tick the kubelet collects the instantaneous
+  demand of every running pod from its trace, lets the GPU arbitrate
+  (time-shared SM, space-shared memory), and advances each pod's
+  progress by the share it was granted.
+* **OOM handling** — a capacity violation kills the victim container;
+  the kubelet frees it and reports the kill so the API server requeues
+  the pod at the back of the line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.node import GpuNode
+from repro.kube.api import APIServer
+from repro.kube.device_plugin import SharedGPUDevicePlugin
+from repro.kube.pod import Pod, PodPhase
+
+__all__ = ["Kubelet", "KubeletConfig"]
+
+
+@dataclass(frozen=True)
+class KubeletConfig:
+    """Node-agent timing knobs."""
+
+    image_pull_ms: float = 2_000.0   # cold-start docker pull ("order of seconds")
+    warm_start_ms: float = 20.0      # container create/start when layers cached
+    #: Hardware power management: a device with nothing resident for
+    #: this long drops to its deepest performance state (p_state 12)
+    #: on its own — the driver does this regardless of scheduler.
+    auto_pstate_idle_ms: float = 2_000.0
+
+
+class Kubelet:
+    """Node agent for one :class:`GpuNode`."""
+
+    def __init__(
+        self,
+        node: GpuNode,
+        api: APIServer,
+        plugin: SharedGPUDevicePlugin | None = None,
+        config: KubeletConfig | None = None,
+    ) -> None:
+        self.node = node
+        self.api = api
+        self.plugin = plugin or SharedGPUDevicePlugin(node)
+        self.config = config or KubeletConfig()
+        self._image_cache: set[str] = set()
+        self._pods: dict[str, Pod] = {}
+        self._start_deadline: dict[str, float] = {}
+        self._idle_since: dict[str, float] = {g.gpu_id: 0.0 for g in node.gpus}
+
+    # -- admission (called right after the scheduler binds a pod) ----------
+
+    def admit(self, pod: Pod, now: float) -> None:
+        """Take ownership of a bound pod: allocate GPU memory, start pull."""
+        if pod.node_id != self.node.node_id:
+            raise ValueError(f"{pod.uid} bound to {pod.node_id}, not {self.node.node_id}")
+        if pod.gpu_id is None:
+            raise ValueError(f"{pod.uid} has no GPU assignment")
+        self.plugin.allocate(pod.gpu_id, pod.uid, pod.alloc_mb)
+        cold = pod.spec.image not in self._image_cache
+        delay = self.config.image_pull_ms if cold else self.config.warm_start_ms
+        self._image_cache.add(pod.spec.image)
+        self._pods[pod.uid] = pod
+        self._start_deadline[pod.uid] = now + delay
+
+    def resize(self, pod: Pod, new_alloc_mb: float, now: float) -> float:
+        """Resize a hosted pod's reservation (harvesting hook)."""
+        if pod.uid not in self._pods:
+            raise KeyError(f"{pod.uid} not hosted on {self.node.node_id}")
+        delta = self.plugin.resize(pod.gpu_id, pod.uid, new_alloc_mb)
+        self.api.notify_resized(pod, new_alloc_mb, now)
+        return delta
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self, now: float, dt_ms: float) -> list[Pod]:
+        """Advance all hosted pods by one tick.
+
+        Returns pods OOM-killed this tick (already freed and reported).
+        """
+        # Start pods whose pull finished.
+        for uid, deadline in list(self._start_deadline.items()):
+            if now >= deadline:
+                pod = self._pods[uid]
+                self.api.notify_started(pod, now)
+                del self._start_deadline[uid]
+
+        victims: list[Pod] = []
+        for gpu in self.node.gpus:
+            if gpu.failed:
+                # The device fell off the bus: every hosted pod dies.
+                for pod in [p for p in self._pods.values() if p.gpu_id == gpu.gpu_id]:
+                    del self._pods[pod.uid]
+                    self._start_deadline.pop(pod.uid, None)
+                    self.api.notify_evicted(pod, now)
+                    victims.append(pod)
+                gpu.last_sample = gpu.idle_sample()
+                continue
+            running = [
+                p
+                for p in self._pods.values()
+                if p.gpu_id == gpu.gpu_id and p.phase is PodPhase.RUNNING
+            ]
+            demands = {p.uid: p.spec.trace.demand_at(p.progress_ms) for p in running}
+            shares, _sample, violation = gpu.arbitrate(demands)
+
+            if violation is not None:
+                victim = self._pods[violation.victim_uid]
+                self._release(victim)
+                self.api.notify_oom_killed(victim, now)
+                victims.append(victim)
+
+            for pod in running:
+                if pod.uid == (violation.victim_uid if violation else None):
+                    continue
+                pod.progress_ms += dt_ms * shares[pod.uid]
+                if pod.progress_ms >= pod.spec.trace.total_ms:
+                    self._release(pod)
+                    self.api.notify_succeeded(pod, now)
+
+            # Hardware power management: devices idle long enough fall
+            # into deep sleep on their own (attach() wakes them).
+            if gpu.containers or gpu.asleep:
+                self._idle_since[gpu.gpu_id] = now
+            elif now - self._idle_since[gpu.gpu_id] >= self.config.auto_pstate_idle_ms:
+                gpu.sleep()
+        return victims
+
+    def _release(self, pod: Pod) -> None:
+        self.plugin.free(pod.gpu_id, pod.uid)
+        del self._pods[pod.uid]
+        self._start_deadline.pop(pod.uid, None)
+
+    # -- introspection used by schedulers/orchestrator ----------------------
+
+    def hosted_pods(self, gpu_id: str | None = None) -> list[Pod]:
+        pods = list(self._pods.values())
+        if gpu_id is not None:
+            pods = [p for p in pods if p.gpu_id == gpu_id]
+        return pods
+
+    def num_hosted(self) -> int:
+        return len(self._pods)
+
+    def has_image(self, image: str) -> bool:
+        return image in self._image_cache
+
+    def prewarm(self, images: set[str] | list[str]) -> None:
+        """Pre-populate the image cache (steady-state experiments).
+
+        The paper's evaluation excludes the one-time docker-pull cost:
+        "the subsequent queries using the same image do not incur this
+        cold-start latency" (Sec. V-B) — prewarming models a cluster
+        that has been serving these images for a while.
+        """
+        self._image_cache.update(images)

@@ -1,0 +1,152 @@
+"""Pod model: spec, phases, status timestamps.
+
+The paper uses Google's "pod" and "container" interchangeably (its
+footnote 1); so do we.  A :class:`PodSpec` is what a user submits —
+image, resource request, the workload it runs.  A :class:`Pod` is the
+tracked object: lifecycle phase, placement, progress, restart count,
+and the timestamps every metric in the evaluation (JCT, queueing
+delay, QoS violations) is derived from.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.workloads.base import QoSClass, WorkloadTrace
+
+__all__ = ["PodPhase", "PodSpec", "Pod"]
+
+_uid_counter = itertools.count(1)
+
+
+class PodPhase(Enum):
+    """Kubernetes-style lifecycle phases (plus OOM-kill, which we track)."""
+
+    PENDING = "Pending"
+    SCHEDULED = "Scheduled"     # bound to a node, image pull may be underway
+    RUNNING = "Running"
+    SUCCEEDED = "Succeeded"
+    OOM_KILLED = "OOMKilled"    # capacity violation victim; will be requeued
+    EVICTED = "Evicted"         # lost its device (hardware failure)
+
+
+@dataclass(frozen=True)
+class PodSpec:
+    """Immutable submission-time description of a pod."""
+
+    name: str
+    image: str                     # docker image; keys cold-start and profiles
+    trace: WorkloadTrace
+    qos_threshold_ms: float | None = None  # only for latency-critical pods
+
+    @property
+    def qos_class(self) -> QoSClass:
+        return self.trace.qos_class
+
+    @property
+    def requested_mem_mb(self) -> float:
+        return self.trace.requested_mem_mb
+
+
+@dataclass
+class Pod:
+    """A tracked pod instance."""
+
+    spec: PodSpec
+    uid: str = field(default_factory=lambda: f"pod-{next(_uid_counter)}")
+    phase: PodPhase = PodPhase.PENDING
+
+    # placement
+    node_id: str | None = None
+    gpu_id: str | None = None
+    alloc_mb: float = 0.0          # current reservation (resizable)
+
+    # execution state
+    progress_ms: float = 0.0       # work completed (trace-time)
+    restart_count: int = 0
+
+    # timestamps (simulation ms); None until the transition happens
+    submitted_ms: float | None = None
+    scheduled_ms: float | None = None
+    started_ms: float | None = None
+    finished_ms: float | None = None
+
+    def remaining_ms(self) -> float:
+        return max(self.spec.trace.total_ms - self.progress_ms, 0.0)
+
+    @property
+    def done(self) -> bool:
+        return self.phase is PodPhase.SUCCEEDED
+
+    # -- derived metrics ---------------------------------------------------
+
+    def jct_ms(self) -> float:
+        """Job completion time: submission to completion."""
+        if self.submitted_ms is None or self.finished_ms is None:
+            raise ValueError(f"{self.uid} has not completed")
+        return self.finished_ms - self.submitted_ms
+
+    def queueing_ms(self) -> float:
+        """Time spent pending before (last) placement."""
+        if self.submitted_ms is None or self.scheduled_ms is None:
+            raise ValueError(f"{self.uid} was never scheduled")
+        return self.scheduled_ms - self.submitted_ms
+
+    def violates_qos(self) -> bool:
+        """True if a latency-critical pod exceeded its end-to-end SLO."""
+        if self.spec.qos_class is not QoSClass.LATENCY_CRITICAL:
+            return False
+        if self.spec.qos_threshold_ms is None or self.finished_ms is None:
+            return False
+        return self.jct_ms() > self.spec.qos_threshold_ms
+
+    # -- lifecycle transitions (called by API server / kubelet) ------------
+
+    def mark_submitted(self, now: float) -> None:
+        if self.submitted_ms is None:
+            self.submitted_ms = now
+        self.phase = PodPhase.PENDING
+
+    def mark_scheduled(self, now: float, node_id: str, gpu_id: str, alloc_mb: float) -> None:
+        self.phase = PodPhase.SCHEDULED
+        self.scheduled_ms = now
+        self.node_id = node_id
+        self.gpu_id = gpu_id
+        self.alloc_mb = alloc_mb
+
+    def mark_running(self, now: float) -> None:
+        self.phase = PodPhase.RUNNING
+        if self.started_ms is None:
+            self.started_ms = now
+
+    def mark_succeeded(self, now: float) -> None:
+        self.phase = PodPhase.SUCCEEDED
+        self.finished_ms = now
+
+    def mark_oom_killed(self) -> None:
+        """Capacity-violation victim: loses placement and progress.
+
+        The paper notes relaunched tasks "cannot be prioritized over
+        tasks of other pods that are already ahead on the queue", which
+        is how OOM kills inflate tail JCT.  GPU work is lost on kill
+        (no preemption/checkpoint support — Sec. I), so progress resets.
+        """
+        self.phase = PodPhase.OOM_KILLED
+        self._lose_placement()
+
+    def mark_evicted(self) -> None:
+        """Device failure: the pod loses its placement and its progress."""
+        self.phase = PodPhase.EVICTED
+        self._lose_placement()
+
+    def _lose_placement(self) -> None:
+        self.node_id = None
+        self.gpu_id = None
+        self.alloc_mb = 0.0
+        self.progress_ms = 0.0
+        self.restart_count += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Pod({self.uid}, {self.spec.image}, {self.phase.value})"

@@ -1,0 +1,30 @@
+"""Evaluation metrics: percentiles, COV, QoS, JCT, energy, reports."""
+
+from repro.metrics.cov import coefficient_of_variation, node_covs_sorted, pairwise_load_cov
+from repro.metrics.energy import EnergySummary, normalize_energy, summarize_energy
+from repro.metrics.jct import JctStats, jct_cdf, jct_stats, normalized_jct
+from repro.metrics.percentiles import UtilPercentiles, cluster_percentiles, node_percentiles
+from repro.metrics.qos import QoSReport, qos_report, violations_per_hour, violations_per_kilo
+from repro.metrics.report import format_table, print_table
+
+__all__ = [
+    "UtilPercentiles",
+    "node_percentiles",
+    "cluster_percentiles",
+    "coefficient_of_variation",
+    "node_covs_sorted",
+    "pairwise_load_cov",
+    "QoSReport",
+    "qos_report",
+    "violations_per_kilo",
+    "violations_per_hour",
+    "JctStats",
+    "jct_stats",
+    "normalized_jct",
+    "jct_cdf",
+    "EnergySummary",
+    "summarize_energy",
+    "normalize_energy",
+    "format_table",
+    "print_table",
+]

@@ -1,0 +1,55 @@
+"""Cluster energy accounting (Fig. 11a).
+
+The simulator integrates each device's instantaneous power over time;
+this module reduces those integrals to the paper's presentation:
+per-scheduler cluster energy normalized to the most expensive policy
+(the Uniform baseline draws the most because it keeps one pod per
+device and every device awake).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["EnergySummary", "summarize_energy", "normalize_energy"]
+
+
+@dataclass(frozen=True)
+class EnergySummary:
+    total_j: float
+    per_gpu_j: dict[str, float]
+    makespan_ms: float
+
+    @property
+    def mean_power_w(self) -> float:
+        """Cluster-average power over the run."""
+        if self.makespan_ms <= 0:
+            return 0.0
+        return self.total_j / (self.makespan_ms / 1_000.0)
+
+
+def summarize_energy(energy_j_per_gpu: dict[str, float], makespan_ms: float) -> EnergySummary:
+    return EnergySummary(
+        total_j=float(sum(energy_j_per_gpu.values())),
+        per_gpu_j=dict(energy_j_per_gpu),
+        makespan_ms=makespan_ms,
+    )
+
+
+def normalize_energy(totals_j: dict[str, float], reference: str | None = None) -> dict[str, float]:
+    """Normalize per-scheduler energy totals (Fig. 11a's y-axis).
+
+    With ``reference=None``, normalizes to the maximum (so the worst
+    policy reads 1.0, as in the paper's normalized cluster power plot).
+    """
+    if not totals_j:
+        return {}
+    if reference is not None:
+        base = totals_j[reference]
+    else:
+        base = max(totals_j.values())
+    if base <= 0:
+        raise ValueError("reference energy must be positive")
+    return {k: v / base for k, v in totals_j.items()}

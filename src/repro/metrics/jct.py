@@ -1,0 +1,54 @@
+"""Job-completion-time statistics (Fig. 12a, Table IV).
+
+JCT is measured submission-to-completion.  Table IV reports each
+baseline's average / median / 99th-percentile JCT *normalized by
+CBP+PP's* — values above 1 mean the baseline is slower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["JctStats", "jct_stats", "normalized_jct", "jct_cdf"]
+
+
+@dataclass(frozen=True)
+class JctStats:
+    mean: float
+    median: float
+    p99: float
+    n: int
+
+    def normalized_by(self, base: "JctStats") -> tuple[float, float, float]:
+        """(avg, median, p99) ratios vs a reference (Table IV rows)."""
+        return (self.mean / base.mean, self.median / base.median, self.p99 / base.p99)
+
+
+def jct_stats(jcts: np.ndarray) -> JctStats:
+    arr = np.asarray(jcts, dtype=float)
+    if arr.size == 0:
+        return JctStats(float("nan"), float("nan"), float("nan"), 0)
+    return JctStats(
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        p99=float(np.percentile(arr, 99)),
+        n=int(arr.size),
+    )
+
+
+def normalized_jct(scheduler_jcts: dict[str, np.ndarray], reference: str) -> dict[str, tuple[float, float, float]]:
+    """Table IV: every scheduler's (avg, median, p99) over the reference's."""
+    if reference not in scheduler_jcts:
+        raise KeyError(f"reference {reference!r} not in {sorted(scheduler_jcts)}")
+    base = jct_stats(scheduler_jcts[reference])
+    return {name: jct_stats(v).normalized_by(base) for name, v in scheduler_jcts.items()}
+
+
+def jct_cdf(jcts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF (x sorted ascending, F in (0, 1]) — Fig. 12a."""
+    x = np.sort(np.asarray(jcts, dtype=float))
+    if x.size == 0:
+        return x, x
+    return x, np.arange(1, x.size + 1) / x.size

@@ -1,0 +1,69 @@
+"""Percentile utilization statistics (Figs. 6, 8, 9).
+
+The paper plots per-node 50th/90th/99th-percentile and maximum GPU
+utilization, and cluster-wide aggregates of the same.  Utilization
+percentiles are computed over each device's *busy window* — from its
+first to its last non-idle sample — so a node that was consolidated
+away (left idle by design) reports near-zero, which is exactly how the
+paper's Fig. 8c shows minimally-used nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["UtilPercentiles", "node_percentiles", "cluster_percentiles", "PERCENTILE_LABELS"]
+
+PERCENTILE_LABELS = ("50%le", "90%le", "99%le", "Max")
+
+
+@dataclass(frozen=True)
+class UtilPercentiles:
+    """p50/p90/p99/max of a utilization series, in percent [0, 100]."""
+
+    p50: float
+    p90: float
+    p99: float
+    max: float
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        return (self.p50, self.p90, self.p99, self.max)
+
+
+def _percentiles(series: np.ndarray) -> UtilPercentiles:
+    if len(series) == 0:
+        return UtilPercentiles(0.0, 0.0, 0.0, 0.0)
+    s = np.asarray(series, dtype=float) * 100.0
+    return UtilPercentiles(
+        p50=float(np.percentile(s, 50)),
+        p90=float(np.percentile(s, 90)),
+        p99=float(np.percentile(s, 99)),
+        max=float(s.max()),
+    )
+
+
+def node_percentiles(series: np.ndarray, trim_idle_edges: bool = True) -> UtilPercentiles:
+    """Percentiles of one device's utilization series (fractions in [0,1])."""
+    s = np.asarray(series, dtype=float)
+    if trim_idle_edges and s.size:
+        busy = np.nonzero(s > 0.0)[0]
+        if busy.size:
+            s = s[busy[0] : busy[-1] + 1]
+        else:
+            s = s[:0]
+    return _percentiles(s)
+
+
+def cluster_percentiles(series_by_gpu: dict[str, np.ndarray]) -> UtilPercentiles:
+    """Cluster-wide percentiles: pool every device's busy-window samples."""
+    pooled: list[np.ndarray] = []
+    for series in series_by_gpu.values():
+        s = np.asarray(series, dtype=float)
+        busy = np.nonzero(s > 0.0)[0]
+        if busy.size:
+            pooled.append(s[busy[0] : busy[-1] + 1])
+    if not pooled:
+        return UtilPercentiles(0.0, 0.0, 0.0, 0.0)
+    return _percentiles(np.concatenate(pooled))

@@ -1,0 +1,102 @@
+"""Terminal visualization: sparklines and horizontal bar charts.
+
+The environment is matplotlib-free, so the experiment modules render
+into Unicode.  These helpers are intentionally tiny and dependency-free
+but honest about scaling (shared axes, explicit ranges), so side-by-side
+series are actually comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["sparkline", "sparkline_table", "hbar_chart", "timeline"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], lo: float | None = None, hi: float | None = None) -> str:
+    """One-line Unicode sparkline of a series.
+
+    ``lo``/``hi`` pin the scale (pass the same values to make several
+    sparklines comparable); default to the series' own range.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return ""
+    lo = float(arr.min()) if lo is None else lo
+    hi = float(arr.max()) if hi is None else hi
+    if hi <= lo:
+        return _BLOCKS[1] * arr.size
+    idx = np.clip(((arr - lo) / (hi - lo)) * (len(_BLOCKS) - 1), 0, len(_BLOCKS) - 1)
+    return "".join(_BLOCKS[int(round(i))] for i in idx)
+
+
+def _downsample(values: np.ndarray, width: int) -> np.ndarray:
+    """Mean-pool a series into at most ``width`` buckets."""
+    if len(values) <= width:
+        return values
+    edges = np.linspace(0, len(values), width + 1).astype(int)
+    return np.asarray([values[a:b].mean() if b > a else values[min(a, len(values) - 1)]
+                       for a, b in zip(edges[:-1], edges[1:])])
+
+
+def sparkline_table(
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    lo: float | None = None,
+    hi: float | None = None,
+) -> str:
+    """Labelled sparklines on a shared scale, downsampled to ``width``."""
+    if not series:
+        return ""
+    arrays = {k: np.asarray(v, dtype=float) for k, v in series.items()}
+    pool = np.concatenate([a for a in arrays.values() if a.size]) if arrays else np.array([])
+    lo = float(pool.min()) if lo is None and pool.size else (lo or 0.0)
+    hi = float(pool.max()) if hi is None and pool.size else (hi or 1.0)
+    label_w = max(len(k) for k in arrays)
+    lines = []
+    for name, arr in arrays.items():
+        spark = sparkline(_downsample(arr, width), lo, hi)
+        lines.append(f"{name.ljust(label_w)}  {spark}")
+    lines.append(f"{''.ljust(label_w)}  scale: {lo:.2f} .. {hi:.2f}")
+    return "\n".join(lines)
+
+
+def hbar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    unit: str = "",
+    max_value: float | None = None,
+) -> str:
+    """Horizontal bar chart with aligned labels and printed values."""
+    if not values:
+        return ""
+    top = max(values.values()) if max_value is None else max_value
+    top = max(top, 1e-12)
+    label_w = max(len(k) for k in values)
+    lines = []
+    for name, v in values.items():
+        n = int(round(width * min(v / top, 1.0)))
+        lines.append(f"{name.ljust(label_w)}  {'█' * n}{'·' * (width - n)}  {v:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def timeline(
+    times: Sequence[float],
+    values: Sequence[float],
+    width: int = 70,
+    label: str = "",
+) -> str:
+    """A sparkline with a time axis underneath (start/mid/end ticks)."""
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.size == 0:
+        return ""
+    spark = sparkline(_downsample(values, width))
+    t0, t1 = times[0], times[-1]
+    axis = f"{t0:g}".ljust(width // 2) + f"{(t0 + t1) / 2:g}".ljust(width - width // 2 - 1) + f"{t1:g}"
+    header = f"{label}\n" if label else ""
+    return f"{header}{spark}\n{axis}"

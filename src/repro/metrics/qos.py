@@ -1,0 +1,71 @@
+"""QoS violation accounting (Figs. 10a, 12b).
+
+A latency-critical query violates its SLO when its end-to-end latency
+(submission to completion, i.e. including every queueing, cold-start,
+relaunch and interference delay) exceeds the threshold — 150 ms for
+the Djinn & Tonic services (Sec. VI-B) and per-model budgets for the
+DL inference tasks of Sec. VI-E.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.kube.pod import Pod
+from repro.workloads.base import QoSClass
+
+__all__ = ["QoSReport", "qos_report", "violations_per_kilo", "violations_per_hour"]
+
+
+@dataclass(frozen=True)
+class QoSReport:
+    """Violation statistics over one run's latency-critical pods."""
+
+    total_queries: int
+    violations: int
+    mean_latency_ms: float
+    p99_latency_ms: float
+
+    @property
+    def violation_rate(self) -> float:
+        return self.violations / self.total_queries if self.total_queries else 0.0
+
+    @property
+    def per_kilo(self) -> float:
+        """Violations per 1000 queries (Fig. 10a's y-axis)."""
+        return 1_000.0 * self.violation_rate
+
+
+def qos_report(pods: Iterable[Pod]) -> QoSReport:
+    """Summarize the completed latency-critical pods of a run."""
+    lats = []
+    violations = 0
+    for pod in pods:
+        if pod.spec.qos_class is not QoSClass.LATENCY_CRITICAL or not pod.done:
+            continue
+        lats.append(pod.jct_ms())
+        if pod.violates_qos():
+            violations += 1
+    if not lats:
+        return QoSReport(0, 0, float("nan"), float("nan"))
+    arr = np.asarray(lats)
+    return QoSReport(
+        total_queries=len(arr),
+        violations=violations,
+        mean_latency_ms=float(arr.mean()),
+        p99_latency_ms=float(np.percentile(arr, 99)),
+    )
+
+
+def violations_per_kilo(pods: Iterable[Pod]) -> float:
+    return qos_report(pods).per_kilo
+
+
+def violations_per_hour(n_violations: int, horizon_s: float) -> float:
+    """Fig. 12b's unit: average violations per wall-clock hour."""
+    if horizon_s <= 0:
+        raise ValueError("horizon must be positive")
+    return n_violations * 3_600.0 / horizon_s

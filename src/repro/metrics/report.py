@@ -1,0 +1,52 @@
+"""Plain-text table rendering for experiment output.
+
+Every experiment module prints its figure/table through these helpers
+so `python -m repro.experiments.figN` output is uniform and diffable
+(EXPERIMENTS.md records these tables verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "print_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: list[list[str]] = []
+    for row in rows:
+        str_rows.append(
+            [float_fmt.format(c) if isinstance(c, float) else str(c) for c in row]
+        )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(headers))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[float], float_fmt: str = "{:.3f}") -> str:
+    """One labelled x->y series as two aligned columns."""
+    rows = [(x, float(y)) for x, y in zip(xs, ys)]
+    return format_table(["x", name], rows, float_fmt=float_fmt)
+
+
+def print_table(*args, **kwargs) -> None:  # pragma: no cover - console helper
+    print(format_table(*args, **kwargs))

@@ -1,0 +1,19 @@
+"""Simulators: event engine, cluster simulator, DL-cluster simulator."""
+
+from repro.sim.dlsim import DLClusterSimulator, DLSimResult, make_dl_policy, run_dl_comparison
+from repro.sim.engine import EventHandle, EventLoop, SimulationError
+from repro.sim.simulator import KubeKnotsSimulator, SimConfig, SimResult, run_appmix
+
+__all__ = [
+    "EventLoop",
+    "EventHandle",
+    "SimulationError",
+    "KubeKnotsSimulator",
+    "SimConfig",
+    "SimResult",
+    "run_appmix",
+    "DLClusterSimulator",
+    "DLSimResult",
+    "make_dl_policy",
+    "run_dl_comparison",
+]

@@ -1,0 +1,606 @@
+"""Discrete-event DL-cluster simulator (paper Sec. V-C, Fig. 12, Table IV).
+
+Replaces the Tiresias discrete-time simulator the paper built CBP+PP
+into: a 32-node x 8-GPU cluster running 520 DL-training jobs and 1400
+DL-inference tasks, under four schedulers whose *mechanisms* (not just
+their numbers) are implemented:
+
+``res-ag``
+    Strict FIFO, no preemption, gang jobs hold devices exclusively
+    until completion.  A large gang at the head of the queue blocks
+    everything behind it (HOL), including millisecond inference tasks.
+``gandiva``
+    Jobs start immediately by oversubscribing devices; co-resident jobs
+    round-robin time-slice (progress divided by the slice count, plus a
+    context-switch overhead).  A periodic rebalancer migrates jobs from
+    crowded to idle devices ("trial-and-error" packing); each migration
+    pauses the job for several seconds.
+``tiresias``
+    Two-queue Least-Attained-Service: jobs below an attained GPU-time
+    threshold hold priority; the running set is recomputed on every
+    event and lower-priority jobs are suspended (paying a
+    suspend/resume penalty) to make room.  Fresh inference tasks have
+    zero attained service, so they preempt their way in quickly — at
+    the cost of the preemption latency.
+``cbp-pp``
+    Kube-Knots: no preemption, utilization-aware backfill for training
+    gangs (any job that fits may start — no HOL), and inference tasks
+    are *co-located* onto devices running training jobs through memory
+    harvesting, paying only a small interference stretch.
+
+The simulator is event-driven with an advance-and-recompute loop, so
+twelve simulated hours cost a few thousand events regardless of scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.workloads.dlt import DLJob, DLJobKind
+
+__all__ = [
+    "DLSchedulerPolicy",
+    "ResAgPolicy",
+    "GandivaPolicy",
+    "TiresiasPolicy",
+    "CbpPpPolicy",
+    "DL_POLICIES",
+    "make_dl_policy",
+    "DLSimResult",
+    "DLClusterSimulator",
+]
+
+_EPS = 1e-9
+
+
+@dataclass
+class _RunState:
+    """Execution state of one admitted job."""
+
+    job: DLJob
+    gpus: list[int]
+    remaining_s: float
+    rate: float = 1.0
+    paused_until: float | None = None   # migration / preemption pause
+
+
+class _Pool:
+    """The 256-device pool.  ``load[g]`` counts training jobs on device
+    ``g``; ``dli[g]`` counts co-located inference tasks (CBP+PP)."""
+
+    def __init__(self, n_gpus: int, gpus_per_node: int = 8) -> None:
+        self.n_gpus = n_gpus
+        self.gpus_per_node = gpus_per_node
+        self.load = np.zeros(n_gpus, dtype=int)
+        self.dli = np.zeros(n_gpus, dtype=int)
+
+    def node_of(self, gpu: int) -> int:
+        return gpu // self.gpus_per_node
+
+    def free_ids(self) -> np.ndarray:
+        return np.nonzero(self.load == 0)[0]
+
+    def take_compact(self, k: int) -> list[int] | None:
+        """Pick ``k`` free devices spanning as few nodes as possible.
+
+        Gang-scheduled training synchronizes across its devices every
+        mini-batch; spreading a gang over more nodes costs network hops
+        (the locality concern Tiresias studies).  Greedy fill: nodes
+        with the most free devices first.
+        """
+        free = self.free_ids()
+        if len(free) < k:
+            return None
+        by_node: dict[int, list[int]] = {}
+        for g in free:
+            by_node.setdefault(self.node_of(int(g)), []).append(int(g))
+        chosen: list[int] = []
+        for _node, gpus in sorted(by_node.items(), key=lambda kv: (-len(kv[1]), kv[0])):
+            take = min(k - len(chosen), len(gpus))
+            chosen.extend(gpus[:take])
+            if len(chosen) == k:
+                return chosen
+        return None
+
+    def nodes_spanned(self, gpus: list[int]) -> int:
+        return len({self.node_of(g) for g in gpus})
+
+    def n_free(self) -> int:
+        return int((self.load == 0).sum())
+
+    def take(self, ids: Iterable[int]) -> None:
+        for g in ids:
+            self.load[g] += 1
+
+    def release(self, ids: Iterable[int]) -> None:
+        for g in ids:
+            self.load[g] -= 1
+            if self.load[g] < 0:
+                raise RuntimeError(f"negative load on gpu {g}")
+
+    def least_loaded(self, k: int) -> list[int]:
+        """The ``k`` devices with the smallest training load (stable)."""
+        order = np.lexsort((np.arange(self.n_gpus), self.load))
+        return [int(g) for g in order[:k]]
+
+
+class DLSchedulerPolicy:
+    """Base class: queue discipline + rate model for one scheduler."""
+
+    name = "base"
+
+    #: When True, inference tasks occupy *sharing* slots (``pool.dli``)
+    #: rather than claiming the device the way training jobs do.  Only
+    #: Tiresias treats inference as ordinary (preempting) jobs.
+    dli_shares_devices = True
+
+    #: Set by the simulator: per-extra-node sync tax on gang progress.
+    locality_penalty = 0.0
+
+    def _locality_factor(self, state: "_RunState") -> float:
+        """Progress multiplier for a (possibly) cross-node gang."""
+        if self.locality_penalty <= 0.0 or len(state.gpus) <= 1:
+            return 1.0
+        spanned = self.pool.nodes_spanned(state.gpus)
+        return 1.0 / (1.0 + self.locality_penalty * (spanned - 1))
+
+    def __init__(self) -> None:
+        self.pool: _Pool | None = None
+        self.pending: list[_RunState] = []
+        self.running: dict[int, _RunState] = {}
+
+    def attach(self, pool: _Pool) -> None:
+        self.pool = pool
+
+    # -- hooks ---------------------------------------------------------
+
+    def submit(self, state: _RunState, now: float) -> None:
+        self.pending.append(state)
+        self.reschedule(now)
+
+    def complete(self, state: _RunState, now: float) -> None:
+        if self.dli_shares_devices and state.job.kind is DLJobKind.INFERENCE:
+            for g in state.gpus:
+                self.pool.dli[g] = max(self.pool.dli[g] - 1, 0)
+        else:
+            self.pool.release(state.gpus)
+        del self.running[state.job.job_id]
+        self.reschedule(now)
+
+    def reschedule(self, now: float) -> None:
+        """Admit pending jobs per the policy's queue discipline."""
+        raise NotImplementedError
+
+    def rates(self, now: float) -> None:
+        """Recompute every running job's progress rate in place."""
+        for state in self.running.values():
+            state.rate = self._locality_factor(state)
+
+    def next_timer(self, now: float) -> float | None:
+        """Next policy-internal event (e.g. Gandiva's migration tick)."""
+        return None
+
+    def on_timer(self, now: float) -> None:  # pragma: no cover - default
+        pass
+
+    # -- helpers ---------------------------------------------------------
+
+    def _start(self, state: _RunState, gpus: list[int], now: float) -> None:
+        state.gpus = gpus
+        if self.dli_shares_devices and state.job.kind is DLJobKind.INFERENCE:
+            for g in gpus:
+                self.pool.dli[g] += 1
+        else:
+            self.pool.take(gpus)
+        self.running[state.job.job_id] = state
+        if state.job.start_s is None:
+            state.job.start_s = now
+
+
+class ResAgPolicy(DLSchedulerPolicy):
+    """GPU-agnostic sharing baseline.
+
+    Training gangs are strict FIFO with exclusive devices and no
+    preemption — a large gang at the head blocks every gang behind it.
+    Inference tasks go through the shared-GPU plugin instead: first-fit
+    onto the lowest-indexed device with a sharing slot, blind to how
+    crowded that device already is.  During bursts they pile onto the
+    same early devices and time-share with whatever is there — the
+    interference that produces Res-Ag's violation cliff in Fig. 12b.
+    """
+
+    name = "res-ag"
+
+    def __init__(self, max_dli_per_gpu: int = 8) -> None:
+        super().__init__()
+        self.max_dli_per_gpu = max_dli_per_gpu
+
+    def reschedule(self, now: float) -> None:
+        # Inference: utilization-agnostic first-fit sharing.
+        still_pending: list[_RunState] = []
+        for state in self.pending:
+            if state.job.kind is not DLJobKind.INFERENCE:
+                still_pending.append(state)
+                continue
+            slots = np.nonzero(self.pool.dli < self.max_dli_per_gpu)[0]
+            if len(slots) == 0:
+                still_pending.append(state)
+                continue
+            g = int(slots[0])             # first fit: lowest index, blindly
+            self._start(state, [g], now)
+        self.pending = still_pending
+
+        # Training gangs: strict FIFO over exclusive devices.
+        while self.pending:
+            head_idx = next(
+                (i for i, s in enumerate(self.pending) if s.job.kind is DLJobKind.TRAINING),
+                None,
+            )
+            if head_idx is None:
+                return
+            head = self.pending[head_idx]
+            gpus = self.pool.take_compact(head.job.num_gpus)
+            if gpus is None:
+                return                      # head blocks the whole gang queue
+            self.pending.pop(head_idx)
+            self._start(head, gpus, now)
+
+    def rates(self, now: float) -> None:
+        for state in self.running.values():
+            if state.job.kind is DLJobKind.INFERENCE:
+                g = state.gpus[0]
+                co = int(self.pool.load[g]) + int(self.pool.dli[g]) - 1
+                state.rate = 1.0 / (1.0 + co)
+            else:
+                state.rate = self._locality_factor(state)
+
+
+class CbpPpPolicy(DLSchedulerPolicy):
+    """Kube-Knots: backfill for gangs, harvested co-location for DLI."""
+
+    name = "cbp-pp"
+
+    def __init__(self, max_dli_per_gpu: int = 4, dli_stretch: float = 0.15) -> None:
+        super().__init__()
+        self.max_dli_per_gpu = max_dli_per_gpu
+        #: Interference stretch an inference task pays per co-resident
+        #: training job — small, because harvesting gives it real memory
+        #: and the training job's compute peaks are forecast around.
+        self.dli_stretch = dli_stretch
+
+    def reschedule(self, now: float) -> None:
+        still_pending: list[_RunState] = []
+        for state in self.pending:
+            job = state.job
+            if job.kind is DLJobKind.INFERENCE:
+                free = self.pool.free_ids()
+                if len(free):
+                    self._start(state, [int(free[0])], now)
+                else:
+                    # Harvest: co-locate on the training device with the
+                    # fewest resident queries.
+                    candidates = np.nonzero(self.pool.dli < self.max_dli_per_gpu)[0]
+                    if len(candidates):
+                        g = int(candidates[np.argmin(self.pool.dli[candidates])])
+                        self._start(state, [g], now)
+                    else:
+                        still_pending.append(state)
+                continue
+            # Training gang: utilization-aware backfill — no HOL.
+            gpus = self.pool.take_compact(job.num_gpus)
+            if gpus is not None:
+                self._start(state, gpus, now)
+            else:
+                still_pending.append(state)
+        self.pending = still_pending
+
+    def rates(self, now: float) -> None:
+        for state in self.running.values():
+            if state.job.kind is DLJobKind.INFERENCE:
+                trainers = int(self.pool.load[state.gpus[0]])
+                state.rate = 1.0 / (1.0 + self.dli_stretch * trainers)
+            else:
+                state.rate = self._locality_factor(state)
+
+
+class GandivaPolicy(DLSchedulerPolicy):
+    """Time-slicing + trial-and-error migration."""
+
+    name = "gandiva"
+
+    def __init__(
+        self,
+        slice_overhead: float = 0.05,
+        migration_interval_s: float = 600.0,
+        migration_pause_s: float = 5.0,
+        max_share: int = 2,
+        max_dli_per_gpu: int = 8,
+    ) -> None:
+        super().__init__()
+        self.slice_overhead = slice_overhead
+        self.migration_interval_s = migration_interval_s
+        self.migration_pause_s = migration_pause_s
+        #: Gandiva packs at most this many *training* jobs per device.
+        self.max_share = max_share
+        self.max_dli_per_gpu = max_dli_per_gpu
+        self._next_migration = migration_interval_s
+
+    def reschedule(self, now: float) -> None:
+        still_pending: list[_RunState] = []
+        for state in self.pending:
+            if state.job.kind is DLJobKind.INFERENCE:
+                # Inference slots onto the least-crowded device and
+                # time-slices with everything there.
+                slots = np.nonzero(self.pool.dli < self.max_dli_per_gpu)[0]
+                if len(slots) == 0:
+                    still_pending.append(state)
+                    continue
+                crowd = self.pool.load[slots] + self.pool.dli[slots]
+                g = int(slots[np.argmin(crowd)])
+                self._start(state, [g], now)
+                continue
+            k = state.job.num_gpus
+            gpus = self.pool.least_loaded(k)
+            if any(self.pool.load[g] >= self.max_share for g in gpus):
+                still_pending.append(state)   # even oversubscription has limits
+                continue
+            self._start(state, gpus, now)
+        self.pending = still_pending
+
+    def rates(self, now: float) -> None:
+        for state in self.running.values():
+            if state.paused_until is not None and now + _EPS < state.paused_until:
+                state.rate = 0.0
+                continue
+            state.paused_until = None
+            if state.job.kind is DLJobKind.INFERENCE:
+                g = state.gpus[0]
+                k = int(self.pool.load[g]) + int(self.pool.dli[g])
+            else:
+                k = max(int(self.pool.load[g]) for g in state.gpus)
+            # Each extra co-runner costs a slice of context-switch
+            # overhead on top of the 1/k time share.
+            overhead = min(self.slice_overhead * max(k - 1, 0), 0.6)
+            state.rate = (1.0 - overhead) / max(k, 1) * self._locality_factor(state)
+
+    def next_timer(self, now: float) -> float | None:
+        return self._next_migration
+
+    def on_timer(self, now: float) -> None:
+        """Rebalance: move jobs off crowded devices onto idle ones.
+
+        Gandiva's introspective packing is trial-and-error: it migrates
+        and keeps the result if utilization improves.  We model the
+        successful migrations (crowded -> idle) plus their cost — the
+        migrated job pauses for several seconds, which is precisely the
+        stall that hurts co-scheduled inference tasks (Sec. VI-E).
+        """
+        self._next_migration = now + self.migration_interval_s
+        for state in sorted(self.running.values(), key=lambda s: s.job.job_id):
+            if state.job.kind is DLJobKind.INFERENCE:
+                continue
+            k = max(int(self.pool.load[g]) for g in state.gpus)
+            if k <= 1:
+                continue
+            free = self.pool.free_ids()
+            if len(free) < state.job.num_gpus:
+                continue
+            self.pool.release(state.gpus)
+            state.gpus = [int(g) for g in free[: state.job.num_gpus]]
+            self.pool.take(state.gpus)
+            state.paused_until = now + self.migration_pause_s
+            state.job.migrations += 1
+
+
+class TiresiasPolicy(DLSchedulerPolicy):
+    """Two-queue Least-Attained-Service with suspend/resume preemption."""
+
+    name = "tiresias"
+    dli_shares_devices = False   # inference preempts like any short job
+
+    def __init__(
+        self,
+        queue_threshold_gpu_s: float = 10_000.0,
+        preempt_penalty_s: float = 30.0,
+        preempt_latency_s: float = 0.08,
+    ) -> None:
+        super().__init__()
+        #: Attained GPU-time separating the high- from the low-priority
+        #: queue (Tiresias' discretized 2DAS).
+        self.queue_threshold_gpu_s = queue_threshold_gpu_s
+        #: Work lost per suspend/resume cycle (checkpoint + restore).
+        self.preempt_penalty_s = preempt_penalty_s
+        #: Wall-clock latency before the preempting job can start.
+        self.preempt_latency_s = preempt_latency_s
+
+    def _priority(self, state: _RunState) -> tuple:
+        attained = (state.job.service_s - state.remaining_s) * state.job.num_gpus
+        q = 0 if attained < self.queue_threshold_gpu_s else 1
+        return (q, state.job.arrival_s, state.job.job_id)
+
+    def reschedule(self, now: float) -> None:
+        """Recompute the running set in LAS-priority order."""
+        everyone = list(self.running.values()) + self.pending
+        everyone.sort(key=self._priority)
+        capacity = self.pool.n_gpus
+        chosen: list[_RunState] = []
+        used = 0
+        for state in everyone:
+            if used + state.job.num_gpus <= capacity:
+                chosen.append(state)
+                used += state.job.num_gpus
+        chosen_ids = {s.job.job_id for s in chosen}
+
+        # Suspend running jobs that lost their slot.
+        preempted = False
+        for state in list(self.running.values()):
+            if state.job.job_id not in chosen_ids:
+                self.pool.release(state.gpus)
+                state.gpus = []
+                state.remaining_s += self.preempt_penalty_s
+                state.job.preemptions += 1
+                del self.running[state.job.job_id]
+                self.pending.append(state)
+                preempted = True
+
+        # Start chosen jobs that are not yet running.
+        for state in chosen:
+            if state.job.job_id in self.running:
+                continue
+            gpus = self.pool.take_compact(state.job.num_gpus)
+            if gpus is None:
+                continue
+            if state in self.pending:
+                self.pending.remove(state)
+            self._start(state, gpus, now)
+            if preempted:
+                # the slot only becomes usable after the suspend lands
+                state.paused_until = now + self.preempt_latency_s
+
+    def rates(self, now: float) -> None:
+        for state in self.running.values():
+            if state.paused_until is not None and now + _EPS < state.paused_until:
+                state.rate = 0.0
+            else:
+                state.paused_until = None
+                state.rate = self._locality_factor(state)
+
+
+DL_POLICIES = {
+    "res-ag": ResAgPolicy,
+    "gandiva": GandivaPolicy,
+    "tiresias": TiresiasPolicy,
+    "cbp-pp": CbpPpPolicy,
+}
+
+
+def make_dl_policy(name: str, **kwargs) -> DLSchedulerPolicy:
+    try:
+        cls = DL_POLICIES[name]
+    except KeyError:
+        raise KeyError(f"unknown DL policy {name!r}; known: {sorted(DL_POLICIES)}") from None
+    return cls(**kwargs)
+
+
+@dataclass
+class DLSimResult:
+    """Outcome of one DL-cluster run."""
+
+    policy: str
+    jobs: list[DLJob]
+    horizon_s: float
+
+    def finished(self, kind: DLJobKind | None = None) -> list[DLJob]:
+        out = [j for j in self.jobs if j.finish_s is not None]
+        if kind is not None:
+            out = [j for j in out if j.kind is kind]
+        return out
+
+    def jcts_s(self, kind: DLJobKind | None = None) -> np.ndarray:
+        return np.asarray([j.jct_s for j in self.finished(kind)])
+
+    def qos_violations(self) -> int:
+        return sum(1 for j in self.finished(DLJobKind.INFERENCE) if j.violates_qos())
+
+    def violations_per_hour(self) -> float:
+        return self.qos_violations() * 3_600.0 / self.horizon_s
+
+
+class DLClusterSimulator:
+    """Advance-and-recompute event loop over one policy."""
+
+    def __init__(
+        self,
+        jobs: list[DLJob],
+        policy: DLSchedulerPolicy,
+        n_nodes: int = 32,
+        gpus_per_node: int = 8,
+        max_horizon_s: float = 7 * 24 * 3_600.0,
+        locality_penalty: float = 0.0,
+    ) -> None:
+        self.jobs = sorted(jobs, key=lambda j: j.arrival_s)
+        self.policy = policy
+        self.pool = _Pool(n_nodes * gpus_per_node, gpus_per_node=gpus_per_node)
+        policy.attach(self.pool)
+        #: Per-extra-node synchronization tax on a gang's progress rate
+        #: (0 = free cross-node networking; ~0.05-0.15 models a
+        #: bandwidth-bound parameter-server setup).
+        policy.locality_penalty = locality_penalty
+        self.max_horizon_s = max_horizon_s
+
+    def run(self) -> DLSimResult:
+        now = 0.0
+        next_arrival_idx = 0
+        policy = self.policy
+        n = len(self.jobs)
+
+        while True:
+            policy.rates(now)
+            t_candidates: list[float] = []
+            if next_arrival_idx < n:
+                t_candidates.append(self.jobs[next_arrival_idx].arrival_s)
+            for state in policy.running.values():
+                if state.rate > _EPS:
+                    t_candidates.append(now + state.remaining_s / state.rate)
+                elif state.paused_until is not None:
+                    t_candidates.append(state.paused_until)
+            timer = policy.next_timer(now)
+            if timer is not None and (policy.running or policy.pending):
+                t_candidates.append(timer)
+            if not t_candidates:
+                break
+            t_next = min(t_candidates)
+            if t_next > self.max_horizon_s:
+                break
+            dt = max(t_next - now, 0.0)
+
+            # advance progress
+            for state in policy.running.values():
+                if state.rate > _EPS:
+                    state.remaining_s -= dt * state.rate
+            now = t_next
+
+            # completions
+            done = [s for s in policy.running.values() if s.remaining_s <= 1e-6]
+            for state in sorted(done, key=lambda s: s.job.job_id):
+                state.job.finish_s = now
+                policy.complete(state, now)
+
+            # arrivals
+            while next_arrival_idx < n and self.jobs[next_arrival_idx].arrival_s <= now + _EPS:
+                job = self.jobs[next_arrival_idx]
+                next_arrival_idx += 1
+                policy.submit(_RunState(job=job, gpus=[], remaining_s=job.service_s), now)
+
+            # policy timer
+            timer = policy.next_timer(now)
+            if timer is not None and timer <= now + _EPS:
+                policy.on_timer(now)
+                policy.reschedule(now)
+
+            if next_arrival_idx >= n and not policy.running and not policy.pending:
+                break
+
+        return DLSimResult(policy=policy.name, jobs=self.jobs, horizon_s=max(now, 1.0))
+
+
+def run_dl_comparison(
+    jobs_seed: int = 0,
+    policies: Iterable[str] = ("res-ag", "gandiva", "tiresias", "cbp-pp"),
+    config=None,
+) -> dict[str, DLSimResult]:
+    """Run the same workload under each policy (paired comparison)."""
+    import copy
+
+    from repro.workloads.dlt import generate_dl_workload
+
+    base_jobs = generate_dl_workload(config, seed=jobs_seed)
+    results = {}
+    for name in policies:
+        jobs = copy.deepcopy(base_jobs)
+        sim = DLClusterSimulator(jobs, make_dl_policy(name))
+        results[name] = sim.run()
+    return results

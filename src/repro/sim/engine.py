@@ -1,0 +1,161 @@
+"""Discrete-event simulation engine.
+
+A minimal, allocation-light event loop used by every simulator in this
+package.  Events are ``(time, seq, callback)`` triples kept in a binary
+heap; ``seq`` is a monotonically increasing tie-breaker so that events
+scheduled for the same instant fire in FIFO order, which keeps runs
+deterministic.
+
+Time is a ``float`` in **milliseconds** throughout the package unless a
+module documents otherwise (the DL simulator in :mod:`repro.sim.dlsim`
+uses seconds, matching the Tiresias simulator it replaces).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["EventHandle", "EventLoop", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on invalid use of the event loop (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`EventLoop.schedule`.
+
+    Holding the handle allows the caller to :meth:`cancel` the event
+    before it fires.  Cancelling an already-fired or already-cancelled
+    event is a no-op.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time of the event."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._event.cancelled = True
+
+
+class EventLoop:
+    """A deterministic discrete-event loop.
+
+    >>> loop = EventLoop()
+    >>> fired = []
+    >>> _ = loop.schedule(5.0, fired.append, "b")
+    >>> _ = loop.schedule(1.0, fired.append, "a")
+    >>> loop.run()
+    >>> fired
+    ['a', 'b']
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[_Event] = []
+        self._seq = itertools.count()
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def __len__(self) -> int:
+        """Number of pending (non-cancelled) events."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event {delay} units in the past")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, when: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run at absolute time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={when} before current time t={self._now}"
+            )
+        event = _Event(float(when), next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def step(self) -> bool:
+        """Fire the single next pending event.
+
+        Returns ``True`` if an event fired, ``False`` if the loop is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Run events in time order.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event lies strictly after
+            ``until`` (the clock is then advanced to ``until``).
+        max_events:
+            Safety valve: stop after firing this many events.
+
+        Returns
+        -------
+        int
+            The number of events fired.
+        """
+        if self._running:
+            raise SimulationError("event loop is already running (re-entrant run())")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                if max_events is not None and fired >= max_events:
+                    break
+                nxt = self._peek()
+                if nxt is None:
+                    break
+                if until is not None and nxt.time > until:
+                    break
+                self.step()
+                fired += 1
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return fired
+
+    def _peek(self) -> _Event | None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0] if self._heap else None

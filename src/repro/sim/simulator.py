@@ -1,0 +1,219 @@
+"""End-to-end cluster simulation driver (the ten-node experiments).
+
+Ties the whole stack together: workload arrivals are submitted to the
+API server, the Knots monitoring plane heartbeats device telemetry
+into the node TSDBs, the scheduler runs its passes, kubelets execute
+pods on the simulated GPUs, and energy/QoS/JCT accounting is collected
+into a :class:`SimResult` that the experiment modules turn into the
+paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster, make_paper_cluster
+from repro.core.knots import KnotsConfig
+from repro.core.orchestrator import KubeKnots
+from repro.core.schedulers.base import Scheduler
+from repro.kube.api import EventType
+from repro.kube.kubelet import KubeletConfig
+from repro.kube.pod import Pod
+from repro.workloads.appmix import WorkloadItem
+from repro.workloads.base import QoSClass
+
+__all__ = ["DeviceFault", "SimConfig", "SimResult", "KubeKnotsSimulator", "run_appmix"]
+
+
+@dataclass(frozen=True)
+class DeviceFault:
+    """One injected device failure: ``gpu_id`` dies at ``at_ms`` and is
+    repaired (empty) ``duration_ms`` later."""
+
+    at_ms: float
+    gpu_id: str
+    duration_ms: float = 5_000.0
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Simulation timing and bounds."""
+
+    tick_ms: float = 10.0            # execution/telemetry quantum
+    schedule_interval_ms: float = 20.0
+    horizon_factor: float = 4.0      # run at most factor x arrival window
+    min_horizon_ms: float = 60_000.0
+    prewarm_images: bool = True      # steady state: docker layers cached
+    faults: tuple[DeviceFault, ...] = ()   # failure-injection plan
+    knots: KnotsConfig = field(default_factory=KnotsConfig)
+    kubelet: KubeletConfig = field(default_factory=KubeletConfig)
+
+
+@dataclass
+class SimResult:
+    """Everything the experiments need from one run."""
+
+    scheduler: str
+    pods: list[Pod]
+    makespan_ms: float
+    energy_j_per_gpu: dict[str, float]
+    oom_kills: int
+    evictions: int
+    resizes: int
+    gpu_util_series: dict[str, np.ndarray]    # gpu_id -> sm_util samples
+    gpu_mem_series: dict[str, np.ndarray]     # gpu_id -> mem_util samples
+    sample_times_ms: np.ndarray
+
+    # -- derived metrics -----------------------------------------------------
+
+    def completed(self) -> list[Pod]:
+        return [p for p in self.pods if p.done]
+
+    def latency_pods(self) -> list[Pod]:
+        return [p for p in self.completed() if p.spec.qos_class is QoSClass.LATENCY_CRITICAL]
+
+    def qos_violations(self) -> int:
+        return sum(1 for p in self.latency_pods() if p.violates_qos())
+
+    def qos_violations_per_kilo(self) -> float:
+        """Violations per 1000 inference queries (Fig. 10a's unit)."""
+        lc = self.latency_pods()
+        if not lc:
+            return 0.0
+        return 1_000.0 * self.qos_violations() / len(lc)
+
+    def total_energy_j(self) -> float:
+        return float(sum(self.energy_j_per_gpu.values()))
+
+    def jcts_ms(self, qos_class: QoSClass | None = None) -> np.ndarray:
+        pods = self.completed()
+        if qos_class is not None:
+            pods = [p for p in pods if p.spec.qos_class is qos_class]
+        return np.asarray([p.jct_ms() for p in pods])
+
+
+class KubeKnotsSimulator:
+    """Discrete-time execution of one (cluster, scheduler, workload) run."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        scheduler: Scheduler,
+        workload: list[WorkloadItem],
+        config: SimConfig | None = None,
+    ) -> None:
+        self.config = config or SimConfig()
+        self.orchestrator = KubeKnots(
+            cluster,
+            scheduler,
+            knots_config=self.config.knots,
+            kubelet_config=self.config.kubelet,
+        )
+        self.cluster = cluster
+        self.workload = sorted(workload, key=lambda item: item[0])
+        if self.config.prewarm_images:
+            images = {spec.image for _, spec in self.workload}
+            for kubelet in self.orchestrator.kubelets.values():
+                kubelet.prewarm(images)
+        self._energy_j: dict[str, float] = {g.gpu_id: 0.0 for g in cluster.gpus()}
+        self._util_hist: dict[str, list[float]] = {g.gpu_id: [] for g in cluster.gpus()}
+        self._mem_hist: dict[str, list[float]] = {g.gpu_id: [] for g in cluster.gpus()}
+        self._times: list[float] = []
+
+    def run(self) -> SimResult:
+        cfg = self.config
+        api = self.orchestrator.api
+        arrival_end = self.workload[-1][0] if self.workload else 0.0
+        horizon = max(arrival_end * cfg.horizon_factor, cfg.min_horizon_ms)
+
+        fail_plan = sorted(cfg.faults, key=lambda f: f.at_ms)
+        repairs: list[tuple[float, str]] = []
+        next_fault = 0
+
+        next_submit = 0
+        next_schedule = 0.0
+        next_heartbeat = 0.0
+        t = 0.0
+        while True:
+            # 0. failure-injection plan
+            while next_fault < len(fail_plan) and fail_plan[next_fault].at_ms <= t:
+                fault = fail_plan[next_fault]
+                next_fault += 1
+                gpu = self.cluster.find_gpu(fault.gpu_id)
+                if not gpu.failed:
+                    gpu.fail()
+                    repairs.append((fault.at_ms + fault.duration_ms, fault.gpu_id))
+            for when, gpu_id in list(repairs):
+                if when <= t:
+                    self.cluster.find_gpu(gpu_id).repair()
+                    repairs.remove((when, gpu_id))
+
+            # 1. submissions due this tick
+            while next_submit < len(self.workload) and self.workload[next_submit][0] <= t:
+                api.submit(self.workload[next_submit][1], t)
+                next_submit += 1
+
+            # 2. execute one quantum on every node
+            self.orchestrator.step_kubelets(t, cfg.tick_ms)
+
+            # 3. telemetry heartbeat into the node TSDBs (paced by the
+            #    Knots heartbeat interval — the scheduler only sees what
+            #    the monitoring plane actually sampled)
+            if t >= next_heartbeat:
+                self.orchestrator.heartbeat(t)
+                next_heartbeat = t + cfg.knots.heartbeat_ms
+            self._record(t, cfg.tick_ms)
+
+            # 4. scheduling pass
+            if t >= next_schedule:
+                self.orchestrator.scheduling_pass(t)
+                next_schedule = t + cfg.schedule_interval_ms
+
+            t += cfg.tick_ms
+            if next_submit >= len(self.workload) and api.all_done():
+                break
+            if t > horizon:
+                break
+
+        return SimResult(
+            scheduler=self.orchestrator.scheduler.name,
+            pods=api.pods(),
+            makespan_ms=t,
+            energy_j_per_gpu={k: v for k, v in self._energy_j.items()},
+            oom_kills=len(api.events_of(EventType.OOM_KILLED)),
+            evictions=len(api.events_of(EventType.EVICTED)),
+            resizes=len(api.events_of(EventType.RESIZED)),
+            gpu_util_series={k: np.asarray(v) for k, v in self._util_hist.items()},
+            gpu_mem_series={k: np.asarray(v) for k, v in self._mem_hist.items()},
+            sample_times_ms=np.asarray(self._times),
+        )
+
+    def _record(self, t: float, dt_ms: float) -> None:
+        self._times.append(t)
+        for gpu in self.cluster.gpus():
+            s = gpu.last_sample
+            # A sleeping device's last arbitrate() saw no demands and the
+            # sleep flag, so its sample power already reflects p_state 12.
+            power = s.power_w if s.num_containers or not gpu.asleep else gpu.power_model.sleep_watts
+            self._energy_j[gpu.gpu_id] += power * dt_ms / 1_000.0
+            self._util_hist[gpu.gpu_id].append(s.sm_util)
+            self._mem_hist[gpu.gpu_id].append(s.mem_util)
+
+
+def run_appmix(
+    mix_name: str,
+    scheduler: Scheduler,
+    duration_s: float = 20.0,
+    seed: int = 0,
+    num_nodes: int = 10,
+    config: SimConfig | None = None,
+    load_factor: float = 1.0,
+) -> SimResult:
+    """Convenience wrapper: one Table-I mix on the paper cluster."""
+    from repro.workloads.appmix import generate_appmix_workload
+
+    cluster = make_paper_cluster(num_nodes=num_nodes)
+    workload = generate_appmix_workload(mix_name, duration_s=duration_s, seed=seed, load_factor=load_factor)
+    return KubeKnotsSimulator(cluster, scheduler, workload, config).run()

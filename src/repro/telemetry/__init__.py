@@ -1,0 +1,16 @@
+"""Knots telemetry plane: NVML sampler, per-node TSDB, aggregator."""
+
+from repro.telemetry.aggregator import GpuView, NodeMonitor, UtilizationAggregator
+from repro.telemetry.nvml import METRICS, NvmlContext, NvmlSampler
+from repro.telemetry.tsdb import SeriesWindow, TimeSeriesDB
+
+__all__ = [
+    "NodeMonitor",
+    "UtilizationAggregator",
+    "GpuView",
+    "NvmlContext",
+    "NvmlSampler",
+    "METRICS",
+    "TimeSeriesDB",
+    "SeriesWindow",
+]

@@ -1,0 +1,159 @@
+"""Node monitors and the head-node utilization aggregator.
+
+Two pieces mirror the paper's Fig. 5 data path:
+
+* :class:`NodeMonitor` — runs on every worker; each *heartbeat* it reads
+  the node's GPUs through the NVML layer and writes one point per
+  (GPU, metric) into the node-local TSDB.
+* :class:`UtilizationAggregator` — runs on the head node; on demand it
+  queries every worker's TSDB for the recent window of any metric and
+  produces the cluster-wide view the schedulers consume (free memory
+  per GPU, recent utilization windows, sorted node lists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.cluster.node import GpuNode
+from repro.telemetry.nvml import METRICS, NvmlSampler
+from repro.telemetry.tsdb import SeriesWindow, TimeSeriesDB
+
+__all__ = ["NodeMonitor", "GpuView", "UtilizationAggregator"]
+
+
+class NodeMonitor:
+    """Per-worker Knots monitor: NVML -> node TSDB, once per heartbeat."""
+
+    def __init__(self, node: GpuNode, tsdb: TimeSeriesDB | None = None) -> None:
+        self.node = node
+        self.tsdb = tsdb or TimeSeriesDB()
+        self._sampler = NvmlSampler(node.gpus)
+
+    def heartbeat(self, now: float) -> None:
+        """Sample all devices and log one point per (gpu, metric)."""
+        for gpu_id, metrics in self._sampler.sample().items():
+            for metric, value in metrics.items():
+                self.tsdb.write(f"{gpu_id}.{metric}", now, value)
+
+    def series(self, gpu_id: str, metric: str, window: float, now: float) -> SeriesWindow:
+        return self.tsdb.last_window(f"{gpu_id}.{metric}", window, now)
+
+
+@dataclass(frozen=True)
+class GpuView:
+    """Aggregator's snapshot of one device at query time."""
+
+    gpu_id: str
+    node_id: str
+    mem_capacity_mb: float
+    free_alloc_mb: float      # unreserved memory (admission headroom)
+    mem_used_mb: float        # physically used right now (telemetry)
+    sm_util: float
+    num_containers: int
+    asleep: bool
+    failed: bool = False
+
+    @property
+    def free_physical_mb(self) -> float:
+        """Physically unused memory — what harvesting can reclaim."""
+        return self.mem_capacity_mb - self.mem_used_mb
+
+
+class UtilizationAggregator:
+    """Head-node aggregator over all worker TSDBs (Fig. 5).
+
+    The aggregator is the only path through which schedulers observe the
+    cluster — they never touch simulator internals directly, exactly as
+    Kube-Knots' schedulers only see what Knots reports.
+    """
+
+    def __init__(self, monitors: Sequence[NodeMonitor]) -> None:
+        if not monitors:
+            raise ValueError("aggregator needs at least one node monitor")
+        self._monitors = {m.node.node_id: m for m in monitors}
+
+    @property
+    def node_ids(self) -> list[str]:
+        return sorted(self._monitors)
+
+    def monitor(self, node_id: str) -> NodeMonitor:
+        return self._monitors[node_id]
+
+    # -- windowed series queries (PP's five-second sliding window) --------
+
+    def query(self, gpu_id: str, metric: str, window: float, now: float) -> SeriesWindow:
+        """Last ``window`` units of one metric for one GPU."""
+        node_id = gpu_id.split("/", 1)[0]
+        mon = self._monitors.get(node_id)
+        if mon is None:
+            raise KeyError(f"no monitor for node {node_id!r}")
+        return mon.series(gpu_id, metric, window, now)
+
+    def query_node_stats(self, gpu_id: str, window: float, now: float) -> dict[str, SeriesWindow]:
+        """Algorithm 1's ``QUERY``: all five metric windows for a device."""
+        return {m: self.query(gpu_id, m, window, now) for m in METRICS}
+
+    # -- instantaneous cluster snapshot ------------------------------------
+
+    def snapshot(self) -> list[GpuView]:
+        """Current view of every device, from the latest telemetry."""
+        views: list[GpuView] = []
+        for node_id in self.node_ids:
+            node = self._monitors[node_id].node
+            for gpu in node.gpus:
+                s = gpu.last_sample
+                views.append(
+                    GpuView(
+                        gpu_id=gpu.gpu_id,
+                        node_id=node_id,
+                        mem_capacity_mb=gpu.mem_capacity_mb,
+                        free_alloc_mb=gpu.free_mem_mb,
+                        mem_used_mb=s.mem_used_mb,
+                        sm_util=s.sm_util,
+                        num_containers=len(gpu.containers),
+                        asleep=gpu.asleep,
+                        failed=gpu.failed,
+                    )
+                )
+        return views
+
+    def active_views(self) -> list[GpuView]:
+        """Awake, healthy devices only (Algorithm 1 skips deep-sleep
+        GPUs; failed devices are invisible until repaired)."""
+        return [v for v in self.snapshot() if not v.asleep and not v.failed]
+
+    def sorted_by_free_memory(self, active_only: bool = True) -> list[GpuView]:
+        """Devices sorted by free (unreserved) memory, descending.
+
+        This is ``Sort_by_Free_Memory`` in Algorithm 1.  Ties break by
+        gpu_id so the order — and therefore every experiment — is
+        deterministic.
+        """
+        if active_only:
+            views = self.active_views()
+        else:
+            views = [v for v in self.snapshot() if not v.failed]
+        return sorted(views, key=lambda v: (-v.free_alloc_mb, v.gpu_id))
+
+    def cluster_utilization(self, window: float, now: float, metric: str = "sm_util") -> np.ndarray:
+        """Stacked per-device series for a metric, shape (n_gpus, n_pts).
+
+        Series are aligned by truncating to the shortest window, which
+        only matters in the first seconds of a run.
+        """
+        series = []
+        for node_id in self.node_ids:
+            node = self._monitors[node_id].node
+            for gpu in node.gpus:
+                w = self.query(gpu.gpu_id, metric, window, now)
+                series.append(w.values)
+        if not series:
+            return np.empty((0, 0))
+        n = min(len(s) for s in series)
+        if n == 0:
+            return np.empty((len(series), 0))
+        return np.vstack([s[-n:] for s in series])

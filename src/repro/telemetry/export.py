@@ -1,0 +1,161 @@
+"""Telemetry and result persistence (CSV / JSON).
+
+Real Knots deployments keep their telemetry in InfluxDB and analyze it
+offline; the reproduction equivalent is exporting a run's telemetry
+series and pod records to plain files that pandas/R/gnuplot can load.
+Everything round-trips: an exported run can be re-imported for offline
+metric computation without re-simulating.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.telemetry.tsdb import TimeSeriesDB
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.simulator import SimResult
+
+__all__ = [
+    "tsdb_to_rows",
+    "export_tsdb_csv",
+    "import_tsdb_csv",
+    "export_result_json",
+    "import_result_series",
+    "export_dl_result_json",
+]
+
+
+def tsdb_to_rows(db: TimeSeriesDB) -> list[tuple[str, float, float]]:
+    """Flatten a TSDB into (metric, time, value) rows, time-ordered."""
+    rows: list[tuple[str, float, float]] = []
+    for metric in db.metrics():
+        window = db.query(metric)
+        rows.extend((metric, float(t), float(v)) for t, v in zip(window.times, window.values))
+    rows.sort(key=lambda r: (r[0], r[1]))
+    return rows
+
+
+def export_tsdb_csv(db: TimeSeriesDB, path: str | Path) -> int:
+    """Write a TSDB to CSV (``metric,time,value``).  Returns row count."""
+    rows = tsdb_to_rows(db)
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["metric", "time", "value"])
+        writer.writerows(rows)
+    return len(rows)
+
+
+def import_tsdb_csv(path: str | Path, capacity: int = 65_536) -> TimeSeriesDB:
+    """Load a CSV written by :func:`export_tsdb_csv` back into a TSDB."""
+    db = TimeSeriesDB(capacity=capacity)
+    with Path(path).open(newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames != ["metric", "time", "value"]:
+            raise ValueError(
+                f"unexpected CSV header {reader.fieldnames}; "
+                "expected ['metric', 'time', 'value']"
+            )
+        for row in reader:
+            db.write(row["metric"], float(row["time"]), float(row["value"]))
+    return db
+
+
+def export_result_json(result: "SimResult", path: str | Path) -> None:
+    """Persist a simulation run: pod records + telemetry series.
+
+    The JSON is self-describing and versioned so downstream analysis
+    scripts can detect incompatible exports.
+    """
+    pods = []
+    for pod in result.pods:
+        pods.append(
+            {
+                "uid": pod.uid,
+                "name": pod.spec.name,
+                "image": pod.spec.image,
+                "qos_class": pod.spec.qos_class.value,
+                "qos_threshold_ms": pod.spec.qos_threshold_ms,
+                "requested_mem_mb": pod.spec.requested_mem_mb,
+                "phase": pod.phase.value,
+                "restart_count": pod.restart_count,
+                "submitted_ms": pod.submitted_ms,
+                "scheduled_ms": pod.scheduled_ms,
+                "started_ms": pod.started_ms,
+                "finished_ms": pod.finished_ms,
+                "gpu_id": pod.gpu_id,
+                "alloc_mb": pod.alloc_mb,
+            }
+        )
+    payload = {
+        "format": "kube-knots-repro/run",
+        "version": 1,
+        "scheduler": result.scheduler,
+        "makespan_ms": result.makespan_ms,
+        "oom_kills": result.oom_kills,
+        "evictions": result.evictions,
+        "resizes": result.resizes,
+        "energy_j_per_gpu": result.energy_j_per_gpu,
+        "sample_times_ms": np.asarray(result.sample_times_ms).tolist(),
+        "gpu_util_series": {k: np.asarray(v).tolist() for k, v in result.gpu_util_series.items()},
+        "gpu_mem_series": {k: np.asarray(v).tolist() for k, v in result.gpu_mem_series.items()},
+        "pods": pods,
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def export_dl_result_json(result, path: str | Path) -> None:
+    """Persist a DL-cluster run (:class:`repro.sim.dlsim.DLSimResult`)."""
+    jobs = []
+    for j in result.jobs:
+        jobs.append(
+            {
+                "job_id": j.job_id,
+                "kind": j.kind.value,
+                "arrival_s": j.arrival_s,
+                "num_gpus": j.num_gpus,
+                "service_s": j.service_s,
+                "qos_threshold_s": j.qos_threshold_s,
+                "start_s": j.start_s,
+                "finish_s": j.finish_s,
+                "preemptions": j.preemptions,
+                "migrations": j.migrations,
+            }
+        )
+    payload = {
+        "format": "kube-knots-repro/dl-run",
+        "version": 1,
+        "policy": result.policy,
+        "horizon_s": result.horizon_s,
+        "jobs": jobs,
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def import_result_series(path: str | Path) -> dict:
+    """Load the analyzable parts of an exported run.
+
+    Returns a dict with ``scheduler``, ``makespan_ms``, counters,
+    ``sample_times_ms`` / ``gpu_util_series`` / ``gpu_mem_series`` as
+    NumPy arrays, and the raw ``pods`` records.  (Pods come back as
+    dicts, not live objects — exports are for analysis, not resume.)
+    """
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != "kube-knots-repro/run":
+        raise ValueError(f"not a kube-knots-repro run export: {path}")
+    if payload.get("version") != 1:
+        raise ValueError(f"unsupported export version {payload.get('version')}")
+    payload["sample_times_ms"] = np.asarray(payload["sample_times_ms"])
+    payload["gpu_util_series"] = {
+        k: np.asarray(v) for k, v in payload["gpu_util_series"].items()
+    }
+    payload["gpu_mem_series"] = {
+        k: np.asarray(v) for k, v in payload["gpu_mem_series"].items()
+    }
+    return payload

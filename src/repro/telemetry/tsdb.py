@@ -1,0 +1,124 @@
+"""Node-local time-series database (InfluxDB stand-in).
+
+Each worker runs one :class:`TimeSeriesDB` into which the Knots monitor
+writes one point per metric per heartbeat.  The store is a set of
+fixed-capacity ring buffers (one per series), so memory stays bounded
+for arbitrarily long simulations and the hot query — "the last *d*
+seconds of metric *m*" — is two array slices with no copies beyond the
+returned view assembly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["SeriesWindow", "TimeSeriesDB"]
+
+
+@dataclass(frozen=True)
+class SeriesWindow:
+    """A queried chunk of one series: parallel time/value arrays."""
+
+    times: np.ndarray
+    values: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def latest(self) -> float:
+        """Most recent value in the window."""
+        if len(self.values) == 0:
+            raise ValueError("empty window has no latest value")
+        return float(self.values[-1])
+
+    def mean(self) -> float:
+        return float(self.values.mean()) if len(self.values) else float("nan")
+
+
+class _RingSeries:
+    """Fixed-capacity ring buffer of (time, value) points."""
+
+    __slots__ = ("times", "values", "capacity", "head", "count")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.times = np.empty(capacity, dtype=np.float64)
+        self.values = np.empty(capacity, dtype=np.float64)
+        self.head = 0   # next write slot
+        self.count = 0
+
+    def append(self, t: float, v: float) -> None:
+        self.times[self.head] = t
+        self.values[self.head] = v
+        self.head = (self.head + 1) % self.capacity
+        if self.count < self.capacity:
+            self.count += 1
+
+    def ordered(self) -> tuple[np.ndarray, np.ndarray]:
+        """Time-ordered copies of the stored points (oldest first)."""
+        if self.count < self.capacity:
+            return self.times[: self.count].copy(), self.values[: self.count].copy()
+        idx = np.concatenate([np.arange(self.head, self.capacity), np.arange(0, self.head)])
+        return self.times[idx], self.values[idx]
+
+
+class TimeSeriesDB:
+    """Per-node metric store with windowed queries."""
+
+    def __init__(self, capacity: int = 65_536) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._series: dict[str, _RingSeries] = {}
+
+    def write(self, metric: str, t: float, value: float) -> None:
+        """Append one point to ``metric`` (created on first write)."""
+        series = self._series.get(metric)
+        if series is None:
+            series = self._series[metric] = _RingSeries(self._capacity)
+        series.append(t, value)
+
+    def write_many(self, t: float, values: dict[str, float]) -> None:
+        """Append one point per metric at a shared timestamp."""
+        for metric, v in values.items():
+            self.write(metric, t, v)
+
+    def metrics(self) -> list[str]:
+        return sorted(self._series)
+
+    def __contains__(self, metric: str) -> bool:
+        return metric in self._series
+
+    def query(self, metric: str, since: float | None = None, until: float | None = None) -> SeriesWindow:
+        """Return points of ``metric`` with ``since <= t <= until``.
+
+        An unknown metric yields an empty window (matching how a fresh
+        node looks to the aggregator before its first heartbeat).
+        """
+        series = self._series.get(metric)
+        if series is None:
+            empty = np.empty(0)
+            return SeriesWindow(empty, empty)
+        times, values = series.ordered()
+        lo = 0 if since is None else int(np.searchsorted(times, since, side="left"))
+        hi = len(times) if until is None else int(np.searchsorted(times, until, side="right"))
+        return SeriesWindow(times[lo:hi], values[lo:hi])
+
+    def last_window(self, metric: str, window: float, now: float) -> SeriesWindow:
+        """The last ``window`` time units of ``metric``, ending at ``now``.
+
+        This is the query shape the PP scheduler issues every heartbeat
+        (a five-second sliding window in the paper).
+        """
+        return self.query(metric, since=now - window, until=now)
+
+    def latest(self, metric: str) -> tuple[float, float] | None:
+        """Most recent (time, value) for ``metric``, or None if unseen."""
+        series = self._series.get(metric)
+        if series is None or series.count == 0:
+            return None
+        idx = (series.head - 1) % series.capacity
+        return float(series.times[idx]), float(series.values[idx])

@@ -1,0 +1,55 @@
+"""Workload models: Rodinia, Djinn & Tonic, Alibaba, app-mixes, DL jobs.
+
+The app-mix and DL-workload generators are exported lazily: they build
+:class:`~repro.kube.pod.PodSpec` objects, and the kube package in turn
+depends on the cluster substrate, whose device model consumes
+:class:`~repro.workloads.base.ResourceDemand` from here — eager imports
+would make that a cycle.
+"""
+
+from repro.workloads.alibaba import ArrivalProcess, pareto_split
+from repro.workloads.base import Phase, QoSClass, ResourceDemand, WorkloadTrace
+from repro.workloads.djinn_tonic import DJINN_TONIC_PROFILES, QOS_THRESHOLD_MS, make_inference_trace
+from repro.workloads.rodinia import RODINIA_PROFILES, make_rodinia_trace, suite_timeline
+
+__all__ = [
+    "WorkloadTrace",
+    "Phase",
+    "ResourceDemand",
+    "QoSClass",
+    "RODINIA_PROFILES",
+    "make_rodinia_trace",
+    "suite_timeline",
+    "DJINN_TONIC_PROFILES",
+    "QOS_THRESHOLD_MS",
+    "make_inference_trace",
+    "ArrivalProcess",
+    "pareto_split",
+    "APP_MIXES",
+    "AppMix",
+    "generate_appmix_workload",
+    "DLJob",
+    "DLJobKind",
+    "DLWorkloadConfig",
+    "generate_dl_workload",
+]
+
+_LAZY = {
+    "APP_MIXES": ("repro.workloads.appmix", "APP_MIXES"),
+    "AppMix": ("repro.workloads.appmix", "AppMix"),
+    "generate_appmix_workload": ("repro.workloads.appmix", "generate_appmix_workload"),
+    "DLJob": ("repro.workloads.dlt", "DLJob"),
+    "DLJobKind": ("repro.workloads.dlt", "DLJobKind"),
+    "DLWorkloadConfig": ("repro.workloads.dlt", "DLWorkloadConfig"),
+    "generate_dl_workload": ("repro.workloads.dlt", "generate_dl_workload"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

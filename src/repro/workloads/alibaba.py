@@ -1,0 +1,263 @@
+"""Synthetic Alibaba-trace statistics and arrival process (Sec. II-B, III).
+
+The paper mines the 2017 Alibaba production CPU trace (1 300 machines,
+12 951 batch jobs, 11 089 containers over 12 h) for three things it then
+builds the GPU evaluation on:
+
+1. **Arrival dynamics** — task inter-arrival times drive the load
+   generator for the ten-node cluster (Sec. III).
+2. **The 80/20 Pareto mix** — 80 % of jobs are short-lived
+   latency-critical queries consuming ~20 % of resources; the rest are
+   long batch jobs.
+3. **Correlation structure** (Fig. 2) — latency-critical containers'
+   utilization metrics are essentially uncorrelated (unpredictable),
+   while batch jobs' metrics co-move strongly (core vs memory, core vs
+   1/5/15-second load averages), which is what makes proactive
+   harvesting feasible (Observation 3).
+
+Since the original trace cannot be redistributed, this module
+*synthesizes* populations with the published statistics: utilization
+CDFs matching Fig. 2b (average CPU ~47 %, average memory ~76 % of
+request, half of pods under ~45 % of provisioned memory), a Gaussian
+copula imposing the Fig. 2a/2c correlation structure, and a
+doubly-stochastic arrival process with diurnal modulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "LATENCY_METRICS",
+    "BATCH_METRICS",
+    "synthesize_latency_containers",
+    "synthesize_batch_jobs",
+    "batch_task_series",
+    "utilization_cdfs",
+    "ArrivalProcess",
+    "pareto_split",
+]
+
+#: Eight per-container metrics in the latency-critical heatmap (Fig. 2a).
+LATENCY_METRICS = (
+    "cpu_avg",
+    "cpu_max",
+    "mem_avg",
+    "mem_max",
+    "net_in",
+    "net_out",
+    "disk_io",
+    "load_1",
+)
+
+#: Six per-job metrics in the batch heatmap (Fig. 2c).
+BATCH_METRICS = ("core_util", "mem_util", "load_1", "load_5", "load_15", "disk_io")
+
+
+def _gaussian_copula(rng: np.random.Generator, corr: np.ndarray, n: int) -> np.ndarray:
+    """Draw ``n`` samples of correlated uniforms via a Gaussian copula."""
+    # Nearest-PSD safeguard: tiny negative eigenvalues from hand-written
+    # correlation matrices would make cholesky fail.
+    w, v = np.linalg.eigh(corr)
+    w = np.clip(w, 1e-9, None)
+    corr_psd = (v * w) @ v.T
+    d = np.sqrt(np.diag(corr_psd))
+    corr_psd = corr_psd / np.outer(d, d)
+    z = rng.multivariate_normal(np.zeros(len(corr)), corr_psd, size=n, method="cholesky")
+    from scipy.stats import norm
+
+    return norm.cdf(z)
+
+
+# Target rank-correlation structure for latency-critical containers:
+# weak, patternless (short-lived tasks give no usable signal).
+_LATENCY_CORR = np.array(
+    [
+        # cpu_a cpu_m mem_a mem_m net_i net_o disk  load1
+        [1.00, 0.35, 0.10, 0.05, 0.15, 0.12, 0.05, 0.30],
+        [0.35, 1.00, 0.05, 0.12, 0.10, 0.08, 0.02, 0.20],
+        [0.10, 0.05, 1.00, 0.40, 0.05, 0.03, 0.10, 0.08],
+        [0.05, 0.12, 0.40, 1.00, 0.02, 0.04, 0.08, 0.05],
+        [0.15, 0.10, 0.05, 0.02, 1.00, 0.25, 0.05, 0.10],
+        [0.12, 0.08, 0.03, 0.04, 0.25, 1.00, 0.04, 0.08],
+        [0.05, 0.02, 0.10, 0.08, 0.05, 0.04, 1.00, 0.05],
+        [0.30, 0.20, 0.08, 0.05, 0.10, 0.08, 0.05, 1.00],
+    ]
+)
+
+# Batch jobs: strong positive core<->mem and core<->load correlations
+# (plus one negative pair: disk-bound phases depress core utilization) —
+# the "early markers" CBP keys on.
+_BATCH_CORR = np.array(
+    [
+        # core  mem   l1    l5    l15   disk
+        [1.00, 0.82, 0.90, 0.85, 0.78, -0.45],
+        [0.82, 1.00, 0.75, 0.72, 0.68, -0.35],
+        [0.90, 0.75, 1.00, 0.93, 0.85, -0.40],
+        [0.85, 0.72, 0.93, 1.00, 0.92, -0.38],
+        [0.78, 0.68, 0.85, 0.92, 1.00, -0.35],
+        [-0.45, -0.35, -0.40, -0.38, -0.35, 1.00],
+    ]
+)
+
+
+def synthesize_latency_containers(n: int = 11_089, rng: np.random.Generator | None = None) -> dict[str, np.ndarray]:
+    """Per-container metric values for the latency-critical population.
+
+    Marginals are Beta distributions tuned to Fig. 2b: mean average-CPU
+    ~0.47, mean average-memory ~0.45 of request with max-memory pushing
+    toward ~0.76.
+    """
+    rng = rng or np.random.default_rng(0)
+    u = _gaussian_copula(rng, _LATENCY_CORR, n)
+    from scipy.stats import beta
+
+    cols = {
+        "cpu_avg": beta.ppf(u[:, 0], 2.4, 2.7),    # mean ~0.47
+        "cpu_max": beta.ppf(u[:, 1], 4.5, 1.8),    # mean ~0.71, peaked high
+        "mem_avg": beta.ppf(u[:, 2], 2.0, 2.4),    # median ~0.45
+        "mem_max": beta.ppf(u[:, 3], 4.8, 1.5),    # mean ~0.76
+        "net_in": beta.ppf(u[:, 4], 1.5, 4.0),
+        "net_out": beta.ppf(u[:, 5], 1.5, 4.5),
+        "disk_io": beta.ppf(u[:, 6], 1.2, 5.0),
+        "load_1": beta.ppf(u[:, 7], 2.0, 3.0),
+    }
+    return cols
+
+
+def synthesize_batch_jobs(n: int = 12_951, rng: np.random.Generator | None = None) -> dict[str, np.ndarray]:
+    """Per-job metric values for the batch population (Fig. 2c's input)."""
+    rng = rng or np.random.default_rng(1)
+    u = _gaussian_copula(rng, _BATCH_CORR, n)
+    from scipy.stats import beta
+
+    cols = {
+        "core_util": beta.ppf(u[:, 0], 2.2, 2.3),
+        "mem_util": beta.ppf(u[:, 1], 2.5, 2.0),
+        "load_1": beta.ppf(u[:, 2], 2.0, 2.2),
+        "load_5": beta.ppf(u[:, 3], 2.0, 2.2),
+        "load_15": beta.ppf(u[:, 4], 2.0, 2.2),
+        "disk_io": beta.ppf(u[:, 5], 1.5, 3.5),
+    }
+    return cols
+
+
+def batch_task_series(
+    duration_s: float = 120.0,
+    step_s: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> dict[str, np.ndarray]:
+    """One batch task's utilization *time series* with Fig. 2c structure.
+
+    ``core_util`` follows a mean-reverting AR(1) with occasional demand
+    surges; ``mem_util`` tracks it with lag and noise; ``load_1/5/15``
+    are trailing means of core over 1/5/15-step windows — so the
+    "datacenter load could be accurately predicted up to 15 seconds
+    ahead" property (Observation 3) holds by construction.
+    """
+    rng = rng or np.random.default_rng(2)
+    n = int(duration_s / step_s)
+    core = np.empty(n)
+    level = 0.35
+    for i in range(n):
+        level += 0.25 * (0.35 - level) + rng.normal(0, 0.05)
+        if rng.random() < 0.04:       # demand surge
+            level = min(level + rng.uniform(0.3, 0.55), 1.0)
+        core[i] = np.clip(level, 0.02, 1.0)
+    lagged = np.roll(core, 2)
+    lagged[:2] = core[:2]
+    mem = np.clip(0.75 * lagged + 0.15 + rng.normal(0, 0.03, n), 0.0, 1.0)
+
+    def trailing_mean(x: np.ndarray, w: int) -> np.ndarray:
+        c = np.cumsum(np.insert(x, 0, 0.0))
+        out = np.empty(len(x))
+        for i in range(len(x)):
+            lo = max(i - w + 1, 0)
+            out[i] = (c[i + 1] - c[lo]) / (i + 1 - lo)
+        return out
+
+    return {
+        "time_s": np.arange(n) * step_s,
+        "core_util": core,
+        "mem_util": mem,
+        "load_1": trailing_mean(core, 1),
+        "load_5": trailing_mean(core, 5),
+        "load_15": trailing_mean(core, 15),
+        "disk_io": np.clip(0.5 - 0.35 * core + rng.normal(0, 0.05, n), 0.0, 1.0),
+    }
+
+
+def utilization_cdfs(containers: dict[str, np.ndarray]) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """Empirical CDFs of the four Fig. 2b series.
+
+    Returns ``label -> (x, F(x))`` for max/avg CPU and memory
+    utilization, each sorted ascending.
+    """
+    out = {}
+    for label, key in (
+        ("max_cpu", "cpu_max"),
+        ("avg_cpu", "cpu_avg"),
+        ("max_mem", "mem_max"),
+        ("avg_mem", "mem_avg"),
+    ):
+        x = np.sort(containers[key])
+        f = np.arange(1, len(x) + 1) / len(x)
+        out[label] = (x, f)
+    return out
+
+
+@dataclass
+class ArrivalProcess:
+    """Doubly-stochastic arrival process modeled on the Alibaba trace.
+
+    Inter-arrivals are lognormal (heavy-ish tail => bursts) around a
+    base rate that is modulated by a diurnal sinusoid.  ``burstiness``
+    is the coefficient of variation of the inter-arrival distribution.
+    """
+
+    rate_per_s: float = 2.0
+    burstiness: float = 1.0
+    diurnal_amplitude: float = 0.3
+    diurnal_period_s: float = 3_600.0
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(3))
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0:
+            raise ValueError("rate must be positive")
+        if self.burstiness <= 0:
+            raise ValueError("burstiness must be positive")
+        # lognormal(mu, s): cov = sqrt(exp(s^2) - 1)  =>  s from burstiness
+        self._sigma = float(np.sqrt(np.log(1.0 + self.burstiness**2)))
+
+    def _instantaneous_rate(self, t_s: float) -> float:
+        mod = 1.0 + self.diurnal_amplitude * np.sin(2 * np.pi * t_s / self.diurnal_period_s)
+        return max(self.rate_per_s * mod, 1e-6)
+
+    def sample_until(self, duration_s: float) -> np.ndarray:
+        """Arrival times (seconds) in ``[0, duration_s)``."""
+        arrivals: list[float] = []
+        t = 0.0
+        while True:
+            rate = self._instantaneous_rate(t)
+            mean_gap = 1.0 / rate
+            mu = np.log(mean_gap) - self._sigma**2 / 2.0
+            gap = float(self.rng.lognormal(mu, self._sigma))
+            t += gap
+            if t >= duration_s:
+                break
+            arrivals.append(t)
+        return np.asarray(arrivals)
+
+
+def pareto_split(n: int, rng: np.random.Generator, short_fraction: float = 0.8) -> np.ndarray:
+    """Boolean mask: True = short-lived latency-critical task.
+
+    The paper fixes the batch/interactive cut-off by the Pareto
+    principle — 80 % of jobs are short-lived and consume only 20 % of
+    the resources.
+    """
+    if not (0.0 < short_fraction < 1.0):
+        raise ValueError("short_fraction must be in (0, 1)")
+    return rng.random(n) < short_fraction

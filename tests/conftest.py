@@ -1,0 +1,60 @@
+"""Shared fixtures for the Kube-Knots reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster, make_paper_cluster
+from repro.core.orchestrator import KubeKnots
+from repro.core.schedulers import make_scheduler
+from repro.kube.pod import PodSpec
+from repro.workloads.base import Phase, QoSClass, ResourceDemand, WorkloadTrace
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_cluster() -> Cluster:
+    """Three single-P100 worker nodes."""
+    return make_paper_cluster(num_nodes=3)
+
+
+def make_trace(
+    name: str = "toy",
+    duration_ms: float = 100.0,
+    sm: float = 0.5,
+    mem_mb: float = 2_000.0,
+    peak_mem_mb: float | None = None,
+    qos_class: QoSClass = QoSClass.BATCH,
+    requested_mem_mb: float | None = None,
+) -> WorkloadTrace:
+    """A minimal trace: steady body with an optional short peak."""
+    phases = [Phase(duration_ms * 0.9, ResourceDemand(sm=sm, mem_mb=mem_mb, tx_mbps=10.0, rx_mbps=10.0))]
+    peak = peak_mem_mb if peak_mem_mb is not None else mem_mb
+    phases.append(
+        Phase(duration_ms * 0.1, ResourceDemand(sm=min(sm * 1.5, 1.0), mem_mb=peak, tx_mbps=10.0, rx_mbps=10.0))
+    )
+    return WorkloadTrace(name, phases, qos_class=qos_class, requested_mem_mb=requested_mem_mb)
+
+
+def make_spec(
+    name: str = "pod",
+    image: str = "img/toy",
+    qos_threshold_ms: float | None = None,
+    **trace_kwargs,
+) -> PodSpec:
+    qos = trace_kwargs.pop("qos_class", QoSClass.BATCH)
+    if qos_threshold_ms is not None:
+        qos = QoSClass.LATENCY_CRITICAL
+    trace = make_trace(name=name, qos_class=qos, **trace_kwargs)
+    return PodSpec(name=name, image=image, trace=trace, qos_threshold_ms=qos_threshold_ms)
+
+
+@pytest.fixture
+def orchestrator(small_cluster) -> KubeKnots:
+    """Kube-Knots over the small cluster with the PP scheduler."""
+    return KubeKnots(small_cluster, make_scheduler("peak-prediction"))

@@ -1,0 +1,100 @@
+"""Tests for node monitors and the head-node utilization aggregator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.node import GpuNode
+from repro.telemetry.aggregator import NodeMonitor, UtilizationAggregator
+from repro.workloads.base import ResourceDemand
+
+
+def tick(node: GpuNode, sm: float = 0.3) -> None:
+    """Run one arbitration on every device of a node."""
+    for gpu in node.gpus:
+        demands = {}
+        if gpu.containers:
+            uid = next(iter(gpu.containers))
+            demands[uid] = ResourceDemand(sm=sm, mem_mb=1_000, tx_mbps=0, rx_mbps=0)
+        gpu.arbitrate(demands)
+
+
+@pytest.fixture
+def monitored_nodes():
+    nodes = [GpuNode.build(f"node{i}") for i in (1, 2)]
+    nodes[0].gpus[0].attach("p", 4_000)
+    monitors = [NodeMonitor(n) for n in nodes]
+    agg = UtilizationAggregator(monitors)
+    return nodes, monitors, agg
+
+
+class TestNodeMonitor:
+    def test_heartbeat_logs_all_metrics(self, monitored_nodes):
+        nodes, monitors, _ = monitored_nodes
+        tick(nodes[0])
+        monitors[0].heartbeat(now=10.0)
+        assert "node1/gpu0.sm_util" in monitors[0].tsdb
+        assert "node1/gpu0.power_w" in monitors[0].tsdb
+
+    def test_series_window(self, monitored_nodes):
+        nodes, monitors, _ = monitored_nodes
+        for t in range(20):
+            tick(nodes[0])
+            monitors[0].heartbeat(float(t))
+        w = monitors[0].series("node1/gpu0", "sm_util", window=5.0, now=19.0)
+        assert len(w) == 6
+
+
+class TestAggregator:
+    def test_requires_monitors(self):
+        with pytest.raises(ValueError):
+            UtilizationAggregator([])
+
+    def test_query_routes_to_node(self, monitored_nodes):
+        nodes, monitors, agg = monitored_nodes
+        tick(nodes[0])
+        for m in monitors:
+            m.heartbeat(1.0)
+        w = agg.query("node1/gpu0", "sm_util", window=10.0, now=1.0)
+        assert w.latest() == pytest.approx(0.3)
+
+    def test_query_unknown_node(self, monitored_nodes):
+        _, _, agg = monitored_nodes
+        with pytest.raises(KeyError):
+            agg.query("node9/gpu0", "sm_util", 1.0, 1.0)
+
+    def test_query_node_stats_covers_five_metrics(self, monitored_nodes):
+        nodes, monitors, agg = monitored_nodes
+        tick(nodes[0])
+        monitors[0].heartbeat(1.0)
+        stats = agg.query_node_stats("node1/gpu0", window=10.0, now=1.0)
+        assert set(stats) == {"sm_util", "mem_util", "power_w", "tx_mbps", "rx_mbps"}
+
+    def test_snapshot_reflects_allocations(self, monitored_nodes):
+        nodes, _, agg = monitored_nodes
+        views = {v.gpu_id: v for v in agg.snapshot()}
+        assert views["node1/gpu0"].free_alloc_mb == 16_384 - 4_000
+        assert views["node2/gpu0"].free_alloc_mb == 16_384
+
+    def test_sorted_by_free_memory_descending(self, monitored_nodes):
+        _, _, agg = monitored_nodes
+        order = [v.gpu_id for v in agg.sorted_by_free_memory()]
+        assert order == ["node2/gpu0", "node1/gpu0"]
+
+    def test_active_views_exclude_sleepers(self, monitored_nodes):
+        nodes, _, agg = monitored_nodes
+        nodes[1].gpus[0].sleep()
+        assert [v.gpu_id for v in agg.active_views()] == ["node1/gpu0"]
+
+    def test_cluster_utilization_matrix(self, monitored_nodes):
+        nodes, monitors, agg = monitored_nodes
+        for t in range(10):
+            for n in nodes:
+                tick(n)
+            for m in monitors:
+                m.heartbeat(float(t))
+        mat = agg.cluster_utilization(window=20.0, now=9.0)
+        assert mat.shape == (2, 10)
+        assert mat[0].max() > 0          # node1 busy
+        assert np.all(mat[1] == 0.0)     # node2 idle

@@ -1,0 +1,114 @@
+"""Tests for the Alibaba trace synthesizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.forecast.correlation import spearman
+from repro.workloads.alibaba import (
+    BATCH_METRICS,
+    LATENCY_METRICS,
+    ArrivalProcess,
+    batch_task_series,
+    pareto_split,
+    synthesize_batch_jobs,
+    synthesize_latency_containers,
+    utilization_cdfs,
+)
+
+
+class TestPopulations:
+    def test_latency_population_shape(self):
+        pop = synthesize_latency_containers(500, np.random.default_rng(0))
+        assert set(pop) == set(LATENCY_METRICS)
+        assert all(len(v) == 500 for v in pop.values())
+        assert all((v >= 0).all() and (v <= 1).all() for v in pop.values())
+
+    def test_batch_population_shape(self):
+        pop = synthesize_batch_jobs(500, np.random.default_rng(0))
+        assert set(pop) == set(BATCH_METRICS)
+
+    def test_fig2b_cdf_targets(self):
+        """Avg CPU ~47 %, half of pods under ~45 % of provisioned memory."""
+        pop = synthesize_latency_containers(8_000, np.random.default_rng(0))
+        assert np.mean(pop["cpu_avg"]) == pytest.approx(0.47, abs=0.04)
+        assert np.median(pop["mem_avg"]) == pytest.approx(0.45, abs=0.05)
+        assert np.mean(pop["mem_max"]) == pytest.approx(0.76, abs=0.05)
+
+    def test_batch_metrics_strongly_correlated(self):
+        """Observation 3: batch core/memory/load co-move strongly."""
+        pop = synthesize_batch_jobs(4_000, np.random.default_rng(1))
+        assert spearman(pop["core_util"], pop["mem_util"]) > 0.6
+        assert spearman(pop["core_util"], pop["load_1"]) > 0.7
+        assert spearman(pop["core_util"], pop["disk_io"]) < -0.2
+
+    def test_latency_metrics_weakly_correlated(self):
+        """Fig. 2a: short-lived tasks show no strong usage correlations."""
+        pop = synthesize_latency_containers(4_000, np.random.default_rng(2))
+        rho = spearman(pop["cpu_avg"], pop["mem_avg"])
+        assert abs(rho) < 0.3
+
+    def test_cdfs_are_monotone(self):
+        pop = synthesize_latency_containers(300, np.random.default_rng(0))
+        for x, f in utilization_cdfs(pop).values():
+            assert np.all(np.diff(x) >= 0)
+            assert np.all(np.diff(f) > 0)
+
+
+class TestBatchSeries:
+    def test_series_keys_and_bounds(self):
+        series = batch_task_series(60.0, rng=np.random.default_rng(0))
+        assert {"core_util", "mem_util", "load_1", "load_5", "load_15"} <= set(series)
+        assert (series["core_util"] >= 0).all() and (series["core_util"] <= 1).all()
+
+    def test_load_averages_track_core(self):
+        series = batch_task_series(300.0, rng=np.random.default_rng(3))
+        assert spearman(series["core_util"], series["load_5"]) > 0.5
+
+    def test_memory_lags_core(self):
+        """Memory follows core with a small lag (the early marker)."""
+        series = batch_task_series(300.0, rng=np.random.default_rng(3))
+        core, mem = series["core_util"], series["mem_util"]
+        lagged = spearman(core[:-2], mem[2:])
+        instant = spearman(core, mem)
+        assert lagged >= instant - 0.02
+
+
+class TestArrivals:
+    def test_rate_approximately_respected(self):
+        proc = ArrivalProcess(rate_per_s=5.0, burstiness=0.5, diurnal_amplitude=0.0,
+                              rng=np.random.default_rng(0))
+        arrivals = proc.sample_until(500.0)
+        assert len(arrivals) == pytest.approx(2_500, rel=0.15)
+
+    def test_arrivals_sorted_within_window(self):
+        proc = ArrivalProcess(rng=np.random.default_rng(1))
+        arrivals = proc.sample_until(100.0)
+        assert np.all(np.diff(arrivals) >= 0)
+        assert arrivals[-1] < 100.0
+
+    def test_burstiness_raises_interarrival_cov(self):
+        calm = ArrivalProcess(rate_per_s=5, burstiness=0.2, diurnal_amplitude=0.0,
+                              rng=np.random.default_rng(2)).sample_until(2_000)
+        bursty = ArrivalProcess(rate_per_s=5, burstiness=2.5, diurnal_amplitude=0.0,
+                                rng=np.random.default_rng(2)).sample_until(2_000)
+        cov = lambda a: np.std(np.diff(a)) / np.mean(np.diff(a))  # noqa: E731
+        assert cov(bursty) > 2 * cov(calm)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ArrivalProcess(rate_per_s=0)
+        with pytest.raises(ValueError):
+            ArrivalProcess(burstiness=0)
+
+
+class TestParetoSplit:
+    def test_split_fraction(self):
+        rng = np.random.default_rng(0)
+        mask = pareto_split(20_000, rng)
+        assert mask.mean() == pytest.approx(0.8, abs=0.02)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            pareto_split(10, np.random.default_rng(0), short_fraction=1.0)

@@ -1,0 +1,89 @@
+"""Tests for the API server (pod store / pending queue / events)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kube.api import APIServer, EventType
+from tests.conftest import make_spec
+
+
+class TestSubmission:
+    def test_submit_enqueues_fifo(self):
+        api = APIServer()
+        a = api.submit(make_spec("a"), 0.0)
+        b = api.submit(make_spec("b"), 1.0)
+        assert [p.uid for p in api.pending_pods()] == [a.uid, b.uid]
+        assert api.num_pending() == 2
+
+    def test_submit_logs_event(self):
+        api = APIServer()
+        api.submit(make_spec(), 0.0)
+        assert len(api.events_of(EventType.SUBMITTED)) == 1
+
+
+class TestBinding:
+    def test_bind_removes_from_queue(self):
+        api = APIServer()
+        pod = api.submit(make_spec(), 0.0)
+        api.bind(pod, "node1", "node1/gpu0", 500.0, 1.0)
+        assert api.num_pending() == 0
+        assert pod.alloc_mb == 500.0
+        assert pod.gpu_id == "node1/gpu0"
+
+    def test_bind_non_pending_rejected(self):
+        api = APIServer()
+        pod = api.submit(make_spec(), 0.0)
+        api.bind(pod, "n", "n/gpu0", 1.0, 1.0)
+        with pytest.raises(ValueError):
+            api.bind(pod, "n", "n/gpu0", 1.0, 2.0)
+
+    def test_bind_preserves_queue_order_of_others(self):
+        api = APIServer()
+        a = api.submit(make_spec("a"), 0.0)
+        b = api.submit(make_spec("b"), 0.0)
+        c = api.submit(make_spec("c"), 0.0)
+        api.bind(b, "n", "n/gpu0", 1.0, 1.0)
+        assert [p.uid for p in api.pending_pods()] == [a.uid, c.uid]
+
+
+class TestLifecycleNotifications:
+    def test_oom_requeues_at_tail(self):
+        api = APIServer()
+        victim = api.submit(make_spec("victim"), 0.0)
+        api.bind(victim, "n", "n/gpu0", 1.0, 1.0)
+        waiting = api.submit(make_spec("waiting"), 2.0)
+        api.notify_oom_killed(victim, 3.0)
+        assert [p.uid for p in api.pending_pods()] == [waiting.uid, victim.uid]
+        assert victim.restart_count == 1
+        assert len(api.events_of(EventType.OOM_KILLED)) == 1
+        assert len(api.events_of(EventType.REQUEUED)) == 1
+
+    def test_succeeded_completes(self):
+        api = APIServer()
+        pod = api.submit(make_spec(), 0.0)
+        api.bind(pod, "n", "n/gpu0", 1.0, 1.0)
+        api.notify_started(pod, 2.0)
+        api.notify_succeeded(pod, 10.0)
+        assert api.all_done()
+        assert not api.unfinished()
+
+    def test_resize_event_updates_alloc(self):
+        api = APIServer()
+        pod = api.submit(make_spec(), 0.0)
+        api.bind(pod, "n", "n/gpu0", 1_000.0, 1.0)
+        api.notify_resized(pod, 400.0, 2.0)
+        assert pod.alloc_mb == 400.0
+        assert len(api.events_of(EventType.RESIZED)) == 1
+
+    def test_all_done_false_with_pending(self):
+        api = APIServer()
+        api.submit(make_spec(), 0.0)
+        assert not api.all_done()
+
+    def test_pod_lookup(self):
+        api = APIServer()
+        pod = api.submit(make_spec(), 0.0)
+        assert api.pod(pod.uid) is pod
+        with pytest.raises(KeyError):
+            api.pod("ghost")

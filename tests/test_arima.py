@@ -1,0 +1,91 @@
+"""Tests for the AR(1)/ARIMA forecaster (Eq. 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.forecast.arima import Arima1, fit_ar1, fit_ar1_at_lag, forecast_series
+
+
+def ar1_series(phi: float, mu: float, n: int, noise: float, rng) -> np.ndarray:
+    y = np.empty(n)
+    y[0] = mu / (1 - phi) if phi != 1 else mu
+    for i in range(1, n):
+        y[i] = mu + phi * y[i - 1] + rng.normal(0, noise)
+    return y
+
+
+class TestFit:
+    def test_recovers_known_coefficients(self, rng):
+        y = ar1_series(phi=0.8, mu=0.5, n=5_000, noise=0.05, rng=rng)
+        model = fit_ar1(y)
+        assert model.phi == pytest.approx(0.8, abs=0.05)
+        assert model.mu == pytest.approx(0.5, abs=0.15)
+
+    def test_constant_window_persistence(self):
+        model = fit_ar1(np.full(50, 7.0))
+        assert model.phi == 0.0
+        assert model.predict(7.0) == pytest.approx(7.0)
+
+    def test_tiny_window_persistence(self):
+        model = fit_ar1(np.array([3.0, 4.0]))
+        assert model.phi == 0.0
+        assert model.mu == pytest.approx(3.5)
+
+    def test_empty_window(self):
+        model = fit_ar1(np.array([]))
+        assert model.n_obs == 0
+        assert model.predict(1.0) == 0.0
+
+    def test_phi_clamped_to_stationary(self, rng):
+        # Explosive-looking data must not produce |phi| > 1.
+        y = np.exp(np.linspace(0, 5, 30))
+        assert abs(fit_ar1(y).phi) <= 1.0
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=0, max_size=40))
+    @settings(max_examples=50)
+    def test_fit_never_crashes(self, ys):
+        model = fit_ar1(np.asarray(ys))
+        assert np.isfinite(model.predict(0.0))
+
+
+class TestForecast:
+    def test_multi_step_shape(self):
+        model = Arima1(mu=0.0, phi=0.5, n_obs=10)
+        path = model.forecast(1.0, steps=4)
+        assert list(path) == [0.5, 0.25, 0.125, 0.0625]
+
+    def test_bad_steps(self):
+        with pytest.raises(ValueError):
+            Arima1(0, 0.5, 10).forecast(1.0, steps=0)
+
+    def test_forecast_series_clips(self):
+        pred = forecast_series(np.linspace(0, 2, 50), steps=3, clip=(0.0, 1.0))
+        assert (pred >= 0).all() and (pred <= 1).all()
+
+    def test_forecast_tracks_rising_trend(self, rng):
+        y = np.linspace(0.1, 0.5, 100) + rng.normal(0, 0.002, 100)
+        pred = forecast_series(y, steps=1)[0]
+        assert pred > 0.49
+
+
+class TestLagK:
+    def test_direct_lag_matches_truth(self, rng):
+        y = ar1_series(phi=0.9, mu=0.0, n=8_000, noise=0.05, rng=rng)
+        model = fit_ar1_at_lag(y, lag=10)
+        assert model.phi == pytest.approx(0.9**10, abs=0.08)
+
+    def test_falls_back_on_short_window(self):
+        model = fit_ar1_at_lag(np.array([1.0, 2.0, 3.0]), lag=10)
+        assert np.isfinite(model.predict(3.0))
+
+    def test_bad_lag(self):
+        with pytest.raises(ValueError):
+            fit_ar1_at_lag(np.arange(10.0), lag=0)
+
+    def test_constant_prev_segment(self):
+        y = np.concatenate([np.full(10, 2.0), np.arange(5.0)])
+        model = fit_ar1_at_lag(y, lag=12)
+        assert np.isfinite(model.predict(4.0))

@@ -1,0 +1,82 @@
+"""Tests for the autocorrelation function (Eq. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.forecast.autocorr import (
+    autocorrelation,
+    autocorrelation_function,
+    has_predictable_trend,
+    peak_interval,
+)
+
+
+class TestAutocorrelation:
+    def test_matches_manual_eq2(self, rng):
+        y = rng.normal(size=50)
+        mean = y.mean()
+        dev = y - mean
+        manual = (dev[:-3] @ dev[3:]) / (dev @ dev)
+        assert autocorrelation(y, lag=3) == pytest.approx(manual)
+
+    def test_smooth_series_positive_lag1(self):
+        y = np.sin(np.linspace(0, 4 * np.pi, 200))
+        assert autocorrelation(y, lag=1) > 0.9
+
+    def test_alternating_series_negative(self):
+        y = np.array([1.0, -1.0] * 20)
+        assert autocorrelation(y, lag=1) == pytest.approx(-1.0, abs=0.1)
+
+    def test_constant_series_zero(self):
+        assert autocorrelation(np.full(20, 3.0), lag=1) == 0.0
+
+    def test_short_series_zero(self):
+        assert autocorrelation(np.array([1.0, 2.0]), lag=5) == 0.0
+
+    def test_bad_lag_rejected(self):
+        with pytest.raises(ValueError):
+            autocorrelation(np.arange(10.0), lag=0)
+
+    def test_white_noise_near_zero(self, rng):
+        y = rng.normal(size=5_000)
+        assert abs(autocorrelation(y, lag=1)) < 0.05
+
+
+class TestAcfAndTrend:
+    def test_acf_shape(self, rng):
+        acf = autocorrelation_function(rng.normal(size=100), max_lag=10)
+        assert acf.shape == (10,)
+
+    def test_acf_first_entry_is_lag1(self, rng):
+        y = rng.normal(size=80).cumsum()
+        acf = autocorrelation_function(y, 5)
+        assert acf[0] == pytest.approx(autocorrelation(y, 1))
+
+    def test_predictable_trend_gate(self, rng):
+        """Algorithm 1: r > 0 means forecastable."""
+        trended = np.linspace(0, 1, 100) + rng.normal(0, 0.01, 100)
+        assert has_predictable_trend(trended)
+        assert not has_predictable_trend(np.array([1.0, -1.0] * 30))
+
+
+class TestPeakInterval:
+    def test_periodic_signal_interval_detected(self):
+        t = np.arange(400)
+        y = (np.sin(2 * np.pi * t / 40) > 0.9).astype(float)  # peaks every 40
+        interval = peak_interval(y, max_lag=100)
+        assert interval is not None
+        assert interval == pytest.approx(40, abs=3)
+
+    def test_aperiodic_returns_none_or_weak(self, rng):
+        y = rng.normal(size=30)
+        # white noise either finds nothing or a spurious weak lag;
+        # require that a *strong* period is not reported
+        interval = peak_interval(y)
+        if interval is not None:
+            acf = autocorrelation_function(y, max_lag=len(y) // 2)
+            assert acf[interval - 1] < 0.5
+
+    def test_too_short_series(self):
+        assert peak_interval(np.array([1.0, 2.0, 1.0])) is None

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.mix == "app-mix-1"
+        assert args.scheduler == "peak-prediction"
+        assert args.nodes == 10
+
+    def test_dlsim_policies(self):
+        args = build_parser().parse_args(["dlsim", "--policies", "cbp-pp", "tiresias"])
+        assert args.policies == ["cbp-pp", "tiresias"]
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "peak-prediction" in out
+        assert "app-mix-1" in out
+        assert "gandiva" in out
+
+    def test_experiment_fig1(self, capsys):
+        assert main(["experiment", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+
+    def test_simulate_small(self, capsys):
+        rc = main(
+            ["simulate", "--mix", "app-mix-3", "--duration", "3", "--nodes", "3", "--seed", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pods completed" in out
+        assert "mean cluster power" in out
+
+    def test_experiments_registry_complete(self):
+        # every experiment module listed by the CLI must import and
+        # expose main()
+        import importlib
+
+        for name in EXPERIMENTS:
+            mod = importlib.import_module(f"repro.experiments.{name}")
+            assert callable(mod.main)
+
+    def test_simulate_export(self, tmp_path, capsys):
+        out_file = tmp_path / "run.json"
+        rc = main(
+            ["simulate", "--mix", "app-mix-3", "--duration", "3", "--nodes", "2",
+             "--export", str(out_file)]
+        )
+        assert rc == 0
+        from repro.telemetry.export import import_result_series
+
+        loaded = import_result_series(out_file)
+        assert loaded["pods"]
+
+    def test_replay_command(self, tmp_path, capsys):
+        trace = tmp_path / "batch_task.csv"
+        trace.write_text(
+            "100,200,j_1,t_1,1,Terminated,600,4.0\n"
+            "110,260,j_1,t_2,1,Terminated,1200,8.0\n"
+        )
+        rc = main(["replay", str(trace), "--nodes", "2", "--time-scale", "0.05"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "replayed tasks" in out
+
+    def test_replay_empty_trace(self, tmp_path, capsys):
+        trace = tmp_path / "batch_task.csv"
+        trace.write_text("")
+        assert main(["replay", str(trace)]) == 2

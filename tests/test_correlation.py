@@ -1,0 +1,83 @@
+"""Tests for Spearman correlation (Eq. 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from scipy import stats as sps
+
+from repro.forecast.correlation import (
+    correlation_matrix,
+    is_safe_to_colocate,
+    rankdata,
+    spearman,
+)
+
+
+class TestRankdata:
+    def test_simple_ranks(self):
+        assert list(rankdata(np.array([30.0, 10.0, 20.0]))) == [3.0, 1.0, 2.0]
+
+    def test_ties_get_average_rank(self):
+        ranks = rankdata(np.array([1.0, 2.0, 2.0, 3.0]))
+        assert list(ranks) == [1.0, 2.5, 2.5, 4.0]
+
+    def test_matches_scipy(self, rng):
+        x = rng.integers(0, 5, 50).astype(float)
+        assert np.allclose(rankdata(x), sps.rankdata(x))
+
+
+class TestSpearman:
+    def test_perfect_monotone(self):
+        x = np.arange(10.0)
+        assert spearman(x, x**3) == pytest.approx(1.0)
+        assert spearman(x, -x) == pytest.approx(-1.0)
+
+    def test_matches_scipy_no_ties(self, rng):
+        x, y = rng.normal(size=40), rng.normal(size=40)
+        ours = spearman(x, y)
+        theirs = sps.spearmanr(x, y).statistic
+        assert ours == pytest.approx(theirs, abs=1e-12)
+
+    def test_matches_scipy_with_ties(self, rng):
+        x = rng.integers(0, 4, 60).astype(float)
+        y = rng.integers(0, 4, 60).astype(float)
+        assert spearman(x, y) == pytest.approx(sps.spearmanr(x, y).statistic, abs=1e-12)
+
+    def test_constant_series_is_uncorrelated(self):
+        assert spearman(np.ones(10), np.arange(10.0)) == 0.0
+
+    def test_too_short_series(self):
+        assert spearman(np.array([1.0]), np.array([2.0])) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            spearman(np.arange(3.0), np.arange(4.0))
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=2, max_size=60))
+    def test_bounded_and_symmetric(self, xs):
+        x = np.asarray(xs)
+        y = np.sin(x)  # arbitrary deterministic partner
+        rho = spearman(x, y)
+        assert -1.0 - 1e-9 <= rho <= 1.0 + 1e-9
+        assert spearman(y, x) == pytest.approx(rho)
+
+
+class TestMatrixAndGate:
+    def test_matrix_symmetric_unit_diagonal(self, rng):
+        series = {k: rng.normal(size=30) for k in ("a", "b", "c")}
+        names, mat = correlation_matrix(series)
+        assert names == ["a", "b", "c"]
+        assert np.allclose(mat, mat.T)
+        assert np.allclose(np.diag(mat), 1.0)
+
+    def test_colocate_gate_blocks_positive_pairs(self, rng):
+        base = rng.normal(size=50).cumsum()
+        assert not is_safe_to_colocate(base, base + rng.normal(0, 0.01, 50))
+        assert is_safe_to_colocate(base, -base)
+
+    def test_colocate_threshold(self, rng):
+        x = np.arange(20.0)
+        assert not is_safe_to_colocate(x, x, threshold=0.99)
+        assert is_safe_to_colocate(x, -x, threshold=0.0)

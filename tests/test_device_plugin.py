@@ -1,0 +1,60 @@
+"""Tests for the shared-GPU device plugin."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.node import GpuNode
+from repro.kube.device_plugin import DevicePluginError, SharedGPUDevicePlugin
+
+
+@pytest.fixture
+def node() -> GpuNode:
+    return GpuNode.build("n", num_gpus=2)
+
+
+class TestSharedMode:
+    def test_multiple_pods_share_a_device(self, node):
+        plugin = SharedGPUDevicePlugin(node)
+        plugin.allocate("n/gpu0", "a", 4_000)
+        plugin.allocate("n/gpu0", "b", 4_000)
+        assert len(node.gpus[0].containers) == 2
+
+    def test_allocatable_respects_reservations(self, node):
+        plugin = SharedGPUDevicePlugin(node)
+        plugin.allocate("n/gpu0", "a", 16_000)
+        assert not plugin.allocatable("n/gpu0", 1_000)
+        assert plugin.allocatable("n/gpu1", 1_000)
+
+    def test_over_allocation_raises(self, node):
+        plugin = SharedGPUDevicePlugin(node)
+        plugin.allocate("n/gpu0", "a", 16_000)
+        with pytest.raises(DevicePluginError):
+            plugin.allocate("n/gpu0", "b", 1_000)
+
+    def test_free_releases(self, node):
+        plugin = SharedGPUDevicePlugin(node)
+        plugin.allocate("n/gpu0", "a", 16_000)
+        plugin.free("n/gpu0", "a")
+        assert plugin.allocatable("n/gpu0", 16_000)
+
+    def test_resize_returns_harvested(self, node):
+        plugin = SharedGPUDevicePlugin(node)
+        plugin.allocate("n/gpu0", "a", 8_000)
+        assert plugin.resize("n/gpu0", "a", 2_000) == 6_000
+
+
+class TestExclusiveMode:
+    def test_one_pod_per_device(self, node):
+        plugin = SharedGPUDevicePlugin(node, sharing_enabled=False)
+        plugin.allocate("n/gpu0", "a", 100)
+        assert not plugin.allocatable("n/gpu0", 100)
+        with pytest.raises(DevicePluginError):
+            plugin.allocate("n/gpu0", "b", 100)
+
+    def test_resize_unsupported(self, node):
+        """The stock plugin has no docker-resize path."""
+        plugin = SharedGPUDevicePlugin(node, sharing_enabled=False)
+        plugin.allocate("n/gpu0", "a", 100)
+        with pytest.raises(DevicePluginError):
+            plugin.resize("n/gpu0", "a", 50)

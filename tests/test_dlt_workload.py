@@ -1,0 +1,82 @@
+"""Tests for the DL-cluster workload generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.dlt import (
+    GANG_PROBS,
+    GANG_SIZES,
+    DLJob,
+    DLJobKind,
+    DLWorkloadConfig,
+    generate_dl_workload,
+)
+
+
+class TestGeneration:
+    def test_exact_counts(self):
+        cfg = DLWorkloadConfig(n_training=50, n_inference=120)
+        jobs = generate_dl_workload(cfg, seed=0)
+        kinds = [j.kind for j in jobs]
+        assert kinds.count(DLJobKind.TRAINING) == 50
+        assert kinds.count(DLJobKind.INFERENCE) == 120
+
+    def test_paper_default_counts(self):
+        jobs = generate_dl_workload(seed=0)
+        assert len(jobs) == 520 + 1400
+
+    def test_sorted_by_arrival_with_sequential_ids(self):
+        jobs = generate_dl_workload(DLWorkloadConfig(n_training=30, n_inference=30), seed=1)
+        arrivals = [j.arrival_s for j in jobs]
+        assert arrivals == sorted(arrivals)
+        assert [j.job_id for j in jobs] == list(range(len(jobs)))
+
+    def test_gang_sizes_from_catalogue(self):
+        jobs = generate_dl_workload(DLWorkloadConfig(n_training=200, n_inference=10), seed=2)
+        gangs = {j.num_gpus for j in jobs if j.kind is DLJobKind.TRAINING}
+        assert gangs <= set(GANG_SIZES.tolist())
+        assert 1 in gangs                       # single-GPU jobs dominate
+
+    def test_inference_jobs_single_gpu_with_slo(self):
+        cfg = DLWorkloadConfig(n_training=5, n_inference=50)
+        for j in generate_dl_workload(cfg, seed=3):
+            if j.kind is DLJobKind.INFERENCE:
+                assert j.num_gpus == 1
+                assert j.qos_threshold_s == cfg.dli_qos_s
+                assert cfg.dli_min_s <= j.service_s <= cfg.dli_max_s
+
+    def test_training_durations_heavy_tailed(self):
+        jobs = generate_dl_workload(DLWorkloadConfig(n_training=400, n_inference=10), seed=4)
+        services = np.array([j.service_s for j in jobs if j.kind is DLJobKind.TRAINING])
+        assert services.max() > 5 * np.median(services)
+
+    def test_deterministic_by_seed(self):
+        a = generate_dl_workload(seed=9)
+        b = generate_dl_workload(seed=9)
+        assert [(j.arrival_s, j.service_s) for j in a] == [(j.arrival_s, j.service_s) for j in b]
+
+    def test_gang_probs_normalized(self):
+        assert GANG_PROBS.sum() == pytest.approx(1.0)
+
+
+class TestDLJob:
+    def test_jct_requires_finish(self):
+        job = DLJob(0, DLJobKind.TRAINING, 0.0, 1, 100.0)
+        with pytest.raises(ValueError):
+            _ = job.jct_s
+        job.finish_s = 150.0
+        assert job.jct_s == 150.0
+
+    def test_violation_logic(self):
+        job = DLJob(0, DLJobKind.INFERENCE, 10.0, 1, 0.05, qos_threshold_s=0.15)
+        job.finish_s = 10.1
+        assert not job.violates_qos()
+        job.finish_s = 10.3
+        assert job.violates_qos()
+
+    def test_training_never_violates(self):
+        job = DLJob(0, DLJobKind.TRAINING, 0.0, 1, 100.0)
+        job.finish_s = 1e9
+        assert not job.violates_qos()

@@ -1,0 +1,136 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import EventLoop, SimulationError
+
+
+def test_events_fire_in_time_order():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(5.0, fired.append, "late")
+    loop.schedule(1.0, fired.append, "early")
+    loop.schedule(3.0, fired.append, "middle")
+    loop.run()
+    assert fired == ["early", "middle", "late"]
+
+
+def test_same_time_events_fire_fifo():
+    loop = EventLoop()
+    fired = []
+    for i in range(10):
+        loop.schedule(1.0, fired.append, i)
+    loop.run()
+    assert fired == list(range(10))
+
+
+def test_clock_advances_to_event_time():
+    loop = EventLoop()
+    seen = []
+    loop.schedule(2.5, lambda: seen.append(loop.now))
+    loop.run()
+    assert seen == [2.5]
+    assert loop.now == 2.5
+
+
+def test_run_until_stops_before_future_events():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(1.0, fired.append, "a")
+    loop.schedule(10.0, fired.append, "b")
+    n = loop.run(until=5.0)
+    assert n == 1
+    assert fired == ["a"]
+    assert loop.now == 5.0  # clock advanced to the boundary
+    loop.run()
+    assert fired == ["a", "b"]
+
+
+def test_schedule_in_past_rejected():
+    loop = EventLoop()
+    with pytest.raises(SimulationError):
+        loop.schedule(-1.0, lambda: None)
+    loop.schedule(5.0, lambda: None)
+    loop.run()
+    with pytest.raises(SimulationError):
+        loop.schedule_at(1.0, lambda: None)
+
+
+def test_cancel_prevents_firing():
+    loop = EventLoop()
+    fired = []
+    handle = loop.schedule(1.0, fired.append, "cancelled")
+    loop.schedule(2.0, fired.append, "kept")
+    handle.cancel()
+    assert handle.cancelled
+    loop.run()
+    assert fired == ["kept"]
+
+
+def test_cancel_is_idempotent():
+    loop = EventLoop()
+    handle = loop.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert loop.run() == 0
+
+
+def test_events_scheduled_during_run_fire():
+    loop = EventLoop()
+    fired = []
+
+    def chain(depth: int) -> None:
+        fired.append(depth)
+        if depth < 3:
+            loop.schedule(1.0, chain, depth + 1)
+
+    loop.schedule(0.0, chain, 0)
+    loop.run()
+    assert fired == [0, 1, 2, 3]
+    assert loop.now == 3.0
+
+
+def test_max_events_bounds_execution():
+    loop = EventLoop()
+    fired = []
+    for i in range(100):
+        loop.schedule(float(i), fired.append, i)
+    assert loop.run(max_events=10) == 10
+    assert len(fired) == 10
+
+
+def test_len_counts_pending_non_cancelled():
+    loop = EventLoop()
+    handles = [loop.schedule(float(i), lambda: None) for i in range(5)]
+    handles[0].cancel()
+    assert len(loop) == 4
+
+
+def test_step_returns_false_when_empty():
+    loop = EventLoop()
+    assert loop.step() is False
+
+
+def test_reentrant_run_rejected():
+    loop = EventLoop()
+
+    def nested():
+        with pytest.raises(SimulationError):
+            loop.run()
+
+    loop.schedule(1.0, nested)
+    loop.run()
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=50))
+def test_arbitrary_schedules_fire_sorted(delays):
+    loop = EventLoop()
+    fired = []
+    for d in delays:
+        loop.schedule(d, lambda t=d: fired.append(t))
+    loop.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)

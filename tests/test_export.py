@@ -1,0 +1,110 @@
+"""Tests for telemetry/result export and import."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.schedulers import make_scheduler
+from repro.sim.simulator import KubeKnotsSimulator
+from repro.cluster.cluster import make_paper_cluster
+from repro.telemetry.export import (
+    export_result_json,
+    export_tsdb_csv,
+    import_result_series,
+    import_tsdb_csv,
+    tsdb_to_rows,
+)
+from repro.telemetry.tsdb import TimeSeriesDB
+from tests.conftest import make_spec
+
+
+@pytest.fixture
+def populated_db():
+    db = TimeSeriesDB()
+    for t in range(5):
+        db.write("gpu0.sm_util", float(t), t / 10.0)
+        db.write("gpu0.power_w", float(t), 100.0 + t)
+    return db
+
+
+class TestTsdbCsv:
+    def test_rows_flatten_all_series(self, populated_db):
+        rows = tsdb_to_rows(populated_db)
+        assert len(rows) == 10
+        assert rows[0][0] == "gpu0.power_w"   # sorted by metric then time
+
+    def test_roundtrip(self, populated_db, tmp_path):
+        path = tmp_path / "telemetry.csv"
+        n = export_tsdb_csv(populated_db, path)
+        assert n == 10
+        loaded = import_tsdb_csv(path)
+        assert loaded.metrics() == populated_db.metrics()
+        original = populated_db.query("gpu0.sm_util")
+        restored = loaded.query("gpu0.sm_util")
+        assert np.allclose(original.values, restored.values)
+        assert np.allclose(original.times, restored.times)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError):
+            import_tsdb_csv(path)
+
+
+class TestResultJson:
+    @pytest.fixture
+    def result(self):
+        cluster = make_paper_cluster(num_nodes=2)
+        workload = [
+            (0.0, make_spec("a", duration_ms=100.0)),
+            (50.0, make_spec("q", duration_ms=40.0, qos_threshold_ms=150.0)),
+        ]
+        return KubeKnotsSimulator(cluster, make_scheduler("cbp"), workload).run()
+
+    def test_roundtrip_series(self, result, tmp_path):
+        path = tmp_path / "run.json"
+        export_result_json(result, path)
+        loaded = import_result_series(path)
+        assert loaded["scheduler"] == "cbp"
+        assert loaded["makespan_ms"] == result.makespan_ms
+        for gid, series in result.gpu_util_series.items():
+            assert np.allclose(loaded["gpu_util_series"][gid], series)
+        assert len(loaded["pods"]) == len(result.pods)
+
+    def test_pod_records_complete(self, result, tmp_path):
+        path = tmp_path / "run.json"
+        export_result_json(result, path)
+        loaded = import_result_series(path)
+        pod = next(p for p in loaded["pods"] if p["name"] == "q")
+        assert pod["qos_class"] == "latency-critical"
+        assert pod["phase"] == "Succeeded"
+        assert pod["finished_ms"] is not None
+
+    def test_foreign_json_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"hello": "world"}')
+        with pytest.raises(ValueError):
+            import_result_series(path)
+
+
+class TestDlExport:
+    def test_dl_run_export(self, tmp_path):
+        import json
+
+        from repro.sim.dlsim import DLClusterSimulator, make_dl_policy
+        from repro.telemetry.export import export_dl_result_json
+        from repro.workloads.dlt import DLWorkloadConfig, generate_dl_workload
+
+        cfg = DLWorkloadConfig(n_training=5, n_inference=10, window_s=600.0,
+                               dlt_median_s=120.0, dlt_sigma=0.5)
+        jobs = generate_dl_workload(cfg, seed=0)
+        result = DLClusterSimulator(jobs, make_dl_policy("cbp-pp"),
+                                    n_nodes=2, gpus_per_node=4).run()
+        path = tmp_path / "dl.json"
+        export_dl_result_json(result, path)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "kube-knots-repro/dl-run"
+        assert payload["policy"] == "cbp-pp"
+        assert len(payload["jobs"]) == 15
+        assert all(j["finish_s"] is not None for j in payload["jobs"])

@@ -1,0 +1,172 @@
+"""Tests for the simulated GPU device."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.gpu import GPU
+from repro.workloads.base import ResourceDemand
+
+
+def demand(sm=0.5, mem=1_000.0, tx=0.0, rx=0.0) -> ResourceDemand:
+    return ResourceDemand(sm=sm, mem_mb=mem, tx_mbps=tx, rx_mbps=rx)
+
+
+class TestAllocation:
+    def test_attach_reserves_memory(self):
+        gpu = GPU("g", mem_capacity_mb=16_384)
+        gpu.attach("a", 4_000)
+        assert gpu.allocated_mem_mb == 4_000
+        assert gpu.free_mem_mb == 12_384
+
+    def test_attach_beyond_capacity_rejected(self):
+        gpu = GPU("g", mem_capacity_mb=8_000)
+        gpu.attach("a", 6_000)
+        with pytest.raises(ValueError):
+            gpu.attach("b", 3_000)
+
+    def test_double_attach_rejected(self):
+        gpu = GPU("g")
+        gpu.attach("a", 100)
+        with pytest.raises(ValueError):
+            gpu.attach("a", 100)
+
+    def test_exclusive_blocks_sharing(self):
+        gpu = GPU("g")
+        gpu.attach("a", 100, exclusive=True)
+        assert not gpu.can_fit(1.0)
+        with pytest.raises(ValueError):
+            gpu.attach("b", 1.0)
+
+    def test_exclusive_needs_empty_device(self):
+        gpu = GPU("g")
+        gpu.attach("a", 100)
+        assert not gpu.can_fit(100, exclusive=True)
+
+    def test_detach_frees_reservation(self):
+        gpu = GPU("g")
+        gpu.attach("a", 5_000)
+        gpu.detach("a")
+        assert gpu.free_mem_mb == gpu.mem_capacity_mb
+        with pytest.raises(KeyError):
+            gpu.detach("a")
+
+    def test_resize_harvests(self):
+        gpu = GPU("g")
+        gpu.attach("a", 8_000)
+        harvested = gpu.resize("a", 2_000)
+        assert harvested == 6_000
+        assert gpu.free_mem_mb == gpu.mem_capacity_mb - 2_000
+
+    def test_resize_grow_respects_capacity(self):
+        gpu = GPU("g", mem_capacity_mb=8_000)
+        gpu.attach("a", 4_000)
+        gpu.attach("b", 3_500)
+        with pytest.raises(ValueError):
+            gpu.resize("a", 5_000)
+
+    def test_attach_wakes_sleeping_device(self):
+        gpu = GPU("g")
+        gpu.sleep()
+        assert gpu.asleep
+        gpu.attach("a", 100)
+        assert not gpu.asleep
+
+    def test_sleep_requires_drained(self):
+        gpu = GPU("g")
+        gpu.attach("a", 100)
+        with pytest.raises(ValueError):
+            gpu.sleep()
+
+
+class TestArbitration:
+    def test_uncontended_full_share(self):
+        gpu = GPU("g", interference_alpha=0.0)
+        gpu.attach("a", 2_000)
+        shares, sample, violation = gpu.arbitrate({"a": demand(sm=0.4)})
+        assert shares["a"] == pytest.approx(1.0)
+        assert violation is None
+        assert sample.sm_util == pytest.approx(0.4)
+
+    def test_oversubscribed_sm_shared_proportionally(self):
+        gpu = GPU("g", interference_alpha=0.0)
+        gpu.attach("a", 1_000)
+        gpu.attach("b", 1_000)
+        shares, sample, _ = gpu.arbitrate({"a": demand(sm=0.8), "b": demand(sm=1.0)})
+        assert shares["a"] == pytest.approx(1.0 / 1.8)
+        assert sample.sm_util == 1.0
+
+    def test_interference_slows_co_runners(self):
+        """Sec. I: sharing with busy neighbours taxes progress."""
+        gpu = GPU("g", interference_alpha=1.0)
+        gpu.attach("a", 1_000)
+        gpu.attach("b", 1_000)
+        shares, _, _ = gpu.arbitrate({"a": demand(sm=0.1), "b": demand(sm=0.5)})
+        # a pays for b's 0.5 SM of activity: 1 / (1 + 0.5)
+        assert shares["a"] == pytest.approx(1.0 / 1.5)
+        assert shares["b"] == pytest.approx(1.0 / 1.1)
+
+    def test_capacity_violation_picks_overcommitted_victim(self):
+        gpu = GPU("g", mem_capacity_mb=10_000)
+        gpu.attach("honest", 6_000)
+        gpu.attach("burster", 3_000)
+        _, _, violation = gpu.arbitrate(
+            {"honest": demand(mem=6_000), "burster": demand(mem=5_000)}
+        )
+        assert violation is not None
+        assert violation.victim_uid == "burster"  # over its reservation
+        assert violation.demanded_mb == pytest.approx(11_000)
+
+    def test_capacity_violation_falls_back_to_youngest(self):
+        gpu = GPU("g", mem_capacity_mb=10_000)
+        gpu.attach("old", 5_000)
+        gpu.attach("young", 5_000)
+        # both burst equally past their reservations: the most recently
+        # attached container dies
+        _, _, violation = gpu.arbitrate({"old": demand(mem=5_500), "young": demand(mem=5_500)})
+        assert violation.victim_uid == "young"
+
+    def test_pcie_saturates_at_link_rate(self):
+        gpu = GPU("g", pcie_mbps=10_000)
+        gpu.attach("a", 100)
+        gpu.attach("b", 100)
+        _, sample, _ = gpu.arbitrate({"a": demand(rx=8_000), "b": demand(rx=8_000)})
+        assert sample.rx_mbps == 10_000
+
+    def test_power_tracks_delivered_compute(self):
+        """Stalled cycles don't draw peak dynamic power."""
+        gpu = GPU("g", interference_alpha=1.0)
+        gpu.attach("a", 100)
+        gpu.attach("b", 100)
+        _, contended, _ = gpu.arbitrate({"a": demand(sm=1.0), "b": demand(sm=1.0)})
+        gpu2 = GPU("g2", interference_alpha=1.0)
+        gpu2.attach("a", 100)
+        _, solo, _ = gpu2.arbitrate({"a": demand(sm=1.0)})
+        assert contended.power_w < solo.power_w
+
+    def test_unknown_pod_demand_rejected(self):
+        gpu = GPU("g")
+        with pytest.raises(KeyError):
+            gpu.arbitrate({"ghost": demand()})
+
+    def test_idle_sample_reflects_sleep(self):
+        gpu = GPU("g")
+        awake = gpu.idle_sample().power_w
+        gpu.sleep()
+        asleep = gpu.idle_sample().power_w
+        assert asleep < awake
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=1, max_size=8),
+        st.floats(min_value=0.0, max_value=2.0),
+    )
+    def test_shares_bounded_and_positive(self, sms, alpha):
+        gpu = GPU("g", interference_alpha=alpha)
+        demands = {}
+        for i, s in enumerate(sms):
+            gpu.attach(f"p{i}", 10.0)
+            demands[f"p{i}"] = demand(sm=s, mem=10.0)
+        shares, sample, _ = gpu.arbitrate(demands)
+        assert all(0.0 < v <= 1.0 for v in shares.values())
+        assert 0.0 <= sample.sm_util <= 1.0

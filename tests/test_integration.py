@@ -1,0 +1,87 @@
+"""Cross-module integration tests: the paper's headline claims in small.
+
+These drive the full stack (workload generator -> Kube-Knots ->
+simulator -> metrics) at reduced scale and assert the *directions* the
+paper reports.  The full-scale numbers live in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.schedulers import make_scheduler
+from repro.metrics.percentiles import cluster_percentiles
+from repro.sim.simulator import run_appmix
+
+DURATION_S = 12.0
+SEED = 1
+
+
+@pytest.fixture(scope="module")
+def mix1_results():
+    return {
+        name: run_appmix("app-mix-1", make_scheduler(name), duration_s=DURATION_S, seed=SEED)
+        for name in ("uniform", "res-ag", "cbp", "peak-prediction")
+    }
+
+
+class TestHeadlineClaims:
+    def test_everything_completes(self, mix1_results):
+        for name, result in mix1_results.items():
+            assert len(result.completed()) == len(result.pods), name
+
+    def test_pp_improves_utilization_over_resag(self, mix1_results):
+        """Abstract: CBP/PP improve cluster-wide GPU utilization."""
+        pp = cluster_percentiles(mix1_results["peak-prediction"].gpu_util_series)
+        ra = cluster_percentiles(mix1_results["res-ag"].gpu_util_series)
+        assert pp.p50 > ra.p50
+
+    def test_knots_schedulers_guard_qos(self, mix1_results):
+        """Abstract: PP reduces QoS violations vs GPU-agnostic sharing."""
+        pp = mix1_results["peak-prediction"].qos_violations_per_kilo()
+        cbp = mix1_results["cbp"].qos_violations_per_kilo()
+        ra = mix1_results["res-ag"].qos_violations_per_kilo()
+        uni = mix1_results["uniform"].qos_violations_per_kilo()
+        assert pp <= max(ra, uni)
+        assert cbp <= max(ra, uni)
+
+    def test_pp_saves_energy_vs_uniform(self, mix1_results):
+        """Abstract: cluster-wide energy savings vs GPU-agnostic scheduling."""
+        pp_power = mix1_results["peak-prediction"].total_energy_j() / mix1_results[
+            "peak-prediction"
+        ].makespan_ms
+        uni_power = mix1_results["uniform"].total_energy_j() / mix1_results["uniform"].makespan_ms
+        assert pp_power < uni_power
+
+    def test_knots_schedulers_crash_least(self, mix1_results):
+        pp = mix1_results["peak-prediction"].oom_kills
+        cbp = mix1_results["cbp"].oom_kills
+        assert pp <= 2 and cbp <= 2
+
+    def test_sharing_improves_turnaround(self, mix1_results):
+        """Sec. IV-B: sharing improves job turnaround over exclusive."""
+        shared = np.median(mix1_results["peak-prediction"].jcts_ms())
+        exclusive = np.median(mix1_results["uniform"].jcts_ms())
+        assert shared <= exclusive * 1.5
+
+
+class TestLowLoadConsolidation:
+    def test_pp_sleeps_devices_on_mix3(self):
+        result = run_appmix(
+            "app-mix-3", make_scheduler("peak-prediction"), duration_s=DURATION_S, seed=SEED
+        )
+        uniform = run_appmix(
+            "app-mix-3", make_scheduler("uniform"), duration_s=DURATION_S, seed=SEED
+        )
+        pp_power = result.total_energy_j() / result.makespan_ms
+        uni_power = uniform.total_energy_j() / uniform.makespan_ms
+        # Fig. 11a: consolidation + p_state 12 pays off most at low load
+        assert pp_power < 0.9 * uni_power
+
+    def test_pp_uses_fewer_devices_than_uniform(self):
+        pp = run_appmix(
+            "app-mix-3", make_scheduler("peak-prediction"), duration_s=DURATION_S, seed=SEED
+        )
+        busy = sum(1 for s in pp.gpu_util_series.values() if np.asarray(s).max() > 0)
+        assert busy < 10

@@ -1,0 +1,158 @@
+"""Tests for the metrics package."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kube.pod import Pod
+from repro.metrics.cov import coefficient_of_variation, node_covs_sorted, pairwise_load_cov
+from repro.metrics.energy import normalize_energy, summarize_energy
+from repro.metrics.jct import jct_cdf, jct_stats, normalized_jct
+from repro.metrics.percentiles import cluster_percentiles, node_percentiles
+from repro.metrics.qos import qos_report, violations_per_hour
+from repro.metrics.report import format_series, format_table
+from tests.conftest import make_spec
+
+
+class TestPercentiles:
+    def test_basic_percentiles(self):
+        series = np.concatenate([np.full(99, 0.5), [1.0]])
+        p = node_percentiles(series, trim_idle_edges=False)
+        assert p.p50 == pytest.approx(50.0)
+        assert p.max == pytest.approx(100.0)
+
+    def test_idle_edges_trimmed(self):
+        series = np.concatenate([np.zeros(50), np.full(50, 0.8), np.zeros(50)])
+        p = node_percentiles(series)
+        assert p.p50 == pytest.approx(80.0)
+
+    def test_fully_idle_node(self):
+        p = node_percentiles(np.zeros(100))
+        assert p.as_tuple() == (0.0, 0.0, 0.0, 0.0)
+
+    def test_empty_series(self):
+        assert node_percentiles(np.array([])).max == 0.0
+
+    def test_cluster_pools_busy_windows(self):
+        series = {
+            "a": np.concatenate([np.zeros(10), np.full(10, 1.0)]),
+            "b": np.zeros(20),
+        }
+        p = cluster_percentiles(series)
+        assert p.p50 == pytest.approx(100.0)   # idle node contributes nothing
+
+    @given(st.lists(st.floats(min_value=0, max_value=1), min_size=1, max_size=50))
+    def test_percentiles_ordered(self, xs):
+        p = node_percentiles(np.asarray(xs), trim_idle_edges=False)
+        assert p.p50 <= p.p90 <= p.p99 <= p.max
+
+
+class TestCov:
+    def test_constant_series_zero_cov(self):
+        assert coefficient_of_variation(np.full(10, 5.0)) == 0.0
+
+    def test_known_cov(self):
+        series = np.array([1.0, 3.0])
+        assert coefficient_of_variation(series) == pytest.approx(0.5)
+
+    def test_sorted_per_node(self):
+        series = {"a": np.array([1.0, 1.0]), "b": np.array([1.0, 3.0])}
+        covs = node_covs_sorted(series, trim_idle_edges=False)
+        assert list(covs) == sorted(covs)
+
+    def test_pairwise_matrix_upper_triangle(self):
+        series = {"a": np.random.default_rng(0).random(50), "b": np.random.default_rng(1).random(50)}
+        ids, mat = pairwise_load_cov(series)
+        assert ids == ["a", "b"]
+        assert np.isnan(mat[1, 0]) and not np.isnan(mat[0, 1])
+
+    def test_pairwise_empty(self):
+        ids, mat = pairwise_load_cov({})
+        assert ids == [] and mat.shape == (0, 0)
+
+
+class TestQoS:
+    @staticmethod
+    def finished_pod(jct_ms, threshold=150.0):
+        pod = Pod(spec=make_spec(qos_threshold_ms=threshold))
+        pod.mark_submitted(0.0)
+        pod.mark_succeeded(jct_ms)
+        return pod
+
+    def test_report_counts_violations(self):
+        pods = [self.finished_pod(100), self.finished_pod(200), self.finished_pod(120)]
+        report = qos_report(pods)
+        assert report.total_queries == 3
+        assert report.violations == 1
+        assert report.per_kilo == pytest.approx(1000 / 3)
+
+    def test_batch_pods_ignored(self):
+        batch = Pod(spec=make_spec())
+        batch.mark_submitted(0.0)
+        batch.mark_succeeded(1e6)
+        report = qos_report([batch])
+        assert report.total_queries == 0
+
+    def test_violations_per_hour(self):
+        assert violations_per_hour(10, 1_800.0) == 20.0
+        with pytest.raises(ValueError):
+            violations_per_hour(1, 0.0)
+
+
+class TestJct:
+    def test_stats(self):
+        s = jct_stats(np.array([1.0, 2.0, 3.0, 100.0]))
+        assert s.mean == pytest.approx(26.5)
+        assert s.median == pytest.approx(2.5)
+        assert s.n == 4
+
+    def test_normalized_table(self):
+        jcts = {"base": np.array([2.0, 4.0]), "ref": np.array([1.0, 2.0])}
+        table = normalized_jct(jcts, reference="ref")
+        assert table["base"][0] == pytest.approx(2.0)
+        assert table["ref"] == pytest.approx((1.0, 1.0, 1.0))
+
+    def test_unknown_reference(self):
+        with pytest.raises(KeyError):
+            normalized_jct({"a": np.array([1.0])}, reference="b")
+
+    def test_cdf(self):
+        x, f = jct_cdf(np.array([3.0, 1.0, 2.0]))
+        assert list(x) == [1.0, 2.0, 3.0]
+        assert f[-1] == 1.0
+
+    def test_empty_jcts(self):
+        s = jct_stats(np.array([]))
+        assert np.isnan(s.mean) and s.n == 0
+
+
+class TestEnergy:
+    def test_summary_mean_power(self):
+        summary = summarize_energy({"a": 100.0, "b": 200.0}, makespan_ms=10_000.0)
+        assert summary.total_j == 300.0
+        assert summary.mean_power_w == pytest.approx(30.0)
+
+    def test_normalize_to_max(self):
+        out = normalize_energy({"a": 50.0, "b": 100.0})
+        assert out == {"a": 0.5, "b": 1.0}
+
+    def test_normalize_to_reference(self):
+        out = normalize_energy({"a": 50.0, "b": 100.0}, reference="a")
+        assert out["b"] == 2.0
+
+    def test_empty(self):
+        assert normalize_energy({}) == {}
+
+
+class TestReport:
+    def test_table_alignment(self):
+        out = format_table(["name", "x"], [("a", 1.5), ("bb", 2.0)], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "1.50" in out and "bb" in out
+
+    def test_series(self):
+        out = format_series("y", [1, 2], [0.1, 0.2])
+        assert "0.100" in out

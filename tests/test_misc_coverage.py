@@ -1,0 +1,103 @@
+"""Targeted tests for edge paths not exercised elsewhere."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.gpu import GPU
+from repro.cluster.power import GpuPowerModel
+from repro.core.knots import Knots, KnotsConfig
+from repro.core.profiles import ProfileStore
+from repro.core.schedulers import make_scheduler
+from repro.forecast.arima import Arima1
+from repro.sim.engine import EventLoop
+from repro.telemetry.tsdb import TimeSeriesDB
+from repro.workloads.base import ResourceDemand
+
+
+class TestEngineEdges:
+    def test_handle_exposes_time(self):
+        loop = EventLoop(start_time=5.0)
+        handle = loop.schedule(2.5, lambda: None)
+        assert handle.time == 7.5
+        assert loop.now == 5.0
+
+    def test_run_until_advances_clock_even_without_events(self):
+        loop = EventLoop()
+        assert loop.run(until=10.0) == 0
+        assert loop.now == 10.0       # documented: clock reaches the boundary
+        loop.schedule(1.0, lambda: None)
+        loop.run()
+        assert loop.now == 11.0
+
+
+class TestRegistryErrors:
+    def test_unknown_scheduler(self):
+        with pytest.raises(KeyError):
+            make_scheduler("slurm")
+
+    def test_scheduler_kwargs_forwarded(self):
+        sched = make_scheduler("cbp", percentile=90.0)
+        assert sched.percentile == 90.0
+
+
+class TestGpuEdges:
+    def test_resize_unknown_pod(self):
+        gpu = GPU("g")
+        with pytest.raises(KeyError):
+            gpu.resize("ghost", 100)
+
+    def test_arbitrate_empty_is_idle(self):
+        gpu = GPU("g")
+        shares, sample, violation = gpu.arbitrate({})
+        assert shares == {}
+        assert violation is None
+        assert sample.power_w == GpuPowerModel().idle_watts
+
+    def test_sleeping_idle_arbitrate_draws_sleep_power(self):
+        gpu = GPU("g")
+        gpu.sleep()
+        _, sample, _ = gpu.arbitrate({})
+        assert sample.power_w == GpuPowerModel().sleep_watts
+
+    def test_interference_zero_alpha_is_pure_sharing(self):
+        gpu = GPU("g", interference_alpha=0.0)
+        gpu.attach("a", 10)
+        gpu.attach("b", 10)
+        shares, _, _ = gpu.arbitrate(
+            {"a": ResourceDemand(0.3, 1, 0, 0), "b": ResourceDemand(0.3, 1, 0, 0)}
+        )
+        assert shares["a"] == shares["b"] == 1.0
+
+
+class TestKnotsEdges:
+    def test_config_defaults(self):
+        cfg = KnotsConfig()
+        assert cfg.heartbeat_ms == 10.0
+        assert cfg.window_ms == 5_000.0
+
+    def test_provision_empty_store(self):
+        store = ProfileStore()
+        assert store.get("nope") is None
+        assert "nope" not in store
+
+
+class TestArimaModel:
+    def test_predict_linear_form(self):
+        model = Arima1(mu=1.0, phi=0.5, n_obs=10)
+        assert model.predict(4.0) == 3.0
+
+    def test_forecast_persistence_when_phi_zero(self):
+        model = Arima1(mu=2.0, phi=0.0, n_obs=3)
+        assert list(model.forecast(99.0, steps=3)) == [2.0, 2.0, 2.0]
+
+
+class TestTsdbEdges:
+    def test_query_open_ranges(self):
+        db = TimeSeriesDB()
+        for t in range(5):
+            db.write("m", float(t), float(t))
+        assert len(db.query("m", since=2.0)) == 3
+        assert len(db.query("m", until=2.0)) == 3
+        assert len(db.query("m")) == 5

@@ -1,0 +1,93 @@
+"""Tests for node and cluster containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster, make_heterogeneous_cluster, make_paper_cluster
+from repro.cluster.node import GPU_MODELS, GpuNode, HostSpec
+
+
+class TestGpuNode:
+    def test_build_names_gpus_by_node(self):
+        node = GpuNode.build("node1", gpu_model="P100", num_gpus=2)
+        assert [g.gpu_id for g in node.gpus] == ["node1/gpu0", "node1/gpu1"]
+
+    def test_build_applies_model_spec(self):
+        node = GpuNode.build("n", gpu_model="V100")
+        assert node.gpus[0].mem_capacity_mb == GPU_MODELS["V100"].mem_mb
+
+    def test_needs_at_least_one_gpu(self):
+        with pytest.raises(ValueError):
+            GpuNode("n", gpus=[])
+
+    def test_find_gpu(self):
+        node = GpuNode.build("n", num_gpus=2)
+        assert node.find_gpu("n/gpu1").gpu_id == "n/gpu1"
+        with pytest.raises(KeyError):
+            node.find_gpu("n/gpu9")
+
+    def test_free_memory_aggregates(self):
+        node = GpuNode.build("n", num_gpus=2)
+        node.gpus[0].attach("p", 1_000)
+        assert node.free_gpu_mem_mb == node.total_gpu_mem_mb - 1_000
+        assert node.num_containers == 1
+
+    def test_is_active_tracks_sleep(self):
+        node = GpuNode.build("n", num_gpus=1)
+        assert node.is_active()
+        node.gpus[0].sleep()
+        assert not node.is_active()
+
+    def test_default_host_spec(self):
+        node = GpuNode.build("n")
+        assert isinstance(node.host, HostSpec)
+        assert node.host.dram_gb == 192  # Table II
+
+
+class TestCluster:
+    def test_paper_cluster_shape(self):
+        cluster = make_paper_cluster()
+        assert len(cluster) == 10
+        assert sum(1 for _ in cluster.gpus()) == 10
+        assert cluster.head.node_id == "head"
+
+    def test_duplicate_node_ids_rejected(self):
+        n = GpuNode.build("dup")
+        m = GpuNode.build("dup")
+        with pytest.raises(ValueError):
+            Cluster([n, m])
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster([])
+
+    def test_node_lookup(self):
+        cluster = make_paper_cluster(num_nodes=3)
+        assert cluster.node("node2").node_id == "node2"
+        with pytest.raises(KeyError):
+            cluster.node("node99")
+
+    def test_find_gpu_routes_by_prefix(self):
+        cluster = make_paper_cluster(num_nodes=3)
+        assert cluster.find_gpu("node3/gpu0").gpu_id == "node3/gpu0"
+
+    def test_active_gpus_excludes_sleepers(self):
+        cluster = make_paper_cluster(num_nodes=3)
+        cluster.find_gpu("node1/gpu0").sleep()
+        active = cluster.active_gpus()
+        assert len(active) == 2
+        assert all(g.gpu_id != "node1/gpu0" for g in active)
+
+    def test_heterogeneous_cluster_models(self):
+        cluster = make_heterogeneous_cluster(["P100", "K80"])
+        caps = [g.mem_capacity_mb for g in cluster.gpus()]
+        assert caps == [GPU_MODELS["P100"].mem_mb, GPU_MODELS["K80"].mem_mb]
+
+    def test_heterogeneous_unknown_model(self):
+        with pytest.raises(KeyError):
+            make_heterogeneous_cluster(["P100", "H100"])
+
+    def test_total_memory(self):
+        cluster = make_paper_cluster(num_nodes=2)
+        assert cluster.total_gpu_mem_mb() == 2 * 16_384

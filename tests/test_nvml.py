@@ -1,0 +1,74 @@
+"""Tests for the pyNVML-compatible sampling layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.gpu import GPU
+from repro.telemetry.nvml import METRICS, NVMLError, NvmlContext, NvmlSampler
+from repro.workloads.base import ResourceDemand
+
+
+@pytest.fixture
+def busy_gpu() -> GPU:
+    gpu = GPU("n/gpu0", mem_capacity_mb=16_384)
+    gpu.attach("p", 2_000)
+    gpu.arbitrate({"p": ResourceDemand(sm=0.5, mem_mb=1_638.4, tx_mbps=100.0, rx_mbps=200.0)})
+    return gpu
+
+
+class TestContext:
+    def test_device_count(self, busy_gpu):
+        ctx = NvmlContext([busy_gpu])
+        assert ctx.device_get_count() == 1
+
+    def test_utilization_rates_in_percent(self, busy_gpu):
+        ctx = NvmlContext([busy_gpu])
+        rates = ctx.device_get_utilization_rates(ctx.device_get_handle_by_index(0))
+        assert rates.gpu == pytest.approx(50.0)
+        assert rates.memory == pytest.approx(10.0)
+
+    def test_memory_info_in_bytes(self, busy_gpu):
+        ctx = NvmlContext([busy_gpu])
+        info = ctx.device_get_memory_info(ctx.device_get_handle_by_index(0))
+        assert info.total == 16_384 * 1024 * 1024
+        assert info.used + info.free == info.total
+
+    def test_power_in_milliwatts(self, busy_gpu):
+        ctx = NvmlContext([busy_gpu])
+        mw = ctx.device_get_power_usage(ctx.device_get_handle_by_index(0))
+        assert mw == int(busy_gpu.last_sample.power_w * 1000)
+
+    def test_invalid_index(self, busy_gpu):
+        ctx = NvmlContext([busy_gpu])
+        with pytest.raises(NVMLError):
+            ctx.device_get_handle_by_index(5)
+
+    def test_shutdown_invalidates(self, busy_gpu):
+        ctx = NvmlContext([busy_gpu])
+        ctx.shutdown()
+        with pytest.raises(NVMLError):
+            ctx.device_get_count()
+
+
+class TestSampler:
+    def test_sample_covers_all_metrics(self, busy_gpu):
+        sampler = NvmlSampler([busy_gpu])
+        out = sampler.sample()
+        assert set(out) == {"n/gpu0"}
+        assert set(out["n/gpu0"]) == set(METRICS)
+
+    def test_sample_units_normalized(self, busy_gpu):
+        out = NvmlSampler([busy_gpu]).sample()["n/gpu0"]
+        assert out["sm_util"] == pytest.approx(0.5)
+        assert out["mem_util"] == pytest.approx(0.1)
+        assert out["tx_mbps"] == pytest.approx(100.0)
+        assert out["rx_mbps"] == pytest.approx(200.0)
+        assert out["power_w"] > 0
+
+    def test_idle_device_samples_zero_utilization(self):
+        gpu = GPU("n/gpu1")
+        gpu.arbitrate({})
+        out = NvmlSampler([gpu]).sample()["n/gpu1"]
+        assert out["sm_util"] == 0.0
+        assert out["mem_util"] == 0.0

@@ -1,0 +1,83 @@
+"""Tests for the Kube-Knots orchestrator (action application)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import make_paper_cluster
+from repro.core.orchestrator import KubeKnots
+from repro.core.schedulers import UniformScheduler, make_scheduler
+from repro.core.schedulers.base import Bind, Resize, Sleep, Wake
+from repro.kube.pod import PodPhase
+from tests.conftest import make_spec
+
+
+@pytest.fixture
+def kk():
+    return KubeKnots(make_paper_cluster(num_nodes=2), make_scheduler("peak-prediction"))
+
+
+class TestActionApplication:
+    def test_bind_routes_to_kubelet(self, kk):
+        pod = kk.api.submit(make_spec(), 0.0)
+        kk._apply(Bind(pod.uid, "node1/gpu0", 1_000.0), 0.0)
+        assert pod.phase is PodPhase.SCHEDULED
+        assert kk.kubelets["node1"].num_hosted() == 1
+        assert kk.cluster.find_gpu("node1/gpu0").allocated_mem_mb == 1_000.0
+
+    def test_resize_routes_to_plugin(self, kk):
+        pod = kk.api.submit(make_spec(), 0.0)
+        kk._apply(Bind(pod.uid, "node1/gpu0", 4_000.0), 0.0)
+        kk._apply(Resize(pod.uid, "node1/gpu0", 1_500.0), 1.0)
+        assert pod.alloc_mb == 1_500.0
+        assert kk.cluster.find_gpu("node1/gpu0").allocated_mem_mb == 1_500.0
+
+    def test_sleep_and_wake(self, kk):
+        gpu = kk.cluster.find_gpu("node2/gpu0")
+        kk._apply(Sleep("node2/gpu0"), 0.0)
+        assert gpu.asleep
+        kk._apply(Wake("node2/gpu0"), 1.0)
+        assert not gpu.asleep
+
+    def test_sleep_skipped_for_occupied_device(self, kk):
+        pod = kk.api.submit(make_spec(), 0.0)
+        kk._apply(Bind(pod.uid, "node1/gpu0", 100.0), 0.0)
+        kk._apply(Sleep("node1/gpu0"), 1.0)
+        assert not kk.cluster.find_gpu("node1/gpu0").asleep
+
+
+class TestContext:
+    def test_context_sees_residents(self, kk):
+        pod = kk.api.submit(make_spec(image="img/x"), 0.0)
+        kk._apply(Bind(pod.uid, "node1/gpu0", 500.0), 0.0)
+        ctx = kk.build_context(1.0)
+        residents = ctx.residents_on("node1/gpu0")
+        assert len(residents) == 1
+        assert residents[0].image == "img/x"
+        assert residents[0].alloc_mb == 500.0
+
+    def test_context_lists_pending(self, kk):
+        kk.api.submit(make_spec("a"), 0.0)
+        kk.api.submit(make_spec("b"), 0.0)
+        ctx = kk.build_context(0.0)
+        assert len(ctx.pending) == 2
+
+
+class TestExecutionLoop:
+    def test_completed_pod_feeds_profiles(self, kk):
+        for node in kk.kubelets.values():
+            node.prewarm({"img/learn"})
+        pod = kk.api.submit(make_spec(image="img/learn", duration_ms=40.0), 0.0)
+        kk.scheduling_pass(0.0)
+        t = 0.0
+        while not pod.done and t < 2_000.0:
+            kk.step_kubelets(t, 10.0)
+            t += 10.0
+        assert pod.done
+        assert "img/learn" in kk.knots.profiles
+
+    def test_plugin_mode_follows_scheduler(self):
+        exclusive = KubeKnots(make_paper_cluster(num_nodes=1), UniformScheduler())
+        assert not exclusive.kubelets["node1"].plugin.sharing_enabled
+        shared = KubeKnots(make_paper_cluster(num_nodes=1), make_scheduler("cbp"))
+        assert shared.kubelets["node1"].plugin.sharing_enabled

@@ -1,0 +1,71 @@
+"""Tests for the terminal visualization helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.plots import hbar_chart, sparkline, sparkline_table, timeline
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_input_monotone_blocks(self):
+        s = sparkline(np.linspace(0, 1, 9))
+        assert s == "".join(sorted(s))
+        assert s[0] == " " and s[-1] == "█"
+
+    def test_constant_series(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_shared_scale(self):
+        low = sparkline([0.1, 0.1], lo=0.0, hi=1.0)
+        high = sparkline([0.9, 0.9], lo=0.0, hi=1.0)
+        assert low != high
+
+
+class TestSparklineTable:
+    def test_labels_aligned_and_scale_printed(self):
+        out = sparkline_table({"a": [0, 1], "longer": [1, 0]}, width=10)
+        lines = out.splitlines()
+        assert lines[0].startswith("a     ")
+        assert "scale: 0.00 .. 1.00" in lines[-1]
+
+    def test_downsampling_bounds_width(self):
+        out = sparkline_table({"x": np.random.default_rng(0).random(1_000)}, width=20)
+        assert len(out.splitlines()[0]) <= 20 + 5
+
+    def test_empty(self):
+        assert sparkline_table({}) == ""
+
+
+class TestHbar:
+    def test_bars_proportional(self):
+        out = hbar_chart({"half": 0.5, "full": 1.0}, width=10)
+        half, full = out.splitlines()
+        assert half.count("█") == 5
+        assert full.count("█") == 10
+
+    def test_values_printed_with_unit(self):
+        out = hbar_chart({"p": 42.0}, unit=" W")
+        assert "42.00 W" in out
+
+    def test_empty(self):
+        assert hbar_chart({}) == ""
+
+
+class TestTimeline:
+    def test_axis_ticks(self):
+        out = timeline([0, 50, 100], [1, 2, 3], width=30, label="util")
+        lines = out.splitlines()
+        assert lines[0] == "util"
+        assert lines[-1].startswith("0")
+        assert lines[-1].endswith("100")
+
+    def test_empty(self):
+        assert timeline([], []) == ""

@@ -1,0 +1,91 @@
+"""Tests for pod lifecycle and derived metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kube.pod import Pod, PodPhase
+from repro.workloads.base import QoSClass
+from tests.conftest import make_spec
+
+
+def make_pod(**kwargs) -> Pod:
+    return Pod(spec=make_spec(**kwargs))
+
+
+class TestLifecycle:
+    def test_submission(self):
+        pod = make_pod()
+        pod.mark_submitted(10.0)
+        assert pod.phase is PodPhase.PENDING
+        assert pod.submitted_ms == 10.0
+
+    def test_resubmission_keeps_first_timestamp(self):
+        pod = make_pod()
+        pod.mark_submitted(10.0)
+        pod.mark_submitted(50.0)
+        assert pod.submitted_ms == 10.0
+
+    def test_schedule_start_finish(self):
+        pod = make_pod()
+        pod.mark_submitted(0.0)
+        pod.mark_scheduled(5.0, "node1", "node1/gpu0", 1_000.0)
+        pod.mark_running(7.0)
+        pod.mark_succeeded(107.0)
+        assert pod.done
+        assert pod.jct_ms() == 107.0
+        assert pod.queueing_ms() == 5.0
+
+    def test_unfinished_jct_raises(self):
+        pod = make_pod()
+        pod.mark_submitted(0.0)
+        with pytest.raises(ValueError):
+            pod.jct_ms()
+
+    def test_oom_kill_resets_placement_and_progress(self):
+        pod = make_pod()
+        pod.mark_submitted(0.0)
+        pod.mark_scheduled(1.0, "node1", "node1/gpu0", 1_000.0)
+        pod.mark_running(2.0)
+        pod.progress_ms = 50.0
+        pod.mark_oom_killed()
+        assert pod.phase is PodPhase.OOM_KILLED
+        assert pod.node_id is None and pod.gpu_id is None
+        assert pod.progress_ms == 0.0
+        assert pod.restart_count == 1
+
+    def test_remaining_work(self):
+        pod = make_pod(duration_ms=100.0)
+        pod.progress_ms = 30.0
+        assert pod.remaining_ms() == pytest.approx(70.0)
+        pod.progress_ms = 200.0
+        assert pod.remaining_ms() == 0.0
+
+    def test_uids_unique(self):
+        assert make_pod().uid != make_pod().uid
+
+
+class TestQoS:
+    def test_batch_never_violates(self):
+        pod = make_pod()
+        pod.mark_submitted(0.0)
+        pod.mark_succeeded(1e9)
+        assert not pod.violates_qos()
+
+    def test_latency_pod_within_threshold(self):
+        pod = make_pod(qos_threshold_ms=150.0)
+        pod.mark_submitted(0.0)
+        pod.mark_succeeded(100.0)
+        assert pod.spec.qos_class is QoSClass.LATENCY_CRITICAL
+        assert not pod.violates_qos()
+
+    def test_latency_pod_over_threshold(self):
+        pod = make_pod(qos_threshold_ms=150.0)
+        pod.mark_submitted(0.0)
+        pod.mark_succeeded(200.0)
+        assert pod.violates_qos()
+
+    def test_unfinished_pod_not_counted(self):
+        pod = make_pod(qos_threshold_ms=150.0)
+        pod.mark_submitted(0.0)
+        assert not pod.violates_qos()

@@ -1,0 +1,94 @@
+"""Tests for the power / energy-efficiency models (Fig. 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.power import (
+    SANDY_BRIDGE,
+    WESTMERE,
+    CpuEfficiencyModel,
+    GpuPowerModel,
+    energy_proportionality_zone,
+    gpu_energy_efficiency,
+)
+
+
+class TestGpuPowerModel:
+    def test_power_interpolates_idle_to_tdp(self):
+        m = GpuPowerModel(tdp_watts=250, idle_watts=25)
+        assert m.power(0.0) == 25
+        assert m.power(1.0) == 250
+        assert m.power(0.5) == pytest.approx(137.5)
+
+    def test_power_clamps_utilization(self):
+        m = GpuPowerModel()
+        assert m.power(-0.5) == m.power(0.0)
+        assert m.power(1.5) == m.power(1.0)
+
+    def test_sleep_power_below_idle(self):
+        m = GpuPowerModel()
+        assert m.power(0.0, asleep=True) == m.sleep_watts < m.idle_watts
+
+    def test_efficiency_normalized_at_full_load(self):
+        m = GpuPowerModel()
+        assert m.efficiency(1.0) == pytest.approx(1.0)
+        assert m.efficiency(0.0) == 0.0
+
+    def test_gpu_efficiency_strictly_increasing(self):
+        """The paper's Observation 1: GPU EE rises monotonically."""
+        u = np.linspace(0.01, 1.0, 100)
+        eff = np.asarray(gpu_energy_efficiency(u))
+        assert np.all(np.diff(eff) > 0)
+        assert eff[-1] == pytest.approx(1.0)
+
+    def test_energy_scales_with_duration(self):
+        m = GpuPowerModel()
+        assert m.energy_mj(0.5, 200.0) == pytest.approx(2 * m.energy_mj(0.5, 100.0))
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_efficiency_bounded(self, u):
+        assert 0.0 <= GpuPowerModel().efficiency(u) <= 1.0 + 1e-9
+
+
+class TestCpuEfficiencyModel:
+    def test_cpu_peak_is_interior(self):
+        """CPUs peak at 60-80 % utilization, not at full load (Fig. 1)."""
+        peak = SANDY_BRIDGE.peak_efficiency_utilization()
+        assert 0.55 <= peak <= 0.85
+
+    def test_cpu_efficiency_exceeds_one_at_peak(self):
+        """Normalized to u=1, the interior peak sits above 1.0."""
+        peak_u = SANDY_BRIDGE.peak_efficiency_utilization()
+        assert SANDY_BRIDGE.efficiency(peak_u) > 1.0
+
+    def test_westmere_less_proportional_than_sandybridge(self):
+        """Older CPUs are less energy proportional at low load."""
+        assert WESTMERE.efficiency(0.2) < SANDY_BRIDGE.efficiency(0.2)
+
+    def test_efficiency_zero_at_zero(self):
+        assert SANDY_BRIDGE.efficiency(0.0) == 0.0
+
+    def test_curve_matches_scalar(self):
+        u = np.asarray([0.1, 0.5, 0.9])
+        curve = SANDY_BRIDGE.efficiency_curve(u)
+        for ui, ci in zip(u, curve):
+            assert ci == pytest.approx(SANDY_BRIDGE.efficiency(float(ui)))
+
+    def test_proportionality_zone_contains_peak(self):
+        lo, hi = energy_proportionality_zone(SANDY_BRIDGE)
+        peak = SANDY_BRIDGE.peak_efficiency_utilization()
+        assert lo <= peak <= hi
+
+    def test_power_fraction_monotone(self):
+        u = np.linspace(0, 1, 50)
+        p = [SANDY_BRIDGE.power_fraction(x) for x in u]
+        assert all(b >= a for a, b in zip(p, p[1:]))
+
+    @given(st.floats(min_value=0.05, max_value=0.6), st.floats(min_value=1.2, max_value=4.0))
+    def test_custom_models_peak_not_at_zero(self, alpha, gamma):
+        model = CpuEfficiencyModel("custom", alpha, gamma)
+        peak = model.peak_efficiency_utilization()
+        assert 0.0 < peak <= 1.0

@@ -1,0 +1,156 @@
+"""Property-based tests for system-wide invariants.
+
+Hypothesis generates workloads and cluster shapes; these tests assert
+the invariants that must hold for *every* input — the contracts the
+rest of the repository builds on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cluster.cluster import make_paper_cluster
+from repro.core.orchestrator import KubeKnots
+from repro.core.schedulers import make_scheduler
+from repro.core.schedulers.base import Bind, Resize, Sleep, Wake
+from repro.kube.pod import PodPhase, PodSpec
+from repro.sim.simulator import KubeKnotsSimulator
+from repro.workloads.base import Phase, QoSClass, ResourceDemand, WorkloadTrace
+
+# -- strategies ------------------------------------------------------------
+
+pod_params = st.tuples(
+    st.floats(min_value=20.0, max_value=400.0),      # duration_ms
+    st.floats(min_value=0.05, max_value=1.0),        # sm
+    st.floats(min_value=100.0, max_value=9_000.0),   # mem_mb
+    st.floats(min_value=0.5, max_value=1.8),         # request headroom
+    st.booleans(),                                   # latency-critical?
+)
+
+
+def make_pod_spec(i: int, params) -> PodSpec:
+    duration, sm, mem, headroom, lc = params
+    qos = QoSClass.LATENCY_CRITICAL if lc else QoSClass.BATCH
+    trace = WorkloadTrace(
+        f"gen-{i}",
+        [
+            Phase(duration * 0.8, ResourceDemand(sm * 0.6, mem * 0.4, 5.0, 5.0)),
+            Phase(duration * 0.2, ResourceDemand(sm, mem, 10.0, 10.0)),
+        ],
+        qos_class=qos,
+        requested_mem_mb=min(mem * headroom, 16_384.0),
+    )
+    return PodSpec(
+        name=f"gen-{i}",
+        image=f"img/{i % 3}",
+        trace=trace,
+        qos_threshold_ms=150.0 if lc else None,
+    )
+
+
+workloads = st.lists(pod_params, min_size=1, max_size=12)
+scheduler_names = st.sampled_from(["uniform", "res-ag", "cbp", "peak-prediction"])
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestSchedulingPassInvariants:
+    @given(workloads, scheduler_names)
+    @_SETTINGS
+    def test_actions_are_well_formed(self, params_list, sched_name):
+        """Binds reference pending pods exactly once; allocations fit."""
+        cluster = make_paper_cluster(num_nodes=3)
+        kk = KubeKnots(cluster, make_scheduler(sched_name))
+        pods = [kk.api.submit(make_pod_spec(i, p), 0.0) for i, p in enumerate(params_list)]
+        pending = {p.uid for p in pods}
+
+        ctx = kk.build_context(0.0)
+        actions = kk.scheduler.schedule(ctx)
+
+        bound = [a for a in actions if isinstance(a, Bind)]
+        uids = [a.pod_uid for a in bound]
+        assert len(uids) == len(set(uids)), "pod bound twice in one pass"
+        assert set(uids) <= pending, "bound a non-pending pod"
+        per_gpu: dict[str, float] = {}
+        for a in bound:
+            assert a.alloc_mb > 0
+            per_gpu[a.gpu_id] = per_gpu.get(a.gpu_id, 0.0) + a.alloc_mb
+        for gpu_id, total in per_gpu.items():
+            cap = cluster.find_gpu(gpu_id).mem_capacity_mb
+            assert total <= cap + 1e-6, f"over-reserved {gpu_id}"
+
+    @given(workloads, scheduler_names)
+    @_SETTINGS
+    def test_applying_actions_never_crashes_substrate(self, params_list, sched_name):
+        """Every action a policy emits must be applicable."""
+        cluster = make_paper_cluster(num_nodes=3)
+        kk = KubeKnots(cluster, make_scheduler(sched_name))
+        for i, p in enumerate(params_list):
+            kk.api.submit(make_pod_spec(i, p), 0.0)
+        kk.scheduling_pass(0.0)   # raises if any action is inconsistent
+
+    @given(workloads)
+    @_SETTINGS
+    def test_pp_sleep_wake_consistency(self, params_list):
+        """PP never sleeps a device it just bound to, nor wakes a busy one."""
+        cluster = make_paper_cluster(num_nodes=3)
+        kk = KubeKnots(cluster, make_scheduler("peak-prediction"))
+        for i, p in enumerate(params_list):
+            kk.api.submit(make_pod_spec(i, p), 0.0)
+        ctx = kk.build_context(0.0)
+        actions = kk.scheduler.schedule(ctx)
+        bound_gpus = {a.gpu_id for a in actions if isinstance(a, Bind)}
+        slept = {a.gpu_id for a in actions if isinstance(a, Sleep)}
+        woken = {a.gpu_id for a in actions if isinstance(a, Wake)}
+        assert not (bound_gpus & slept)
+        assert woken <= bound_gpus   # waking is only ever for a placement
+
+
+class TestSimulationInvariants:
+    @given(workloads, scheduler_names)
+    @settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_pod_conservation_and_timestamps(self, params_list, sched_name):
+        cluster = make_paper_cluster(num_nodes=3)
+        workload = [(i * 20.0, make_pod_spec(i, p)) for i, p in enumerate(params_list)]
+        result = KubeKnotsSimulator(cluster, make_scheduler(sched_name), workload).run()
+
+        # conservation: every submitted pod is accounted for
+        assert len(result.pods) == len(params_list)
+        for pod in result.pods:
+            if pod.done:
+                assert pod.submitted_ms is not None
+                assert pod.scheduled_ms is not None and pod.scheduled_ms >= pod.submitted_ms
+                assert pod.started_ms is not None and pod.started_ms >= pod.submitted_ms
+                if pod.restart_count == 0:
+                    # (relaunched pods keep their *first* start time while
+                    # scheduled_ms tracks the latest placement)
+                    assert pod.started_ms >= pod.scheduled_ms
+                assert pod.finished_ms is not None and pod.finished_ms >= pod.started_ms
+            else:
+                assert pod.phase in (PodPhase.PENDING, PodPhase.SCHEDULED, PodPhase.RUNNING)
+
+        # energy accounting is positive and telemetry aligned
+        assert result.total_energy_j() > 0
+        n = len(result.sample_times_ms)
+        assert all(len(s) == n for s in result.gpu_util_series.values())
+        for series in result.gpu_util_series.values():
+            s = np.asarray(series)
+            assert (s >= 0).all() and (s <= 1.0 + 1e-9).all()
+
+    @given(workloads)
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_cluster_never_ends_overcommitted(self, params_list):
+        """After a full run the cluster is drained: no stranded reservations."""
+        cluster = make_paper_cluster(num_nodes=3)
+        workload = [(i * 20.0, make_pod_spec(i, p)) for i, p in enumerate(params_list)]
+        result = KubeKnotsSimulator(cluster, make_scheduler("cbp"), workload).run()
+        if all(p.done for p in result.pods):
+            for gpu in cluster.gpus():
+                assert not gpu.containers
+                assert gpu.allocated_mem_mb == 0.0

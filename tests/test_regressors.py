@@ -1,0 +1,83 @@
+"""Tests for the Fig. 10b comparator forecasters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.forecast.regressors import (
+    FORECASTERS,
+    ArimaForecaster,
+    LeastSquaresForecaster,
+    MLPForecaster,
+    SGDForecaster,
+    TheilSenForecaster,
+)
+
+ALL = [
+    ArimaForecaster(),
+    LeastSquaresForecaster(),
+    TheilSenForecaster(),
+    SGDForecaster(),
+    MLPForecaster(),
+]
+
+
+@pytest.mark.parametrize("fc", ALL, ids=lambda f: f.name)
+class TestCommonBehaviour:
+    def test_empty_window(self, fc):
+        assert fc.predict_next(np.array([])) == 0.0
+
+    def test_singleton_window(self, fc):
+        assert np.isfinite(fc.predict_next(np.array([5.0])))
+
+    def test_constant_window_predicts_constant(self, fc):
+        pred = fc.predict_next(np.full(40, 3.0))
+        assert pred == pytest.approx(3.0, abs=0.3)
+
+    def test_linear_trend_tracked(self, fc):
+        y = np.linspace(0.0, 1.0, 60)
+        pred = fc.predict_next(y)
+        assert pred == pytest.approx(1.0, abs=0.25)
+
+    def test_predict_ahead_finite(self, fc):
+        rng = np.random.default_rng(0)
+        y = np.cumsum(rng.normal(0, 0.1, 80))
+        assert np.isfinite(fc.predict_ahead(y, 10))
+
+
+class TestSpecifics:
+    def test_ols_extrapolates_exactly(self):
+        y = 2.0 * np.arange(20.0) + 1.0
+        pred = LeastSquaresForecaster().predict_ahead(y, 5)
+        assert pred == pytest.approx(2.0 * 24 + 1.0)
+
+    def test_theilsen_robust_to_outlier(self):
+        y = np.arange(30.0).astype(float)
+        y[15] = 1_000.0
+        robust = TheilSenForecaster().predict_next(y)
+        brittle = LeastSquaresForecaster().predict_next(y)
+        assert abs(robust - 30.0) < abs(brittle - 30.0)
+
+    def test_theilsen_subsamples_big_windows(self):
+        fc = TheilSenForecaster(max_pairs=100)
+        y = np.arange(500.0)
+        assert fc.predict_next(y) == pytest.approx(500.0, rel=0.05)
+
+    def test_sgd_deterministic_given_seed(self):
+        y = np.sin(np.linspace(0, 3, 50))
+        assert SGDForecaster().predict_next(y) == SGDForecaster().predict_next(y)
+
+    def test_mlp_short_window_falls_back(self):
+        fc = MLPForecaster(lags=4)
+        assert fc.predict_next(np.array([1.0, 2.0, 3.0])) == 3.0
+
+    def test_mlp_learns_periodic_pattern(self):
+        t = np.arange(200)
+        y = np.sin(2 * np.pi * t / 8)
+        pred = MLPForecaster(epochs=400).predict_next(y)
+        actual = np.sin(2 * np.pi * 200 / 8)
+        assert pred == pytest.approx(actual, abs=0.4)
+
+    def test_registry_complete(self):
+        assert {"arima", "theil-sen", "sgd", "mlp", "linear-regression"} == set(FORECASTERS)

@@ -1,0 +1,94 @@
+"""Tests for the Rodinia batch workload models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.base import QoSClass
+from repro.workloads.rodinia import (
+    RODINIA_PROFILES,
+    RODINIA_SUITE_ORDER,
+    make_rodinia_trace,
+    suite_timeline,
+)
+
+
+class TestProfiles:
+    def test_all_suite_apps_have_profiles(self):
+        assert set(RODINIA_SUITE_ORDER) <= set(RODINIA_PROFILES)
+
+    def test_profile_invariants(self):
+        for p in RODINIA_PROFILES.values():
+            assert 0 < p.steady_sm < p.peak_sm <= 1.0
+            assert 0 < p.steady_mem_mb < p.peak_mem_mb
+            assert p.base_ms > 0
+            assert 0 < p.peak_fraction < 0.5
+
+
+class TestTraceGeneration:
+    def test_unknown_app_rejected(self, rng):
+        with pytest.raises(KeyError):
+            make_rodinia_trace("nonexistent", rng)
+
+    def test_trace_is_batch_class(self, rng):
+        assert make_rodinia_trace("lud", rng).qos_class is QoSClass.BATCH
+
+    def test_runtime_scales_with_problem_size(self, rng):
+        short = make_rodinia_trace("kmeans", np.random.default_rng(5), scale=1.0)
+        long = make_rodinia_trace("kmeans", np.random.default_rng(5), scale=10.0)
+        assert long.total_ms > 5 * short.total_ms
+
+    def test_mem_scale_multiplies_footprint(self):
+        base = make_rodinia_trace("lud", np.random.default_rng(5), mem_scale=1.0)
+        big = make_rodinia_trace("lud", np.random.default_rng(5), mem_scale=3.0)
+        assert big.peak_mem_mb() == pytest.approx(3 * base.peak_mem_mb())
+
+    def test_requested_headroom_overstates(self, rng):
+        trace = make_rodinia_trace("lud", rng, requested_headroom=1.5)
+        assert trace.requested_mem_mb == pytest.approx(min(trace.peak_mem_mb() * 1.5, 16_384))
+
+    def test_underrequest_headroom_understates(self, rng):
+        trace = make_rodinia_trace("lud", rng, requested_headroom=0.5)
+        assert trace.requested_mem_mb < trace.peak_mem_mb()
+
+    def test_same_rng_state_reproducible(self):
+        a = make_rodinia_trace("heartwall", np.random.default_rng(9))
+        b = make_rodinia_trace("heartwall", np.random.default_rng(9))
+        assert a.total_ms == b.total_ms
+        assert a.peak_mem_mb() == b.peak_mem_mb()
+
+    def test_peak_memory_is_transient(self, rng):
+        """The paper: peak residency is a few percent of runtime."""
+        trace = make_rodinia_trace("mummergpu", rng, scale=10)
+        p80 = trace.mem_percentile(80)
+        assert p80 < 0.5 * trace.peak_mem_mb()
+
+    def test_bandwidth_led_phases_exist(self, rng):
+        """An rx burst precedes compute peaks (PP's early marker)."""
+        trace = make_rodinia_trace("leukocyte", rng)
+        rx = [p.demand.rx_mbps for p in trace.phases]
+        assert max(rx) > 1_000.0
+
+
+class TestSuiteTimeline:
+    def test_boundaries_cover_all_apps(self):
+        timeline = suite_timeline(np.random.default_rng(0), step_ms=1.0)
+        assert len(timeline["boundaries_ms"]) == len(RODINIA_SUITE_ORDER) + 1
+        assert timeline["boundaries_ms"][0] == 0.0
+
+    def test_series_lengths_consistent(self):
+        timeline = suite_timeline(np.random.default_rng(0), step_ms=1.0)
+        n = len(timeline["time_ms"])
+        for key in ("sm_util", "mem_used_mb", "tx_mbps", "rx_mbps"):
+            assert len(timeline[key]) == n
+
+    def test_bandwidth_median_to_peak_gap(self):
+        """Fig. 3: ~400x between median and peak bandwidth."""
+        timeline = suite_timeline(np.random.default_rng(42), step_ms=1.0)
+        bw = timeline["rx_mbps"] + timeline["tx_mbps"]
+        assert bw.max() / max(np.median(bw), 1e-9) > 50
+
+    def test_memory_stays_on_card(self):
+        timeline = suite_timeline(np.random.default_rng(0), step_ms=1.0)
+        assert timeline["mem_used_mb"].max() <= 16_384

@@ -1,0 +1,165 @@
+"""Tests for the CBP scheduler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import make_paper_cluster
+from repro.core.orchestrator import KubeKnots
+from repro.core.schedulers import CBPScheduler
+from repro.core.schedulers.base import Bind, Resize
+from repro.workloads.base import Phase, QoSClass, ResourceDemand, WorkloadTrace
+from tests.conftest import make_spec, make_trace
+
+
+def build(scheduler=None, nodes=3):
+    cluster = make_paper_cluster(num_nodes=nodes)
+    return cluster, KubeKnots(cluster, scheduler or CBPScheduler())
+
+
+def learn_profile(kk, image, mem_mb, peak_mem_mb, duration_ms=100.0, n=2):
+    """Teach the profile store an image's behaviour (runtime feedback)."""
+    for _ in range(n):
+        kk.knots.profiles.record_trace(
+            image, make_trace(duration_ms=duration_ms, mem_mb=mem_mb, peak_mem_mb=peak_mem_mb)
+        )
+
+
+class TestProvisioning:
+    def test_unknown_image_gets_full_request(self):
+        cluster, kk = build()
+        pod = kk.api.submit(make_spec(requested_mem_mb=6_000.0), 0.0)
+        actions = kk.scheduling_pass(0.0)
+        bind = next(a for a in actions if isinstance(a, Bind))
+        assert bind.alloc_mb == 6_000.0
+
+    def test_known_image_resized_to_p80(self):
+        cluster, kk = build()
+        learn_profile(kk, "img/known", mem_mb=1_000, peak_mem_mb=7_000)
+        pod = kk.api.submit(
+            make_spec(image="img/known", mem_mb=1_000, peak_mem_mb=7_000, requested_mem_mb=9_000.0),
+            0.0,
+        )
+        actions = kk.scheduling_pass(0.0)
+        bind = next(a for a in actions if isinstance(a, Bind))
+        assert bind.alloc_mb == pytest.approx(1_000, rel=0.1)
+
+
+class TestHarvesting:
+    def test_resident_resized_when_queue_nonempty(self):
+        cluster, kk = build()
+        fat = kk.api.submit(make_spec("fat", image="img/fat", mem_mb=1_000,
+                                      peak_mem_mb=2_000, requested_mem_mb=12_000.0), 0.0)
+        kk.scheduling_pass(0.0)
+        learn_profile(kk, "img/fat", mem_mb=1_000, peak_mem_mb=2_000)
+        kk.api.submit(make_spec("pending", requested_mem_mb=1_000.0), 1.0)
+        actions = kk.scheduling_pass(1.0)
+        resizes = [a for a in actions if isinstance(a, Resize)]
+        assert resizes and resizes[0].pod_uid == fat.uid
+        assert resizes[0].new_alloc_mb < 12_000.0
+
+    def test_no_harvest_without_pending(self):
+        cluster, kk = build()
+        kk.api.submit(make_spec("fat", image="img/fat", requested_mem_mb=12_000.0), 0.0)
+        kk.scheduling_pass(0.0)
+        learn_profile(kk, "img/fat", mem_mb=1_000, peak_mem_mb=2_000)
+        actions = kk.scheduling_pass(1.0)
+        assert not [a for a in actions if isinstance(a, Resize)]
+
+    def test_latency_pods_never_shrunk(self):
+        cluster, kk = build()
+        lc = kk.api.submit(
+            make_spec("lc", image="img/lc", qos_threshold_ms=150.0, requested_mem_mb=5_000.0),
+            0.0,
+        )
+        kk.scheduling_pass(0.0)
+        learn_profile(kk, "img/lc", mem_mb=500, peak_mem_mb=800)
+        kk.api.submit(make_spec("pending"), 1.0)
+        actions = kk.scheduling_pass(1.0)
+        assert not [a for a in actions if isinstance(a, Resize) and a.pod_uid == lc.uid]
+
+
+class TestCorrelationGate:
+    def test_correlated_images_not_colocated(self):
+        """Two pods of the same (large-footprint) image peak together."""
+        cluster, kk = build(nodes=2)
+        learn_profile(kk, "img/big", mem_mb=2_000, peak_mem_mb=6_000)
+        a = kk.api.submit(make_spec("a", image="img/big", requested_mem_mb=6_500.0), 0.0)
+        b = kk.api.submit(make_spec("b", image="img/big", requested_mem_mb=6_500.0), 0.0)
+        actions = kk.scheduling_pass(0.0)
+        binds = [x for x in actions if isinstance(x, Bind)]
+        assert len(binds) == 2
+        assert binds[0].gpu_id != binds[1].gpu_id
+
+    def test_small_pods_bypass_gate(self):
+        cluster, kk = build(nodes=2)
+        learn_profile(kk, "img/tiny", mem_mb=200, peak_mem_mb=400)
+        for name in ("a", "b"):
+            kk.api.submit(make_spec(name, image="img/tiny", requested_mem_mb=500.0), 0.0)
+        actions = kk.scheduling_pass(0.0)
+        binds = [x for x in actions if isinstance(x, Bind)]
+        assert binds[0].gpu_id == binds[1].gpu_id   # packed together
+
+    def test_anticorrelated_pods_share(self):
+        """Opposite usage shapes co-locate (the paper's ideal pairing)."""
+        cluster, kk = build(nodes=2)
+        rising = WorkloadTrace(
+            "rise",
+            [Phase(50, ResourceDemand(0.2, 500, 0, 0)), Phase(50, ResourceDemand(0.2, 5_000, 0, 0))],
+        )
+        falling = WorkloadTrace(
+            "fall",
+            [Phase(50, ResourceDemand(0.2, 5_000, 0, 0)), Phase(50, ResourceDemand(0.2, 500, 0, 0))],
+        )
+        kk.knots.profiles.record_trace("img/rise", rising)
+        kk.knots.profiles.record_trace("img/fall", falling)
+        from repro.kube.pod import PodSpec
+
+        kk.api.submit(PodSpec("a", "img/rise", rising), 0.0)
+        kk.api.submit(PodSpec("b", "img/fall", falling), 0.0)
+        actions = kk.scheduling_pass(0.0)
+        binds = [x for x in actions if isinstance(x, Bind)]
+        assert len(binds) == 2
+        assert binds[0].gpu_id == binds[1].gpu_id
+
+
+class TestSafetyGuards:
+    def test_two_peak_guard_blocks_overcommit(self):
+        """Room must remain for the two largest peaks to fire together."""
+        cluster, kk = build(nodes=1)
+        learn_profile(kk, "img/bursty", mem_mb=1_500, peak_mem_mb=9_000)
+        rising = make_spec("a", image="img/bursty", mem_mb=1_500, peak_mem_mb=9_000,
+                           requested_mem_mb=9_000.0)
+        kk.api.submit(rising, 0.0)
+        kk.scheduling_pass(0.0)
+        # second bursty pod would need 2 x 7.5 GB of overshoot headroom
+        other = make_spec("b", image="img/bursty2", mem_mb=1_500, peak_mem_mb=9_000,
+                          requested_mem_mb=9_000.0)
+        kk.knots.profiles.record_trace(
+            "img/bursty2", make_trace(mem_mb=1_500, peak_mem_mb=9_000, duration_ms=77.0)
+        )
+        kk.api.submit(other, 1.0)
+        actions = kk.scheduling_pass(1.0)
+        assert not [x for x in actions if isinstance(x, Bind)]
+
+    def test_sm_ceiling_limits_stacking(self):
+        cluster, kk = build(CBPScheduler(batch_sm_ceiling=0.5), nodes=1)
+        learn_profile(kk, "img/hot", mem_mb=300, peak_mem_mb=400)
+        # profile says ~0.45-0.75 SM each; ceiling 0.5 admits only one
+        for name in ("a", "b", "c"):
+            kk.api.submit(make_spec(name, image="img/hot", sm=0.6, requested_mem_mb=400.0), 0.0)
+        actions = kk.scheduling_pass(0.0)
+        binds = [x for x in actions if isinstance(x, Bind)]
+        per_gpu = {}
+        for b in binds:
+            per_gpu[b.gpu_id] = per_gpu.get(b.gpu_id, 0) + 1
+        assert all(v == 1 for v in per_gpu.values())
+
+    def test_latency_pods_scheduled_before_batch(self):
+        cluster, kk = build(nodes=1)
+        batch = kk.api.submit(make_spec("batch", requested_mem_mb=12_000.0), 0.0)
+        lc = kk.api.submit(make_spec("lc", qos_threshold_ms=150.0, requested_mem_mb=12_000.0), 0.0)
+        actions = kk.scheduling_pass(0.0)
+        binds = [x for x in actions if isinstance(x, Bind)]
+        assert binds[0].pod_uid == lc.uid

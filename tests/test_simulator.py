@@ -1,0 +1,122 @@
+"""End-to-end tests for the cluster simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import make_paper_cluster
+from repro.core.schedulers import make_scheduler
+from repro.sim.simulator import KubeKnotsSimulator, SimConfig, run_appmix
+from repro.workloads.appmix import generate_appmix_workload
+from repro.workloads.base import QoSClass
+from tests.conftest import make_spec
+
+
+def tiny_workload(n_batch=3, n_lc=5):
+    items = []
+    t = 0.0
+    for i in range(n_batch):
+        items.append((t, make_spec(f"b{i}", image=f"img/b{i % 2}", duration_ms=300.0, mem_mb=2_000.0)))
+        t += 50.0
+    for i in range(n_lc):
+        items.append(
+            (t, make_spec(f"q{i}", image="img/q", duration_ms=40.0, mem_mb=500.0,
+                          qos_threshold_ms=150.0))
+        )
+        t += 30.0
+    return items
+
+
+@pytest.mark.parametrize("name", ["uniform", "res-ag", "cbp", "peak-prediction"])
+def test_all_schedulers_complete_tiny_workload(name):
+    cluster = make_paper_cluster(num_nodes=3)
+    sim = KubeKnotsSimulator(cluster, make_scheduler(name), tiny_workload())
+    result = sim.run()
+    assert len(result.completed()) == len(result.pods) == 8
+    assert result.scheduler == name
+    assert result.total_energy_j() > 0
+
+
+def test_deterministic_given_seed():
+    a = run_appmix("app-mix-3", make_scheduler("cbp"), duration_s=4.0, seed=7)
+    b = run_appmix("app-mix-3", make_scheduler("cbp"), duration_s=4.0, seed=7)
+    assert a.makespan_ms == b.makespan_ms
+    assert a.total_energy_j() == pytest.approx(b.total_energy_j())
+    assert sorted(p.jct_ms() for p in a.completed()) == sorted(p.jct_ms() for p in b.completed())
+
+
+def test_different_seeds_differ():
+    a = run_appmix("app-mix-3", make_scheduler("cbp"), duration_s=4.0, seed=7)
+    b = run_appmix("app-mix-3", make_scheduler("cbp"), duration_s=4.0, seed=8)
+    assert len(a.pods) != len(b.pods) or a.makespan_ms != b.makespan_ms
+
+
+def test_result_series_aligned():
+    result = run_appmix("app-mix-3", make_scheduler("peak-prediction"), duration_s=4.0, seed=1)
+    n = len(result.sample_times_ms)
+    for series in result.gpu_util_series.values():
+        assert len(series) == n
+    for series in result.gpu_mem_series.values():
+        assert len(series) == n
+
+
+def test_latency_pods_counted():
+    result = run_appmix("app-mix-1", make_scheduler("peak-prediction"), duration_s=4.0, seed=1)
+    lc = result.latency_pods()
+    assert lc
+    assert all(p.spec.qos_class is QoSClass.LATENCY_CRITICAL for p in lc)
+    assert 0.0 <= result.qos_violations_per_kilo() <= 1_000.0
+
+
+def test_cold_start_slower_than_prewarm():
+    workload = tiny_workload()
+    cluster_a = make_paper_cluster(num_nodes=3)
+    warm = KubeKnotsSimulator(
+        cluster_a, make_scheduler("cbp"), workload, SimConfig(prewarm_images=True)
+    ).run()
+    cluster_b = make_paper_cluster(num_nodes=3)
+    cold = KubeKnotsSimulator(
+        cluster_b, make_scheduler("cbp"), tiny_workload(), SimConfig(prewarm_images=False)
+    ).run()
+    assert np.median(cold.jcts_ms()) > np.median(warm.jcts_ms())
+
+
+def test_horizon_bounds_runaway():
+    """A pod that can never fit must not hang the simulation."""
+    cluster = make_paper_cluster(num_nodes=1)
+    impossible = make_spec("huge", mem_mb=16_384.0, requested_mem_mb=16_384.0)
+    blocker = make_spec("other", mem_mb=16_384.0, requested_mem_mb=16_384.0)
+    sim = KubeKnotsSimulator(
+        cluster,
+        make_scheduler("uniform"),
+        [(0.0, impossible), (0.0, blocker)],
+        SimConfig(min_horizon_ms=2_000.0, horizon_factor=1.0),
+    )
+    result = sim.run()
+    assert result.makespan_ms <= 2_500.0
+
+
+def test_appmix_workload_shapes():
+    items = generate_appmix_workload("app-mix-1", duration_s=5.0, seed=0)
+    times = [t for t, _ in items]
+    assert times == sorted(times)
+    classes = {spec.qos_class for _, spec in items}
+    assert QoSClass.LATENCY_CRITICAL in classes and QoSClass.BATCH in classes
+    lc_fraction = sum(
+        1 for _, s in items if s.qos_class is QoSClass.LATENCY_CRITICAL
+    ) / len(items)
+    assert 0.6 < lc_fraction < 0.95   # the 80/20 Pareto split
+
+
+def test_multi_gpu_nodes_end_to_end():
+    """Nodes with several devices schedule and complete normally."""
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.node import GpuNode
+
+    cluster = Cluster([GpuNode.build("node1", num_gpus=2), GpuNode.build("node2", num_gpus=2)])
+    sim = KubeKnotsSimulator(cluster, make_scheduler("peak-prediction"), tiny_workload())
+    result = sim.run()
+    assert len(result.completed()) == len(result.pods)
+    used_gpus = {p.gpu_id for p in result.pods}
+    assert len(used_gpus) >= 2

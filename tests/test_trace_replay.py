@@ -1,0 +1,80 @@
+"""Tests for the Alibaba batch_task.csv replayer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import make_paper_cluster
+from repro.core.schedulers import make_scheduler
+from repro.sim.simulator import KubeKnotsSimulator
+from repro.workloads.trace_replay import load_batch_tasks, tasks_to_workload
+
+CSV = """\
+86400,86500,j_1,t_1,1,Terminated,600,4.0
+86410,86470,j_1,t_2,1,Terminated,1200,8.0
+86420,86430,j_2,t_1,1,Failed,600,4.0
+86430,86420,j_3,t_1,1,Terminated,600,4.0
+86440,86540,j_4,t_1,1,Terminated,,4.0
+86450,86650,j_5,t_1,2,Terminated,3200,25.0
+garbage row
+"""
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "batch_task.csv"
+    path.write_text(CSV)
+    return path
+
+
+class TestLoading:
+    def test_only_valid_terminated_tasks(self, trace_file):
+        tasks = load_batch_tasks(trace_file)
+        # j_2 (Failed), j_3 (negative duration), j_4 (missing plan_cpu)
+        # and the garbage row are dropped
+        assert [t.job_id for t in tasks] == ["j_1", "j_1", "j_5"]
+
+    def test_arrivals_rebased_and_sorted(self, trace_file):
+        tasks = load_batch_tasks(trace_file)
+        assert tasks[0].arrival_s == 0.0
+        assert [t.arrival_s for t in tasks] == sorted(t.arrival_s for t in tasks)
+        assert tasks[1].arrival_s == pytest.approx(10.0)
+
+    def test_resource_normalization(self, trace_file):
+        tasks = load_batch_tasks(trace_file, machine_cores=64)
+        first = tasks[0]
+        assert first.cpu_fraction == pytest.approx(600 / (100 * 64))
+        assert first.mem_fraction == pytest.approx(0.04)
+
+    def test_max_tasks_bound(self, trace_file):
+        assert len(load_batch_tasks(trace_file, max_tasks=2)) == 2
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        assert load_batch_tasks(path) == []
+
+
+class TestWorkloadConversion:
+    def test_specs_carry_trace_resources(self, trace_file):
+        tasks = load_batch_tasks(trace_file)
+        items = tasks_to_workload(tasks, seed=3)
+        assert len(items) == len(tasks)
+        times = [t for t, _ in items]
+        assert times == sorted(times)
+        big = items[-1][1]   # j_5 asked for 25 % of node memory
+        small = items[0][1]
+        assert big.trace.peak_mem_mb() > small.trace.peak_mem_mb()
+
+    def test_time_scaling(self, trace_file):
+        tasks = load_batch_tasks(trace_file)
+        full = tasks_to_workload(tasks, time_scale=1.0)
+        fast = tasks_to_workload(tasks, time_scale=0.1)
+        assert fast[-1][0] == pytest.approx(full[-1][0] * 0.1)
+
+    def test_replayed_workload_simulates(self, trace_file):
+        tasks = load_batch_tasks(trace_file)
+        workload = tasks_to_workload(tasks, time_scale=0.01, duration_scale=0.05, seed=1)
+        cluster = make_paper_cluster(num_nodes=2)
+        result = KubeKnotsSimulator(cluster, make_scheduler("peak-prediction"), workload).run()
+        assert len(result.completed()) == len(workload)

@@ -1,0 +1,91 @@
+"""Tests for the node-local time-series database."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.telemetry.tsdb import TimeSeriesDB
+
+
+class TestBasics:
+    def test_write_and_query(self):
+        db = TimeSeriesDB()
+        for t in range(10):
+            db.write("m", float(t), float(t) * 2)
+        window = db.query("m", since=3.0, until=7.0)
+        assert list(window.times) == [3, 4, 5, 6, 7]
+        assert list(window.values) == [6, 8, 10, 12, 14]
+
+    def test_unknown_metric_yields_empty(self):
+        db = TimeSeriesDB()
+        window = db.query("ghost")
+        assert len(window) == 0
+
+    def test_metrics_listing(self):
+        db = TimeSeriesDB()
+        db.write("b", 0, 1)
+        db.write("a", 0, 1)
+        assert db.metrics() == ["a", "b"]
+        assert "a" in db and "ghost" not in db
+
+    def test_write_many(self):
+        db = TimeSeriesDB()
+        db.write_many(1.0, {"x": 1.0, "y": 2.0})
+        assert db.latest("x") == (1.0, 1.0)
+        assert db.latest("y") == (1.0, 2.0)
+
+    def test_latest_none_when_empty(self):
+        assert TimeSeriesDB().latest("m") is None
+
+    def test_last_window(self):
+        db = TimeSeriesDB()
+        for t in range(100):
+            db.write("m", float(t), float(t))
+        w = db.last_window("m", window=10.0, now=50.0)
+        assert w.times[0] == 40.0 and w.times[-1] == 50.0
+        assert w.latest() == 50.0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            TimeSeriesDB(capacity=0)
+
+    def test_empty_window_latest_raises(self):
+        db = TimeSeriesDB()
+        with pytest.raises(ValueError):
+            db.query("ghost").latest()
+
+
+class TestRingBehaviour:
+    def test_wraparound_keeps_newest(self):
+        db = TimeSeriesDB(capacity=8)
+        for t in range(20):
+            db.write("m", float(t), float(t))
+        window = db.query("m")
+        assert len(window) == 8
+        assert list(window.times) == list(range(12, 20))
+
+    def test_order_preserved_after_wrap(self):
+        db = TimeSeriesDB(capacity=5)
+        for t in range(13):
+            db.write("m", float(t), float(t))
+        times = db.query("m").times
+        assert np.all(np.diff(times) > 0)
+
+    @given(st.integers(min_value=1, max_value=200), st.integers(min_value=1, max_value=64))
+    def test_count_never_exceeds_capacity(self, n_points, capacity):
+        db = TimeSeriesDB(capacity=capacity)
+        for t in range(n_points):
+            db.write("m", float(t), 0.0)
+        assert len(db.query("m")) == min(n_points, capacity)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=100),
+    )
+    def test_windows_subset_of_written(self, values):
+        db = TimeSeriesDB(capacity=64)
+        for i, v in enumerate(values):
+            db.write("m", float(i), v)
+        w = db.last_window("m", window=10.0, now=float(len(values)))
+        assert set(w.values) <= set(values)

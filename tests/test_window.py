@@ -1,0 +1,117 @@
+"""Tests for sliding windows, resampling and accuracy evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.forecast.regressors import ArimaForecaster
+from repro.forecast.window import (
+    SlidingWindow,
+    evaluate_forecaster,
+    evaluate_peak_predictor,
+    resample,
+)
+
+
+class TestSlidingWindow:
+    def test_push_and_values(self):
+        w = SlidingWindow(4)
+        for v in (1.0, 2.0, 3.0):
+            w.push(v)
+        assert list(w.values()) == [1.0, 2.0, 3.0]
+        assert len(w) == 3 and not w.full
+
+    def test_wraparound_order(self):
+        w = SlidingWindow(3)
+        for v in range(6):
+            w.push(float(v))
+        assert list(w.values()) == [3.0, 4.0, 5.0]
+        assert w.full
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(0)
+
+
+class TestResample:
+    def test_locf_semantics(self):
+        times = np.array([0.0, 10.0, 20.0])
+        values = np.array([1.0, 2.0, 3.0])
+        ticks, sampled = resample(times, values, 5.0)
+        assert list(ticks) == [0, 5, 10, 15, 20]
+        assert list(sampled) == [1, 1, 2, 2, 3]
+
+    def test_fine_resample_preserves_values(self):
+        times = np.arange(100.0)
+        values = np.sin(times)
+        _, sampled = resample(times, values, 1.0)
+        assert np.allclose(sampled, values)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            resample(np.arange(3.0), np.arange(3.0), 0.0)
+
+
+class TestEvaluateForecaster:
+    def test_perfect_on_constant_signal(self):
+        times = np.arange(0, 20_000.0, 1.0)
+        values = np.full(len(times), 0.5)
+        report = evaluate_forecaster(times, values, 100.0, ArimaForecaster(), max_windows=10)
+        assert report.accuracy_pct == pytest.approx(100.0)
+        assert report.mae == pytest.approx(0.0, abs=1e-9)
+
+    def test_too_short_series_degrades_gracefully(self):
+        times = np.arange(0, 100.0, 1.0)
+        report = evaluate_forecaster(times, np.ones(100), 1_000.0, ArimaForecaster())
+        assert report.n_predictions == 0
+
+    def test_noise_floor_reduces_accuracy(self):
+        rng_times = np.arange(0, 30_000.0, 1.0)
+        values = 0.5 + 0.2 * np.sin(rng_times / 2_000.0)
+        clean = evaluate_forecaster(rng_times, values, 10.0, ArimaForecaster(), max_windows=20)
+        noisy = evaluate_forecaster(
+            rng_times, values, 10.0, ArimaForecaster(), max_windows=20, noise_floor=0.3
+        )
+        assert noisy.accuracy_pct < clean.accuracy_pct
+
+    def test_report_metadata(self):
+        times = np.arange(0, 30_000.0, 1.0)
+        report = evaluate_forecaster(times, np.ones(len(times)), 50.0, ArimaForecaster(), max_windows=7)
+        assert report.forecaster == "arima"
+        assert report.heartbeat_ms == 50.0
+        assert 0 < report.n_predictions <= 7
+
+
+class TestEvaluatePeakPredictor:
+    @staticmethod
+    def peaky_signal():
+        """0.2 baseline with 0.9 peaks (50 ms) every second."""
+        times = np.arange(0, 30_000.0, 0.5)
+        values = np.full(len(times), 0.2)
+        for start in np.arange(500.0, 29_000.0, 1_000.0):
+            mask = (times >= start) & (times < start + 50.0)
+            values[mask] = 0.9
+        return times, values
+
+    def test_fine_sampling_predicts_peaks(self):
+        times, values = self.peaky_signal()
+        report = evaluate_peak_predictor(
+            times, values, heartbeat_ms=1.0, forecaster=ArimaForecaster(), max_windows=20
+        )
+        assert report.accuracy_pct > 70.0
+
+    def test_coarse_sampling_misses_peaks(self):
+        """A 1000 ms heartbeat aliases 50 ms peaks away."""
+        times, values = self.peaky_signal()
+        fine = evaluate_peak_predictor(times, values, 1.0, ArimaForecaster(), max_windows=20)
+        coarse = evaluate_peak_predictor(times, values, 1_000.0, ArimaForecaster(), max_windows=20)
+        assert coarse.accuracy_pct < fine.accuracy_pct
+
+    def test_heavy_noise_degrades_peak_estimate(self):
+        times, values = self.peaky_signal()
+        clean = evaluate_peak_predictor(times, values, 1.0, ArimaForecaster(), max_windows=20)
+        noisy = evaluate_peak_predictor(
+            times, values, 1.0, ArimaForecaster(), max_windows=20, noise_floor=0.3
+        )
+        assert noisy.accuracy_pct < clean.accuracy_pct
