@@ -44,17 +44,94 @@ EXPERIMENTS = (
     "sensitivity",
 )
 
+#: Short spellings accepted wherever a scheduler name is expected.
+SCHEDULER_ALIASES = {
+    "pp": "peak-prediction",
+    "cbp-pp": "peak-prediction",
+    "resag": "res-ag",
+    "hetero": "hetero-pp",
+}
+
+#: Short spellings accepted wherever an app-mix name is expected.
+MIX_ALIASES = {
+    "1": "app-mix-1",
+    "2": "app-mix-2",
+    "3": "app-mix-3",
+    "mix-1": "app-mix-1",
+    "mix-2": "app-mix-2",
+    "mix-3": "app-mix-3",
+}
+
+
+def _experiment_description(name: str) -> str:
+    """First docstring line of ``repro.experiments.<name>``."""
+    try:
+        module = importlib.import_module(f"repro.experiments.{name}")
+    except Exception:  # pragma: no cover - defensive: a broken module
+        return ""
+    doc = (module.__doc__ or "").strip()
+    return doc.splitlines()[0].rstrip(".") if doc else ""
+
 
 def _cmd_list(_args: argparse.Namespace) -> int:
     from repro.core.schedulers import SCHEDULERS
     from repro.sim.dlsim import DL_POLICIES
     from repro.workloads.appmix import APP_MIXES
 
-    print("experiments :", ", ".join(EXPERIMENTS))
+    print("experiments :")
+    width = max(len(n) for n in EXPERIMENTS)
+    for name in EXPERIMENTS:
+        print(f"  {name:<{width}}  {_experiment_description(name)}")
     print("schedulers  :", ", ".join(sorted(SCHEDULERS)))
     print("app mixes   :", ", ".join(sorted(APP_MIXES)))
     print("DL policies :", ", ".join(sorted(DL_POLICIES)))
     return 0
+
+
+def _make_observability(args: argparse.Namespace):
+    """Build (Observability | None, audit_path | None) from CLI flags.
+
+    Any of ``--trace``/``--metrics``/``--audit`` switches the matching
+    sink on; the audit log rides along with ``--trace`` (written next to
+    the trace file) so a traced run always explains its decisions.
+    """
+    from repro.obs import Observability
+
+    trace = getattr(args, "trace", None)
+    metrics = getattr(args, "metrics", None)
+    audit = getattr(args, "audit", None)
+    if not (trace or metrics or audit):
+        return None, None
+    audit_path = audit
+    # Only commands that audit decisions define --audit; for those the
+    # audit log rides along with --trace under a derived filename.
+    if audit_path is None and trace is not None and hasattr(args, "audit"):
+        from pathlib import Path
+
+        audit_path = str(Path(trace).with_suffix("")) + ".audit.jsonl"
+    return (
+        Observability(trace=bool(trace), metrics=bool(metrics), audit=bool(audit_path)),
+        audit_path,
+    )
+
+
+def _export_observability(obs, args: argparse.Namespace, audit_path) -> None:
+    if obs is None:
+        return
+    written = obs.export(
+        trace_path=getattr(args, "trace", None),
+        metrics_path=getattr(args, "metrics", None),
+        audit_path=audit_path,
+    )
+    if getattr(args, "trace", None):
+        print(f"trace: {written['trace_events']} events -> {args.trace} "
+              "(open in Perfetto / chrome://tracing)")
+    if getattr(args, "metrics", None):
+        print(f"metrics: {written['metrics']} series -> {args.metrics}")
+    if audit_path:
+        summary = ", ".join(f"{k}={v}" for k, v in sorted(obs.audit.summary().items()))
+        print(f"decision audit: {written['audit_records']} records -> {audit_path}"
+              + (f" ({summary})" if summary else ""))
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -79,6 +156,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.metrics.report import format_table
     from repro.sim.simulator import run_appmix
 
+    args.mix = MIX_ALIASES.get(args.mix, args.mix)
+    args.scheduler = SCHEDULER_ALIASES.get(args.scheduler, args.scheduler)
+    obs, audit_path = _make_observability(args)
     result = run_appmix(
         args.mix,
         make_scheduler(args.scheduler),
@@ -86,6 +166,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         seed=args.seed,
         num_nodes=args.nodes,
         load_factor=args.load_factor,
+        obs=obs,
     )
     util = cluster_percentiles(result.gpu_util_series)
     mean_power = result.total_energy_j() / (result.makespan_ms / 1_000.0)
@@ -111,6 +192,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
         export_result_json(result, args.export)
         print(f"run exported to {args.export}")
+    _export_observability(obs, args, audit_path)
     return 0
 
 
@@ -121,6 +203,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.sim.simulator import KubeKnotsSimulator
     from repro.workloads.trace_replay import load_batch_tasks, tasks_to_workload
 
+    args.scheduler = SCHEDULER_ALIASES.get(args.scheduler, args.scheduler)
     tasks = load_batch_tasks(args.trace, max_tasks=args.max_tasks)
     if not tasks:
         print(f"no terminated tasks found in {args.trace}", file=sys.stderr)
@@ -155,7 +238,10 @@ def _cmd_dlsim(args: argparse.Namespace) -> int:
     config = None
     if args.quick:
         config = DLWorkloadConfig(n_training=100, n_inference=300, window_s=2 * 3_600.0)
-    results = run_dl_comparison(jobs_seed=args.seed, policies=args.policies, config=config)
+    obs, audit_path = _make_observability(args)
+    results = run_dl_comparison(
+        jobs_seed=args.seed, policies=args.policies, config=config, obs=obs
+    )
     ref = "cbp-pp" if "cbp-pp" in results else args.policies[0]
     ratios = normalized_jct({n: r.jcts_s() for n, r in results.items()}, reference=ref)
     rows = []
@@ -176,6 +262,7 @@ def _cmd_dlsim(args: argparse.Namespace) -> int:
             title="DL-cluster comparison",
         )
     )
+    _export_observability(obs, args, audit_path)
     return 0
 
 
@@ -194,15 +281,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_sim = sub.add_parser("simulate", help="run one app-mix under one scheduler")
-    p_sim.add_argument("--mix", default="app-mix-1", help="Table-I mix name")
+    p_sim.add_argument("--mix", default="app-mix-1", help="Table-I mix name (or just 1/2/3)")
     p_sim.add_argument("--scheduler", default="peak-prediction",
-                       help="uniform | res-ag | cbp | peak-prediction")
+                       help="uniform | res-ag | cbp | peak-prediction (alias: pp)")
     p_sim.add_argument("--duration", type=float, default=20.0, help="arrival window, seconds")
     p_sim.add_argument("--seed", type=int, default=1)
     p_sim.add_argument("--nodes", type=int, default=10)
     p_sim.add_argument("--load-factor", type=float, default=1.0, dest="load_factor")
     p_sim.add_argument("--export", default=None, metavar="PATH",
                        help="write the run (pods + telemetry) to a JSON file")
+    p_sim.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a Chrome trace-event JSON (Perfetto/chrome://tracing); "
+                            "also writes the decision audit log next to it")
+    p_sim.add_argument("--metrics", default=None, metavar="PATH",
+                       help="write Prometheus text-format metrics")
+    p_sim.add_argument("--audit", default=None, metavar="PATH",
+                       help="write the scheduler decision audit log (JSONL)")
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_rep = sub.add_parser("replay", help="replay an Alibaba batch_task.csv trace")
@@ -220,6 +314,10 @@ def build_parser() -> argparse.ArgumentParser:
                       default=["res-ag", "gandiva", "tiresias", "cbp-pp"])
     p_dl.add_argument("--seed", type=int, default=1)
     p_dl.add_argument("--quick", action="store_true", help="reduced workload")
+    p_dl.add_argument("--trace", default=None, metavar="PATH",
+                      help="write a Chrome trace-event JSON of all policies' job lifecycles")
+    p_dl.add_argument("--metrics", default=None, metavar="PATH",
+                      help="write Prometheus text-format metrics")
     p_dl.set_defaults(func=_cmd_dlsim)
 
     return parser

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from repro.cluster.cluster import Cluster
 from repro.core.profiles import ProfileStore
+from repro.obs.context import NOOP, Observability
 from repro.telemetry.aggregator import GpuView, NodeMonitor, UtilizationAggregator
 from repro.telemetry.tsdb import SeriesWindow
 
@@ -35,14 +36,23 @@ class KnotsConfig:
 class Knots:
     """The runtime system aggregating cluster-wide GPU telemetry."""
 
-    def __init__(self, cluster: Cluster, config: KnotsConfig | None = None) -> None:
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: KnotsConfig | None = None,
+        obs: Observability | None = None,
+    ) -> None:
         self.cluster = cluster
         self.config = config or KnotsConfig()
+        self.obs = obs or NOOP
         self.monitors: dict[str, NodeMonitor] = {
             node.node_id: NodeMonitor(node) for node in cluster
         }
-        self.aggregator = UtilizationAggregator(list(self.monitors.values()))
+        self.aggregator = UtilizationAggregator(list(self.monitors.values()), obs=self.obs)
         self.profiles = ProfileStore()
+        self._m_heartbeats = self.obs.metrics.counter(
+            "knots_heartbeats_total", "Monitoring-plane sampling rounds"
+        )
 
     # -- monitoring plane ---------------------------------------------------
 
@@ -50,6 +60,7 @@ class Knots:
         """Sample every node's devices into its TSDB (one heartbeat)."""
         for monitor in self.monitors.values():
             monitor.heartbeat(now)
+        self._m_heartbeats.inc()
 
     # -- Algorithm 1 primitives ---------------------------------------------
 

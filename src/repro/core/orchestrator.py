@@ -25,6 +25,7 @@ from repro.core.schedulers.base import (
 from repro.kube.api import APIServer
 from repro.kube.device_plugin import SharedGPUDevicePlugin
 from repro.kube.kubelet import Kubelet, KubeletConfig
+from repro.obs.context import NOOP, Observability
 
 __all__ = ["KubeKnots"]
 
@@ -38,15 +39,27 @@ class KubeKnots:
         scheduler: Scheduler,
         knots_config: KnotsConfig | None = None,
         kubelet_config: KubeletConfig | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.cluster = cluster
         self.scheduler = scheduler
+        self.obs = obs or NOOP
+        scheduler.bind_observability(self.obs)
         self.api = APIServer()
-        self.knots = Knots(cluster, knots_config)
+        self.knots = Knots(cluster, knots_config, obs=self.obs)
         self.kubelets: dict[str, Kubelet] = {}
         for node in cluster:
             plugin = SharedGPUDevicePlugin(node, sharing_enabled=scheduler.requires_sharing)
-            self.kubelets[node.node_id] = Kubelet(node, self.api, plugin, kubelet_config)
+            self.kubelets[node.node_id] = Kubelet(
+                node, self.api, plugin, kubelet_config, obs=self.obs
+            )
+        metrics = self.obs.metrics
+        self._m_passes = metrics.counter(
+            "scheduler_passes_total", "Scheduling passes executed"
+        )
+        self._m_actions = metrics.counter(
+            "scheduler_actions_total", "Actions applied, by kind", labelnames=("kind",)
+        )
 
     # -- context assembly ----------------------------------------------------
 
@@ -73,10 +86,27 @@ class KubeKnots:
 
     def scheduling_pass(self, now: float) -> list[Action]:
         """Run one policy pass and apply its actions.  Returns them."""
+        obs = self.obs
+        if not obs.enabled:
+            ctx = self.build_context(now)
+            actions = self.scheduler.schedule(ctx)
+            for action in actions:
+                self._apply(action, now)
+            return actions
+
+        obs.clock.now = now
+        obs.audit.begin_pass(self.scheduler.name, ts=now)
+        tracer = obs.tracer
+        if tracer.enabled:
+            tracer.begin("scheduling_pass", cat="scheduler", args={"policy": self.scheduler.name})
         ctx = self.build_context(now)
         actions = self.scheduler.schedule(ctx)
         for action in actions:
             self._apply(action, now)
+            self._m_actions.inc(kind=type(action).__name__.lower())
+        self._m_passes.inc()
+        if tracer.enabled:
+            tracer.end(args={"pending": len(ctx.pending), "actions": len(actions)})
         return actions
 
     def _apply(self, action: Action, now: float) -> None:
@@ -93,8 +123,12 @@ class KubeKnots:
             gpu = self.cluster.find_gpu(action.gpu_id)
             if not gpu.containers:
                 gpu.sleep()
+                if self.obs.tracer.enabled:
+                    self.obs.tracer.instant("gpu_sleep", cat="power", args={"gpu": action.gpu_id})
         elif isinstance(action, Wake):
             self.cluster.find_gpu(action.gpu_id).asleep = False
+            if self.obs.tracer.enabled:
+                self.obs.tracer.instant("gpu_wake", cat="power", args={"gpu": action.gpu_id})
         else:  # pragma: no cover - future action types
             raise TypeError(f"unknown action {action!r}")
 

@@ -16,6 +16,7 @@ from typing import Sequence, Union
 
 from repro.core.knots import Knots
 from repro.kube.pod import Pod
+from repro.obs.context import NOOP, Observability
 from repro.workloads.base import QoSClass
 
 __all__ = [
@@ -152,9 +153,53 @@ class Scheduler(ABC):
     #: orchestrator configures every node's plugin from this flag.
     requires_sharing: bool = True
 
+    #: Observability bundle (tracer/metrics/decision audit).  Defaults
+    #: to the shared no-op bundle; the orchestrator rebinds it via
+    #: :meth:`bind_observability` so policies stay constructible bare.
+    obs: Observability = NOOP
+
     @abstractmethod
     def schedule(self, ctx: SchedulingContext) -> list[Action]:
         """Produce placement/resize/power actions for this pass."""
+
+    # -- observability hook --------------------------------------------------
+
+    def bind_observability(self, obs: Observability) -> None:
+        """Attach an observability bundle to this policy instance.
+
+        Policies record one audit record per placement/rejection/resize
+        through ``self.obs.audit``; subclasses needing pre-created
+        instruments override :meth:`_setup_observability`.
+        """
+        self.obs = obs
+        self._setup_observability(obs)
+
+    def _setup_observability(self, obs: Observability) -> None:
+        """Subclass hook: create counters/histograms once at bind time."""
+
+    def _audit_bind(self, pod: Pod, gpu_id: str, alloc_mb: float,
+                    queue_depth: int, evidence: dict | None = None) -> None:
+        self.obs.audit.record(
+            "bind",
+            pod_uid=pod.uid,
+            image=pod.spec.image,
+            qos=pod.spec.qos_class.value,
+            gpu_id=gpu_id,
+            alloc_mb=alloc_mb,
+            queue_depth=queue_depth,
+            evidence=evidence,
+        )
+
+    def _audit_reject(self, pod: Pod, queue_depth: int,
+                      evidence: dict | None = None) -> None:
+        self.obs.audit.record(
+            "reject",
+            pod_uid=pod.uid,
+            image=pod.spec.image,
+            qos=pod.spec.qos_class.value,
+            queue_depth=queue_depth,
+            evidence=evidence,
+        )
 
     # -- shared helpers -----------------------------------------------------
 

@@ -91,11 +91,17 @@ class CBPScheduler(Scheduler):
         #: The interference coefficient assumed when inverting the
         #: co-location slowdown model (matches the device default).
         self.interference_alpha = interference_alpha
+        #: Evidence captured by the last :meth:`_admit` call — the
+        #: per-resident-image Spearman ρ values the gate evaluated.
+        #: Only populated while the decision audit log is enabled.
+        self._last_correlations: dict[str, float] | None = None
+        self._auditing = False
 
     # -- pass ---------------------------------------------------------------
 
     def schedule(self, ctx: SchedulingContext) -> list[Action]:
         actions: list[Action] = []
+        self._auditing = self.obs.audit.enabled
         views = ctx.knots.all_gpus_by_free_memory()
         state = PassState.from_views(views, ctx.residents_on)
         self._load_pressure(ctx, state)
@@ -154,6 +160,21 @@ class CBPScheduler(Scheduler):
                 if target < res.alloc_mb - self.resize_margin_mb:
                     resizes.append(Resize(res.uid, gpu_id, target))
                     state.free[gpu_id] += res.alloc_mb - target
+                    if self._auditing:
+                        self.obs.audit.record(
+                            "resize",
+                            pod_uid=res.uid,
+                            image=res.image,
+                            qos=res.qos_class.value,
+                            gpu_id=gpu_id,
+                            alloc_mb=target,
+                            queue_depth=len(ctx.pending),
+                            evidence={
+                                "old_alloc_mb": res.alloc_mb,
+                                "harvested_mb": res.alloc_mb - target,
+                                "percentile": self.percentile,
+                            },
+                        )
         return resizes
 
     # -- placement -----------------------------------------------------------
@@ -223,21 +244,68 @@ class CBPScheduler(Scheduler):
 
     def _place(self, ctx: SchedulingContext, state: PassState) -> list[Action]:
         actions: list[Action] = []
+        auditing = self._auditing
+        queue_depth = len(ctx.pending)
         for pod in self._ordered_pending(ctx):
             alloc = self._provision(ctx, pod)
             expected_sm = self._expected_sm(ctx, pod)
             peak = self._peak_of(ctx, pod, alloc)
+            attempts: list[dict] | None = [] if auditing else None
+            placed = False
             for gpu_id in self._candidate_gpus(pod, state, self._lc_ceiling(ctx, pod)):
                 if not self._fits(state, gpu_id, alloc, peak, pod, expected_sm):
+                    if auditing:
+                        attempts.append(self._attempt(state, gpu_id, "no-fit"))
                     continue
                 if not self._admit(ctx, pod, gpu_id, alloc, state):
+                    if auditing:
+                        attempts.append(self._attempt(state, gpu_id, "correlated"))
                     continue
                 actions.append(Bind(pod.uid, gpu_id, alloc))
+                if auditing:
+                    attempts.append(self._attempt(state, gpu_id, "bound"))
+                    self._audit_bind(
+                        pod, gpu_id, alloc, queue_depth,
+                        evidence=self._bind_evidence(pod, alloc, peak, expected_sm, attempts),
+                    )
                 self._book_pod(state, gpu_id, pod, alloc, expected_sm, peak)
+                placed = True
                 break
             # No admissible device: the pod stays pending (CBP's queueing
             # cost for positively correlated arrivals).
+            if not placed and auditing:
+                self._audit_reject(
+                    pod, queue_depth,
+                    evidence={"alloc_mb": alloc, "peak_mb": peak, "attempts": attempts},
+                )
         return actions
+
+    # -- audit evidence ------------------------------------------------------
+
+    def _attempt(self, state: PassState, gpu_id: str, outcome: str) -> dict:
+        """One candidate-device score line for the audit trail."""
+        entry = {
+            "gpu_id": gpu_id,
+            "outcome": outcome,
+            "free_mb": round(state.free.get(gpu_id, 0.0), 1),
+            "sm": round(state.sm.get(gpu_id, 0.0), 3),
+        }
+        if outcome == "correlated" and self._last_correlations is not None:
+            entry["correlations"] = self._last_correlations
+        return entry
+
+    def _bind_evidence(
+        self, pod: Pod, alloc: float, peak: float, expected_sm: float, attempts: list[dict]
+    ) -> dict:
+        """Everything the CBP decision used, audit-ready."""
+        return {
+            "request_mb": pod.spec.requested_mem_mb,
+            "peak_mb": peak,
+            "expected_sm": round(expected_sm, 3),
+            "percentile": self.percentile,
+            "correlations": self._last_correlations,
+            "attempts": attempts,
+        }
 
     def _book_pod(
         self,
@@ -331,6 +399,7 @@ class CBPScheduler(Scheduler):
         # is peaks colliding that causes capacity violations.
         profile = ctx.knots.profiles.get(pod.spec.image)
         peak = profile.peak_mem_mb() if profile is not None and profile.observations else alloc
+        self._last_correlations = None
         if max(alloc, peak) < self.corr_gate_min_mb:
             return True
         candidate = ctx.knots.profiles.correlation_series(pod.spec.image)
@@ -341,10 +410,17 @@ class CBPScheduler(Scheduler):
             return True
         resident_images = [res.image for res in ctx.residents_on(gpu_id)]
         resident_images += state.planned_images.get(gpu_id, [])
+        # ρ per resident image, captured for the decision audit trail.
+        correlations: dict[str, float] | None = {} if self._auditing else None
         for image in resident_images:
             series = ctx.knots.profiles.correlation_series(image)
             if series is None:
                 continue
-            if spearman(candidate, series) >= self.correlation_threshold:
+            rho = spearman(candidate, series)
+            if correlations is not None:
+                correlations[image] = round(float(rho), 4)
+            if rho >= self.correlation_threshold:
+                self._last_correlations = correlations
                 return False
+        self._last_correlations = correlations
         return True

@@ -69,6 +69,8 @@ class PeakPredictionScheduler(CBPScheduler):
         self.forecast_safety = forecast_safety
         self._forecast_hits = 0
         self._forecast_misses = 0
+        #: Evidence from the last forecast evaluation (audit-only).
+        self._last_forecast: dict | None = None
 
     def _candidate_gpus(
         self, pod: Pod, state: PassState, lc_ceiling: float | None = None
@@ -87,18 +89,23 @@ class PeakPredictionScheduler(CBPScheduler):
 
     def schedule(self, ctx: SchedulingContext) -> list[Action]:
         actions: list[Action] = []
+        self._auditing = self.obs.audit.enabled
         active = ctx.knots.active_gpus_by_free_memory()
         state = PassState.from_views(active, ctx.residents_on)
         self._load_pressure(ctx, state)
         actions.extend(self._harvest(ctx, state))
 
         sleeping = [v for v in ctx.knots.all_gpus_by_free_memory() if v.asleep]
+        queue_depth = len(ctx.pending)
         unplaced = 0
         for pod in self._ordered_pending(ctx):
             alloc = self._provision(ctx, pod)
             expected_sm = self._expected_sm(ctx, pod)
             peak = self._peak_of(ctx, pod, alloc)
-            placed = self._place_one(ctx, pod, alloc, peak, expected_sm, state, actions)
+            attempts: list[dict] | None = [] if self._auditing else None
+            placed = self._place_one(
+                ctx, pod, alloc, peak, expected_sm, state, actions, attempts=attempts
+            )
             if placed:
                 continue
             view = self._wake_pick(sleeping, pod, alloc, peak)
@@ -112,19 +119,48 @@ class PeakPredictionScheduler(CBPScheduler):
                 state.overshoots[view.gpu_id] = []
                 state.lc_count[view.gpu_id] = 0
                 actions.append(Bind(pod.uid, view.gpu_id, alloc))
+                if self._auditing:
+                    self.obs.audit.record(
+                        "wake", gpu_id=view.gpu_id, queue_depth=queue_depth,
+                        evidence={"reason": "no-active-device-fits", "pod_uid": pod.uid},
+                    )
+                    evidence = self._bind_evidence(pod, alloc, peak, expected_sm, attempts)
+                    evidence["admitted_via"] = "wake"
+                    evidence["forecast"] = self._forecast_peek(
+                        ctx, view.gpu_id, view.mem_capacity_mb, alloc
+                    )
+                    self._audit_bind(pod, view.gpu_id, alloc, queue_depth, evidence)
                 self._book_pod(state, view.gpu_id, pod, alloc, expected_sm, peak)
             elif pod.spec.qos_class is QoSClass.LATENCY_CRITICAL:
                 # No cool device and nothing to wake: place on the least
                 # loaded device anyway — a stretched query beats an
                 # indefinitely queued one.
                 if not self._place_one(
-                    ctx, pod, alloc, peak, expected_sm, state, actions, relaxed=True
+                    ctx, pod, alloc, peak, expected_sm, state, actions,
+                    relaxed=True, attempts=attempts,
                 ):
                     unplaced += 1
+                    if self._auditing:
+                        self._audit_reject(
+                            pod, queue_depth,
+                            evidence={"alloc_mb": alloc, "peak_mb": peak, "attempts": attempts},
+                        )
             else:
                 unplaced += 1
+                if self._auditing:
+                    self._audit_reject(
+                        pod, queue_depth,
+                        evidence={"alloc_mb": alloc, "peak_mb": peak, "attempts": attempts},
+                    )
 
-        actions.extend(self._consolidate(state, unplaced))
+        sleeps = self._consolidate(state, unplaced)
+        if self._auditing:
+            for action in sleeps:
+                self.obs.audit.record(
+                    "sleep", gpu_id=action.gpu_id, queue_depth=queue_depth,
+                    evidence={"reason": "drained-device-consolidation"},
+                )
+        actions.extend(sleeps)
         return actions
 
     def _wake_pick(self, sleeping: list, pod: Pod, alloc: float, peak: float):
@@ -149,40 +185,103 @@ class PeakPredictionScheduler(CBPScheduler):
         state: PassState,
         actions: list[Action],
         relaxed: bool = False,
+        attempts: list[dict] | None = None,
     ) -> bool:
         """Algorithm 1's SCHEDULE procedure over the sorted node list."""
+        auditing = self._auditing and attempts is not None
         if relaxed:
             candidates = CBPScheduler._candidate_gpus(self, pod, state)
         else:
             candidates = self._candidate_gpus(pod, state, self._lc_ceiling(ctx, pod))
         for gpu_id in candidates:
             if not self._fits(state, gpu_id, alloc, peak, pod, expected_sm):
+                if auditing:
+                    attempts.append(self._attempt(state, gpu_id, "no-fit"))
                 continue
+            self._last_forecast = None
             if self._admit(ctx, pod, gpu_id, alloc, state):
                 ok = True
+                via = "correlation-gate"
             else:
                 ok = self._forecast_admit(ctx, gpu_id, alloc, state.caps[gpu_id])
+                via = "forecast"
             if ok:
                 actions.append(Bind(pod.uid, gpu_id, alloc))
+                if auditing:
+                    attempts.append(self._attempt(state, gpu_id, "bound"))
+                    evidence = self._bind_evidence(pod, alloc, peak, expected_sm, attempts)
+                    evidence["admitted_via"] = via
+                    if relaxed:
+                        evidence["relaxed"] = True
+                    # Every PP placement records the forecast it saw —
+                    # the ARIMA one that admitted it, or a peek at what
+                    # the forecaster would have said for the device.
+                    evidence["forecast"] = (
+                        self._last_forecast
+                        if self._last_forecast is not None
+                        else self._forecast_peek(ctx, gpu_id, state.caps[gpu_id], alloc)
+                    )
+                    self._audit_bind(pod, gpu_id, alloc, len(ctx.pending), evidence)
                 self._book_pod(state, gpu_id, pod, alloc, expected_sm, peak)
                 return True
+            if auditing:
+                entry = self._attempt(state, gpu_id, "forecast-reject")
+                if self._last_forecast is not None:
+                    entry["forecast"] = self._last_forecast
+                attempts.append(entry)
         return False
 
     def _forecast_admit(self, ctx: SchedulingContext, gpu_id: str, alloc: float, cap_mb: float) -> bool:
         """The ARIMA branch: admit if predicted free memory covers ``alloc``."""
         window = ctx.knots.memory_window(gpu_id, ctx.now)
         if len(window) < 3:
+            if self._auditing:
+                self._last_forecast = {"reason": "short-window", "admitted": False}
             return False
         values = np.asarray(window.values)
         if autocorrelation(values, lag=1) <= 0.0:
+            if self._auditing:
+                self._last_forecast = {"reason": "no-trend", "admitted": False}
             return False          # trend not strong enough to predict
         pred_util = forecast_series(values, steps=self.forecast_steps, clip=(0.0, 1.0))[-1]
         pred_free_mb = (1.0 - float(pred_util)) * cap_mb
-        if pred_free_mb >= alloc * self.forecast_safety:
+        admitted = pred_free_mb >= alloc * self.forecast_safety
+        if self._auditing:
+            self._last_forecast = {
+                "predicted_peak_util": round(float(pred_util), 4),
+                "predicted_free_mb": round(pred_free_mb, 1),
+                "required_mb": round(alloc * self.forecast_safety, 1),
+                "safety": self.forecast_safety,
+                "window_points": int(len(values)),
+                "admitted": admitted,
+            }
+        if admitted:
             self._forecast_hits += 1
             return True
         self._forecast_misses += 1
         return False
+
+    def _forecast_peek(
+        self, ctx: SchedulingContext, gpu_id: str, cap_mb: float, alloc: float
+    ) -> dict:
+        """Audit-only forecast snapshot for a device (no counters touched).
+
+        Used when a placement was admitted without the ARIMA branch, so
+        the audit record still carries the predicted peak the device was
+        heading toward at decision time.
+        """
+        window = ctx.knots.memory_window(gpu_id, ctx.now)
+        if len(window) < 3:
+            return {"reason": "short-window"}
+        values = np.asarray(window.values)
+        pred_util = forecast_series(values, steps=self.forecast_steps, clip=(0.0, 1.0))[-1]
+        return {
+            "predicted_peak_util": round(float(pred_util), 4),
+            "predicted_free_mb": round((1.0 - float(pred_util)) * cap_mb, 1),
+            "required_mb": round(alloc * self.forecast_safety, 1),
+            "safety": self.forecast_safety,
+            "window_points": int(len(values)),
+        }
 
     # -- consolidation / power management ------------------------------------
 

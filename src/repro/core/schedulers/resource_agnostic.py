@@ -44,6 +44,8 @@ class ResourceAgnosticScheduler(Scheduler):
 
     def schedule(self, ctx: SchedulingContext) -> list[Action]:
         actions: list[Action] = []
+        auditing = self.obs.audit.enabled
+        queue_depth = len(ctx.pending)
         views = ctx.knots.all_gpus_by_free_memory()
         # Fixed node order = first-fit; ignore telemetry entirely.
         views.sort(key=lambda v: v.gpu_id)
@@ -52,6 +54,7 @@ class ResourceAgnosticScheduler(Scheduler):
 
         for pod in self.ffd_order(ctx.pending):
             req = pod.spec.requested_mem_mb
+            placed = False
             for v in views:
                 gid = v.gpu_id
                 if count[gid] >= self.max_pods_per_gpu:
@@ -66,7 +69,22 @@ class ResourceAgnosticScheduler(Scheduler):
                         continue   # static earmark does not fit: try next
                     alloc = req
                 actions.append(Bind(pod.uid, gid, alloc))
+                if auditing:
+                    self._audit_bind(
+                        pod, gid, alloc, queue_depth,
+                        evidence={"request_mb": req, "free_mb_before": round(headroom, 1)},
+                    )
                 free[gid] -= alloc
                 count[gid] += 1
+                placed = True
                 break
+            if not placed and auditing:
+                self._audit_reject(
+                    pod, queue_depth,
+                    evidence={
+                        "request_mb": req,
+                        "reason": "fragmented",
+                        "max_free_mb": round(max(free.values(), default=0.0), 1),
+                    },
+                )
         return actions

@@ -25,6 +25,8 @@ class UniformScheduler(Scheduler):
 
     def schedule(self, ctx: SchedulingContext) -> list[Action]:
         actions: list[Action] = []
+        auditing = self.obs.audit.enabled
+        queue_depth = len(ctx.pending)
         # Devices with nothing resident and no bind issued this pass.
         free = [
             v.gpu_id
@@ -38,6 +40,17 @@ class UniformScheduler(Scheduler):
         for pod in ctx.pending:           # strict FIFO
             gpu_id = next(it, None)
             if gpu_id is None:
-                break                      # head-of-line blocking: all wait
+                # Head-of-line blocking: everything behind waits too.
+                if auditing:
+                    for waiting in ctx.pending[len(actions):]:
+                        self._audit_reject(
+                            waiting, queue_depth, evidence={"reason": "head-of-line"}
+                        )
+                break
             actions.append(Bind(pod.uid, gpu_id, pod.spec.requested_mem_mb))
+            if auditing:
+                self._audit_bind(
+                    pod, gpu_id, pod.spec.requested_mem_mb, queue_depth,
+                    evidence={"exclusive": True, "idle_devices": len(free)},
+                )
         return actions

@@ -23,6 +23,8 @@ from repro.cluster.node import GpuNode
 from repro.kube.api import APIServer
 from repro.kube.device_plugin import SharedGPUDevicePlugin
 from repro.kube.pod import Pod, PodPhase
+from repro.obs.context import NOOP, Observability
+from repro.obs.metrics import DEFAULT_BUCKETS_MS
 
 __all__ = ["Kubelet", "KubeletConfig"]
 
@@ -48,15 +50,26 @@ class Kubelet:
         api: APIServer,
         plugin: SharedGPUDevicePlugin | None = None,
         config: KubeletConfig | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.node = node
         self.api = api
         self.plugin = plugin or SharedGPUDevicePlugin(node)
         self.config = config or KubeletConfig()
+        self.obs = obs or NOOP
         self._image_cache: set[str] = set()
         self._pods: dict[str, Pod] = {}
         self._start_deadline: dict[str, float] = {}
         self._idle_since: dict[str, float] = {g.gpu_id: 0.0 for g in node.gpus}
+        metrics = self.obs.metrics
+        self._m_admitted = metrics.counter("pods_admitted_total", "Pods admitted onto a node")
+        self._m_completed = metrics.counter("pods_completed_total", "Pods that ran to completion")
+        self._m_oom = metrics.counter("pods_oom_killed_total", "Pods killed by capacity violations")
+        self._m_evicted = metrics.counter("pods_evicted_total", "Pods evicted by device failures")
+        self._m_resizes = metrics.counter("pod_resizes_total", "Container reservation resizes (harvests)")
+        self._m_queue_wait = metrics.histogram(
+            "pod_queue_wait_ms", "Submit-to-admit queueing delay", buckets=DEFAULT_BUCKETS_MS
+        )
 
     # -- admission (called right after the scheduler binds a pod) ----------
 
@@ -72,6 +85,16 @@ class Kubelet:
         self._image_cache.add(pod.spec.image)
         self._pods[pod.uid] = pod
         self._start_deadline[pod.uid] = now + delay
+        if self.obs.enabled:
+            self._m_admitted.inc()
+            self._m_queue_wait.observe(max(now - pod.submitted_ms, 0.0))
+            tracer = self.obs.tracer
+            if tracer.enabled:
+                tracer.async_begin(
+                    f"pod:{pod.spec.image}", pod.uid, cat="pod",
+                    args={"gpu": pod.gpu_id, "alloc_mb": pod.alloc_mb, "cold_pull": cold},
+                    ts=now,
+                )
 
     def resize(self, pod: Pod, new_alloc_mb: float, now: float) -> float:
         """Resize a hosted pod's reservation (harvesting hook)."""
@@ -79,6 +102,15 @@ class Kubelet:
             raise KeyError(f"{pod.uid} not hosted on {self.node.node_id}")
         delta = self.plugin.resize(pod.gpu_id, pod.uid, new_alloc_mb)
         self.api.notify_resized(pod, new_alloc_mb, now)
+        if self.obs.enabled:
+            self._m_resizes.inc()
+            tracer = self.obs.tracer
+            if tracer.enabled:
+                tracer.instant(
+                    "resize", cat="harvest",
+                    args={"pod": pod.uid, "gpu": pod.gpu_id, "new_alloc_mb": new_alloc_mb},
+                    ts=now,
+                )
         return delta
 
     # -- execution ----------------------------------------------------------
@@ -104,6 +136,9 @@ class Kubelet:
                     self._start_deadline.pop(pod.uid, None)
                     self.api.notify_evicted(pod, now)
                     victims.append(pod)
+                    if self.obs.enabled:
+                        self._m_evicted.inc()
+                        self._pod_trace_end(pod, "evicted", now)
                 gpu.last_sample = gpu.idle_sample()
                 continue
             running = [
@@ -119,6 +154,15 @@ class Kubelet:
                 self._release(victim)
                 self.api.notify_oom_killed(victim, now)
                 victims.append(victim)
+                if self.obs.enabled:
+                    self._m_oom.inc()
+                    tracer = self.obs.tracer
+                    if tracer.enabled:
+                        tracer.instant(
+                            "oom_kill", cat="pod",
+                            args={"pod": victim.uid, "gpu": gpu.gpu_id}, ts=now,
+                        )
+                    self._pod_trace_end(victim, "oom-killed", now)
 
             for pod in running:
                 if pod.uid == (violation.victim_uid if violation else None):
@@ -127,6 +171,9 @@ class Kubelet:
                 if pod.progress_ms >= pod.spec.trace.total_ms:
                     self._release(pod)
                     self.api.notify_succeeded(pod, now)
+                    if self.obs.enabled:
+                        self._m_completed.inc()
+                        self._pod_trace_end(pod, "succeeded", now)
 
             # Hardware power management: devices idle long enough fall
             # into deep sleep on their own (attach() wakes them).
@@ -140,6 +187,14 @@ class Kubelet:
         self.plugin.free(pod.gpu_id, pod.uid)
         del self._pods[pod.uid]
         self._start_deadline.pop(pod.uid, None)
+
+    def _pod_trace_end(self, pod: Pod, outcome: str, now: float) -> None:
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            tracer.async_end(
+                f"pod:{pod.spec.image}", pod.uid, cat="pod",
+                args={"outcome": outcome}, ts=now,
+            )
 
     # -- introspection used by schedulers/orchestrator ----------------------
 

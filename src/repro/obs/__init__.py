@@ -1,0 +1,40 @@
+"""``repro.obs`` — tracing, metrics, and scheduler decision auditing.
+
+Zero-dependency observability for the reproduction: a structured
+:class:`Tracer` (Chrome trace-event / JSONL exporters), a
+:class:`MetricsRegistry` (Prometheus text exposition), and a
+:class:`DecisionAuditLog` that records the evidence behind every
+placement, rejection and harvest resize.  All three are deterministic
+(timestamps come from the simulation clock) and free when disabled —
+the default :data:`NOOP` bundle short-circuits every call site.
+"""
+
+from repro.obs.audit import DecisionAuditLog, DecisionRecord, NullAuditLog
+from repro.obs.context import NOOP, Observability
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.obs.tracer import NullTracer, SimClock, TraceError, Tracer
+
+__all__ = [
+    "Observability",
+    "NOOP",
+    "SimClock",
+    "Tracer",
+    "NullTracer",
+    "TraceError",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS_MS",
+    "DecisionAuditLog",
+    "NullAuditLog",
+    "DecisionRecord",
+]

@@ -1,0 +1,195 @@
+"""Scheduler decision audit log: one typed record per decision.
+
+The paper's schedulers act on telemetry — CBP gates co-location on
+Spearman correlations, PP admits through an ARIMA peak forecast — and
+end-of-run aggregates cannot answer *why* a specific pod landed (or
+queued) at t=X.  The audit log makes every decision first-class: each
+placement, rejection and harvest resize becomes a
+:class:`DecisionRecord` carrying the evidence the policy actually used:
+
+* ``correlations`` — the per-resident-image Spearman ρ values the CBP
+  gate evaluated (image → ρ);
+* ``forecast`` — PP's predicted peak memory utilization and the free
+  memory it implied, plus the safety factor applied;
+* ``attempts`` — per-candidate-device outcomes (which fit/admission
+  check failed where), i.e. the candidate scores;
+* ``queue_depth`` — pending pods at decision time.
+
+Records are grouped into *passes* (one scheduler invocation); within a
+pass every pending pod yields exactly one bind-or-reject record and
+every harvest action one resize record.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.obs.tracer import SimClock
+
+__all__ = ["DecisionRecord", "DecisionAuditLog", "NullAuditLog", "KINDS"]
+
+#: The decision vocabulary.  ``bind``/``reject``/``resize`` are the
+#: per-pod scheduling decisions; ``sleep``/``wake`` are the power ones.
+KINDS = ("bind", "reject", "resize", "sleep", "wake")
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One scheduler decision, with the evidence behind it."""
+
+    kind: str                      # one of KINDS
+    ts: float                      # sim time (ms) of the scheduling pass
+    pass_id: int                   # which scheduler invocation
+    scheduler: str                 # policy name ("cbp", "peak-prediction", ...)
+    pod_uid: str | None            # None for device-level decisions
+    image: str | None
+    qos: str | None                # "latency-critical" | "batch"
+    gpu_id: str | None             # chosen device (bind/resize), None on reject
+    alloc_mb: float | None         # reservation granted / new size
+    queue_depth: int               # pending pods when the decision was made
+    evidence: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "ts": self.ts,
+            "pass_id": self.pass_id,
+            "scheduler": self.scheduler,
+            "pod_uid": self.pod_uid,
+            "image": self.image,
+            "qos": self.qos,
+            "gpu_id": self.gpu_id,
+            "alloc_mb": self.alloc_mb,
+            "queue_depth": self.queue_depth,
+            "evidence": self.evidence,
+        }
+
+
+class DecisionAuditLog:
+    """Append-only store of :class:`DecisionRecord` with query helpers."""
+
+    enabled: bool = True
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self.clock = clock or SimClock()
+        self.records: list[DecisionRecord] = []
+        self._pass_id = -1
+        self._scheduler = "unknown"
+
+    # -- recording ----------------------------------------------------------
+
+    def begin_pass(self, scheduler: str, ts: float | None = None) -> int:
+        """Mark the start of one scheduler invocation; returns its id."""
+        self._pass_id += 1
+        self._scheduler = scheduler
+        if ts is not None:
+            self.clock.now = float(ts)
+        return self._pass_id
+
+    @property
+    def pass_id(self) -> int:
+        return self._pass_id
+
+    def record(
+        self,
+        kind: str,
+        *,
+        pod_uid: str | None = None,
+        image: str | None = None,
+        qos: str | None = None,
+        gpu_id: str | None = None,
+        alloc_mb: float | None = None,
+        queue_depth: int = 0,
+        evidence: dict[str, Any] | None = None,
+    ) -> DecisionRecord:
+        if kind not in KINDS:
+            raise ValueError(f"unknown decision kind {kind!r}; known: {KINDS}")
+        rec = DecisionRecord(
+            kind=kind,
+            ts=self.clock.now,
+            pass_id=self._pass_id,
+            scheduler=self._scheduler,
+            pod_uid=pod_uid,
+            image=image,
+            qos=qos,
+            gpu_id=gpu_id,
+            alloc_mb=None if alloc_mb is None else float(alloc_mb),
+            queue_depth=queue_depth,
+            evidence=evidence or {},
+        )
+        self.records.append(rec)
+        return rec
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def of_kind(self, kind: str) -> list[DecisionRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    def binds(self) -> list[DecisionRecord]:
+        return self.of_kind("bind")
+
+    def rejections(self) -> list[DecisionRecord]:
+        return self.of_kind("reject")
+
+    def resizes(self) -> list[DecisionRecord]:
+        return self.of_kind("resize")
+
+    def for_pod(self, pod_uid: str) -> list[DecisionRecord]:
+        return [r for r in self.records if r.pod_uid == pod_uid]
+
+    def passes(self) -> dict[int, list[DecisionRecord]]:
+        out: dict[int, list[DecisionRecord]] = {}
+        for r in self.records:
+            out.setdefault(r.pass_id, []).append(r)
+        return out
+
+    def summary(self) -> dict[str, int]:
+        """Decision counts by kind (only kinds that occurred)."""
+        out: dict[str, int] = {}
+        for r in self.records:
+            out[r.kind] = out.get(r.kind, 0) + 1
+        return out
+
+    def forecast_admits(self) -> list[DecisionRecord]:
+        """Binds that went through PP's ARIMA branch (carry a forecast)."""
+        return [r for r in self.binds() if "forecast" in r.evidence]
+
+    # -- export -------------------------------------------------------------
+
+    def to_jsonl(self, path: str | Path) -> int:
+        """One JSON record per line.  Returns the record count."""
+        with Path(path).open("w") as fh:
+            for rec in self.records:
+                fh.write(json.dumps(rec.to_dict()))
+                fh.write("\n")
+        return len(self.records)
+
+    @staticmethod
+    def read_jsonl(path: str | Path) -> list[DecisionRecord]:
+        """Load records written by :meth:`to_jsonl` (for offline analysis)."""
+        records = []
+        with Path(path).open() as fh:
+            for line in fh:
+                if not line.strip():
+                    continue
+                d = json.loads(line)
+                records.append(DecisionRecord(**d))
+        return records
+
+
+class NullAuditLog(DecisionAuditLog):
+    """Disabled audit log: recording is a no-op, queries stay empty."""
+
+    enabled = False
+
+    def begin_pass(self, scheduler: str, ts: float | None = None) -> int:
+        return -1
+
+    def record(self, kind: str, **kw: Any) -> None:  # type: ignore[override]
+        return None

@@ -1,0 +1,70 @@
+"""The observability bundle threaded through the stack.
+
+One :class:`Observability` object carries the three sinks — tracer,
+metrics registry, decision audit log — plus the shared
+:class:`~repro.obs.tracer.SimClock` they all stamp from.  Components
+accept it as an optional constructor argument defaulting to
+:data:`NOOP`, the module-level disabled bundle, so instrumentation
+costs one attribute check (``obs.enabled``) or one empty method call
+when observability is off.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs.audit import DecisionAuditLog, NullAuditLog
+from repro.obs.metrics import MetricsRegistry, NullMetricsRegistry
+from repro.obs.tracer import NullTracer, SimClock, Tracer
+
+__all__ = ["Observability", "NOOP"]
+
+
+class Observability:
+    """Tracer + metrics + audit log sharing one simulation clock."""
+
+    __slots__ = ("clock", "tracer", "metrics", "audit", "enabled")
+
+    def __init__(
+        self,
+        trace: bool = True,
+        metrics: bool = True,
+        audit: bool = True,
+        clock: SimClock | None = None,
+    ) -> None:
+        self.clock = clock or SimClock()
+        self.tracer = Tracer(self.clock) if trace else NullTracer(self.clock)
+        self.metrics = MetricsRegistry() if metrics else NullMetricsRegistry()
+        self.audit = DecisionAuditLog(self.clock) if audit else NullAuditLog(self.clock)
+        self.enabled = bool(trace or metrics or audit)
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        return cls(trace=False, metrics=False, audit=False)
+
+    def tick(self, now: float) -> None:
+        """Advance the shared clock (the simulator calls this)."""
+        self.clock.now = now
+
+    # -- convenience exporters ----------------------------------------------
+
+    def export(
+        self,
+        trace_path: str | Path | None = None,
+        metrics_path: str | Path | None = None,
+        audit_path: str | Path | None = None,
+    ) -> dict[str, int]:
+        """Write whichever sinks were requested; returns written counts."""
+        written: dict[str, int] = {}
+        if trace_path is not None:
+            written["trace_events"] = self.tracer.to_chrome(trace_path)
+        if metrics_path is not None:
+            self.metrics.write(metrics_path)
+            written["metrics"] = len(self.metrics.names())
+        if audit_path is not None:
+            written["audit_records"] = self.audit.to_jsonl(audit_path)
+        return written
+
+
+#: The shared disabled bundle every component defaults to.
+NOOP = Observability.disabled()

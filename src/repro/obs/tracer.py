@@ -1,0 +1,231 @@
+"""Structured event tracer with Chrome trace-event and JSONL exporters.
+
+The tracer records what the control loop *did* — scheduling passes, pod
+lifecycle phases, harvest resizes, heartbeats — as a flat list of
+timestamped events that can be replayed offline or opened in a trace
+viewer (Perfetto / ``chrome://tracing``).
+
+Design constraints, both from the reproduction's charter:
+
+* **Deterministic.**  Timestamps come from a :class:`SimClock` that the
+  simulator advances — never from wall time — so two runs with the same
+  seed produce byte-identical traces.
+* **Free when off.**  The disabled path is :class:`NullTracer`, whose
+  methods are empty and whose ``enabled`` flag lets hot call sites skip
+  even argument construction (``if tracer.enabled: ...``).
+
+Event vocabulary (a subset of the Chrome trace-event phases):
+
+========  =======================================================
+``B``/``E``  nested duration span (``span()`` context manager)
+``i``        instant event (a point in time, e.g. an OOM kill)
+``b``/``e``  async span keyed by id (pod lifecycles, which overlap)
+``C``        counter track (cluster utilization, queue depth)
+========  =======================================================
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["SimClock", "Tracer", "NullTracer", "TraceError"]
+
+
+class TraceError(RuntimeError):
+    """Raised on invalid tracer use (e.g. ``end()`` without ``begin()``)."""
+
+
+class SimClock:
+    """A settable simulation clock shared by every observability sink.
+
+    The simulator (or event loop) writes ``clock.now`` as it advances;
+    tracer/audit records read it.  Keeping one mutable cell avoids
+    threading ``now`` through every instrumented call signature.
+    """
+
+    __slots__ = ("now",)
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = float(now)
+
+
+class Tracer:
+    """Collects structured trace events against a :class:`SimClock`."""
+
+    enabled: bool = True
+
+    def __init__(self, clock: SimClock | None = None, process: str = "repro") -> None:
+        self.clock = clock or SimClock()
+        self.process = process
+        self.events: list[dict[str, Any]] = []
+        self._stack: list[str] = []    # open B/E span names, for nesting checks
+
+    # -- core emitters ------------------------------------------------------
+
+    def _ts(self, ts: float | None) -> float:
+        return self.clock.now if ts is None else float(ts)
+
+    def instant(
+        self, name: str, cat: str = "sim", args: dict | None = None, ts: float | None = None
+    ) -> None:
+        """A point event (``ph: i``)."""
+        ev: dict[str, Any] = {"name": name, "cat": cat, "ph": "i", "ts": self._ts(ts), "s": "t"}
+        if args:
+            ev["args"] = args
+        self.events.append(ev)
+
+    def begin(
+        self, name: str, cat: str = "sim", args: dict | None = None, ts: float | None = None
+    ) -> None:
+        """Open a nested duration span (``ph: B``)."""
+        ev: dict[str, Any] = {"name": name, "cat": cat, "ph": "B", "ts": self._ts(ts)}
+        if args:
+            ev["args"] = args
+        self.events.append(ev)
+        self._stack.append(name)
+
+    def end(self, args: dict | None = None, ts: float | None = None) -> None:
+        """Close the innermost open span (``ph: E``)."""
+        if not self._stack:
+            raise TraceError("end() with no open span")
+        name = self._stack.pop()
+        ev: dict[str, Any] = {"name": name, "cat": "sim", "ph": "E", "ts": self._ts(ts)}
+        if args:
+            ev["args"] = args
+        self.events.append(ev)
+
+    @contextmanager
+    def span(
+        self, name: str, cat: str = "sim", args: dict | None = None
+    ) -> Iterator[None]:
+        """``with tracer.span("scheduling_pass"): ...`` — B/E pair."""
+        self.begin(name, cat, args)
+        try:
+            yield
+        finally:
+            self.end()
+
+    def async_begin(
+        self, name: str, id_: str, cat: str = "pod", args: dict | None = None,
+        ts: float | None = None,
+    ) -> None:
+        """Open an async span (``ph: b``) — overlapping lifecycles."""
+        ev: dict[str, Any] = {
+            "name": name, "cat": cat, "ph": "b", "id": id_, "ts": self._ts(ts),
+        }
+        if args:
+            ev["args"] = args
+        self.events.append(ev)
+
+    def async_end(
+        self, name: str, id_: str, cat: str = "pod", args: dict | None = None,
+        ts: float | None = None,
+    ) -> None:
+        """Close an async span (``ph: e``) opened with the same id."""
+        ev: dict[str, Any] = {
+            "name": name, "cat": cat, "ph": "e", "id": id_, "ts": self._ts(ts),
+        }
+        if args:
+            ev["args"] = args
+        self.events.append(ev)
+
+    def counter(self, name: str, values: dict[str, float], ts: float | None = None) -> None:
+        """A counter-track sample (``ph: C``) — renders as a stacked area."""
+        self.events.append(
+            {"name": name, "cat": "sim", "ph": "C", "ts": self._ts(ts), "args": dict(values)}
+        )
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Current B/E nesting depth (0 = no open span)."""
+        return len(self._stack)
+
+    def open_spans(self) -> list[str]:
+        return list(self._stack)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- exporters ----------------------------------------------------------
+
+    def to_chrome(self, path: str | Path) -> int:
+        """Write Chrome trace-event JSON (openable in Perfetto).
+
+        Sim time is milliseconds; the trace-event format wants
+        microseconds, so timestamps are scaled by 1000 on the way out.
+        Returns the number of events written.
+        """
+        trace_events = []
+        for ev in self.events:
+            out = dict(ev)
+            out["ts"] = ev["ts"] * 1_000.0
+            out.setdefault("pid", 0)
+            out.setdefault("tid", 0)
+            trace_events.append(out)
+        payload = {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {"process": self.process, "format": "kube-knots-repro/trace", "version": 1},
+        }
+        Path(path).write_text(json.dumps(payload))
+        return len(trace_events)
+
+    def to_jsonl(self, path: str | Path) -> int:
+        """Write one raw event per line (sim-time timestamps, ms)."""
+        with Path(path).open("w") as fh:
+            for ev in self.events:
+                fh.write(json.dumps(ev))
+                fh.write("\n")
+        return len(self.events)
+
+
+class _NullContext:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_CTX = _NullContext()
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every emitter is a no-op.
+
+    ``enabled`` is False so hot paths can skip argument construction
+    entirely; calling the emitters anyway is still safe (and cheap).
+    """
+
+    enabled = False
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        super().__init__(clock)
+
+    def instant(self, *a: Any, **kw: Any) -> None:
+        pass
+
+    def begin(self, *a: Any, **kw: Any) -> None:
+        pass
+
+    def end(self, *a: Any, **kw: Any) -> None:
+        pass
+
+    def span(self, *a: Any, **kw: Any) -> _NullContext:  # type: ignore[override]
+        return _NULL_CTX
+
+    def async_begin(self, *a: Any, **kw: Any) -> None:
+        pass
+
+    def async_end(self, *a: Any, **kw: Any) -> None:
+        pass
+
+    def counter(self, *a: Any, **kw: Any) -> None:
+        pass

@@ -39,6 +39,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.obs.context import NOOP, Observability
 from repro.workloads.dlt import DLJob, DLJobKind
 
 __all__ = [
@@ -520,9 +521,17 @@ class DLClusterSimulator:
         gpus_per_node: int = 8,
         max_horizon_s: float = 7 * 24 * 3_600.0,
         locality_penalty: float = 0.0,
+        obs: Observability | None = None,
     ) -> None:
         self.jobs = sorted(jobs, key=lambda j: j.arrival_s)
         self.policy = policy
+        self.obs = obs or NOOP
+        self._m_submitted = self.obs.metrics.counter(
+            "dl_jobs_submitted_total", "DL jobs submitted", labelnames=("policy", "kind")
+        )
+        self._m_completed = self.obs.metrics.counter(
+            "dl_jobs_completed_total", "DL jobs completed", labelnames=("policy", "kind")
+        )
         self.pool = _Pool(n_nodes * gpus_per_node, gpus_per_node=gpus_per_node)
         policy.attach(self.pool)
         #: Per-extra-node synchronization tax on a gang's progress rate
@@ -568,12 +577,34 @@ class DLClusterSimulator:
             for state in sorted(done, key=lambda s: s.job.job_id):
                 state.job.finish_s = now
                 policy.complete(state, now)
+                if self.obs.enabled:
+                    # The DL loop runs in seconds; trace timestamps stay
+                    # in the package-wide millisecond convention.
+                    self.obs.clock.now = now * 1_000.0
+                    self._m_completed.inc(policy=policy.name, kind=state.job.kind.value)
+                    tracer = self.obs.tracer
+                    if tracer.enabled:
+                        tracer.async_end(
+                            f"dljob:{state.job.kind.value}", f"{policy.name}/{state.job.job_id}",
+                            cat=policy.name, ts=now * 1_000.0,
+                        )
 
             # arrivals
             while next_arrival_idx < n and self.jobs[next_arrival_idx].arrival_s <= now + _EPS:
                 job = self.jobs[next_arrival_idx]
                 next_arrival_idx += 1
                 policy.submit(_RunState(job=job, gpus=[], remaining_s=job.service_s), now)
+                if self.obs.enabled:
+                    self.obs.clock.now = now * 1_000.0
+                    self._m_submitted.inc(policy=policy.name, kind=job.kind.value)
+                    tracer = self.obs.tracer
+                    if tracer.enabled:
+                        tracer.async_begin(
+                            f"dljob:{job.kind.value}", f"{policy.name}/{job.job_id}",
+                            cat=policy.name,
+                            args={"num_gpus": job.num_gpus, "service_s": job.service_s},
+                            ts=now * 1_000.0,
+                        )
 
             # policy timer
             timer = policy.next_timer(now)
@@ -591,6 +622,7 @@ def run_dl_comparison(
     jobs_seed: int = 0,
     policies: Iterable[str] = ("res-ag", "gandiva", "tiresias", "cbp-pp"),
     config=None,
+    obs: Observability | None = None,
 ) -> dict[str, DLSimResult]:
     """Run the same workload under each policy (paired comparison)."""
     import copy
@@ -601,6 +633,6 @@ def run_dl_comparison(
     results = {}
     for name in policies:
         jobs = copy.deepcopy(base_jobs)
-        sim = DLClusterSimulator(jobs, make_dl_policy(name))
+        sim = DLClusterSimulator(jobs, make_dl_policy(name), obs=obs)
         results[name] = sim.run()
     return results

@@ -21,6 +21,7 @@ from repro.core.schedulers.base import Scheduler
 from repro.kube.api import EventType
 from repro.kube.kubelet import KubeletConfig
 from repro.kube.pod import Pod
+from repro.obs.context import NOOP, Observability
 from repro.workloads.appmix import WorkloadItem
 from repro.workloads.base import QoSClass
 
@@ -103,13 +104,16 @@ class KubeKnotsSimulator:
         scheduler: Scheduler,
         workload: list[WorkloadItem],
         config: SimConfig | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.config = config or SimConfig()
+        self.obs = obs or NOOP
         self.orchestrator = KubeKnots(
             cluster,
             scheduler,
             knots_config=self.config.knots,
             kubelet_config=self.config.kubelet,
+            obs=self.obs,
         )
         self.cluster = cluster
         self.workload = sorted(workload, key=lambda item: item[0])
@@ -125,6 +129,14 @@ class KubeKnotsSimulator:
     def run(self) -> SimResult:
         cfg = self.config
         api = self.orchestrator.api
+        obs = self.obs
+        tracer = obs.tracer
+        if tracer.enabled:
+            tracer.begin(
+                "simulation", cat="sim",
+                args={"scheduler": self.orchestrator.scheduler.name, "pods": len(self.workload)},
+                ts=0.0,
+            )
         arrival_end = self.workload[-1][0] if self.workload else 0.0
         horizon = max(arrival_end * cfg.horizon_factor, cfg.min_horizon_ms)
 
@@ -137,6 +149,8 @@ class KubeKnotsSimulator:
         next_heartbeat = 0.0
         t = 0.0
         while True:
+            if obs.enabled:
+                obs.clock.now = t
             # 0. failure-injection plan
             while next_fault < len(fail_plan) and fail_plan[next_fault].at_ms <= t:
                 fault = fail_plan[next_fault]
@@ -152,8 +166,13 @@ class KubeKnotsSimulator:
 
             # 1. submissions due this tick
             while next_submit < len(self.workload) and self.workload[next_submit][0] <= t:
-                api.submit(self.workload[next_submit][1], t)
+                pod = api.submit(self.workload[next_submit][1], t)
                 next_submit += 1
+                if tracer.enabled:
+                    tracer.instant(
+                        "submit", cat="workload",
+                        args={"pod": pod.uid, "image": pod.spec.image}, ts=t,
+                    )
 
             # 2. execute one quantum on every node
             self.orchestrator.step_kubelets(t, cfg.tick_ms)
@@ -177,6 +196,8 @@ class KubeKnotsSimulator:
             if t > horizon:
                 break
 
+        if tracer.enabled:
+            tracer.end(args={"makespan_ms": t}, ts=t)
         return SimResult(
             scheduler=self.orchestrator.scheduler.name,
             pods=api.pods(),
@@ -192,6 +213,9 @@ class KubeKnotsSimulator:
 
     def _record(self, t: float, dt_ms: float) -> None:
         self._times.append(t)
+        tracing = self.obs.tracer.enabled
+        sm_sum = mem_sum = power_sum = 0.0
+        n = 0
         for gpu in self.cluster.gpus():
             s = gpu.last_sample
             # A sleeping device's last arbitrate() saw no demands and the
@@ -200,6 +224,22 @@ class KubeKnotsSimulator:
             self._energy_j[gpu.gpu_id] += power * dt_ms / 1_000.0
             self._util_hist[gpu.gpu_id].append(s.sm_util)
             self._mem_hist[gpu.gpu_id].append(s.mem_util)
+            if tracing:
+                sm_sum += s.sm_util
+                mem_sum += s.mem_util
+                power_sum += power
+                n += 1
+        if tracing and n:
+            # Counter tracks render as stacked area charts in Perfetto.
+            self.obs.tracer.counter(
+                "cluster_utilization",
+                {"sm_util_mean": sm_sum / n, "mem_util_mean": mem_sum / n},
+                ts=t,
+            )
+            self.obs.tracer.counter("cluster_power_w", {"total": power_sum}, ts=t)
+            self.obs.tracer.counter(
+                "pending_pods", {"count": float(self.orchestrator.api.num_pending())}, ts=t
+            )
 
 
 def run_appmix(
@@ -210,10 +250,11 @@ def run_appmix(
     num_nodes: int = 10,
     config: SimConfig | None = None,
     load_factor: float = 1.0,
+    obs: Observability | None = None,
 ) -> SimResult:
     """Convenience wrapper: one Table-I mix on the paper cluster."""
     from repro.workloads.appmix import generate_appmix_workload
 
     cluster = make_paper_cluster(num_nodes=num_nodes)
     workload = generate_appmix_workload(mix_name, duration_s=duration_s, seed=seed, load_factor=load_factor)
-    return KubeKnotsSimulator(cluster, scheduler, workload, config).run()
+    return KubeKnotsSimulator(cluster, scheduler, workload, config, obs=obs).run()

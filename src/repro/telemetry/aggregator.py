@@ -19,6 +19,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.cluster.node import GpuNode
+from repro.obs.context import NOOP, Observability
 from repro.telemetry.nvml import METRICS, NvmlSampler
 from repro.telemetry.tsdb import SeriesWindow, TimeSeriesDB
 
@@ -71,10 +72,19 @@ class UtilizationAggregator:
     Kube-Knots' schedulers only see what Knots reports.
     """
 
-    def __init__(self, monitors: Sequence[NodeMonitor]) -> None:
+    def __init__(
+        self, monitors: Sequence[NodeMonitor], obs: Observability | None = None
+    ) -> None:
         if not monitors:
             raise ValueError("aggregator needs at least one node monitor")
         self._monitors = {m.node.node_id: m for m in monitors}
+        obs = obs or NOOP
+        self._m_queries = obs.metrics.counter(
+            "aggregator_queries_total", "Windowed telemetry queries served", labelnames=("metric",)
+        )
+        self._m_snapshots = obs.metrics.counter(
+            "aggregator_snapshots_total", "Instantaneous cluster snapshots served"
+        )
 
     @property
     def node_ids(self) -> list[str]:
@@ -91,6 +101,7 @@ class UtilizationAggregator:
         mon = self._monitors.get(node_id)
         if mon is None:
             raise KeyError(f"no monitor for node {node_id!r}")
+        self._m_queries.inc(metric=metric)
         return mon.series(gpu_id, metric, window, now)
 
     def query_node_stats(self, gpu_id: str, window: float, now: float) -> dict[str, SeriesWindow]:
@@ -101,6 +112,7 @@ class UtilizationAggregator:
 
     def snapshot(self) -> list[GpuView]:
         """Current view of every device, from the latest telemetry."""
+        self._m_snapshots.inc()
         views: list[GpuView] = []
         for node_id in self.node_ids:
             node = self._monitors[node_id].node

@@ -134,3 +134,67 @@ def test_arbitrary_schedules_fire_sorted(delays):
     loop.run()
     assert fired == sorted(fired)
     assert len(fired) == len(delays)
+
+
+def test_len_tracks_schedule_cancel_fire_sequence():
+    """The live pending counter survives interleaved cancels and fires."""
+    loop = EventLoop()
+    handles = [loop.schedule(float(i + 1), lambda: None) for i in range(5)]
+    assert len(loop) == 5
+    handles[1].cancel()
+    handles[3].cancel()
+    assert len(loop) == 3
+    assert loop.step() is True      # fires t=1
+    assert len(loop) == 2
+    assert loop.step() is True      # skips cancelled t=2, fires t=3
+    assert loop.now == 3.0
+    assert len(loop) == 1
+    loop.run()
+    assert len(loop) == 0
+
+
+def test_cancel_after_fire_does_not_corrupt_count():
+    """Cancelling a handle whose event already fired must be a no-op —
+    in particular it must not decrement the pending count again."""
+    loop = EventLoop()
+    fired = []
+    early = loop.schedule(1.0, fired.append, "early")
+    loop.schedule(2.0, fired.append, "late")
+    loop.step()                     # "early" fires
+    assert fired == ["early"]
+    early.cancel()                  # too late: no effect
+    assert not early.cancelled
+    assert len(loop) == 1
+    loop.run()
+    assert fired == ["early", "late"]
+    assert len(loop) == 0
+
+
+def test_double_cancel_decrements_once():
+    loop = EventLoop()
+    keep = loop.schedule(2.0, lambda: None)
+    victim = loop.schedule(1.0, lambda: None)
+    victim.cancel()
+    victim.cancel()
+    assert len(loop) == 1
+    assert loop.run() == 1
+    assert len(loop) == 0
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                          st.booleans()),
+                min_size=1, max_size=40))
+def test_len_matches_heap_survivors(plan):
+    """len(loop) equals a brute-force count of live events at every point."""
+    loop = EventLoop()
+    handles = []
+    for delay, _ in plan:
+        handles.append(loop.schedule(delay, lambda: None))
+    for handle, (_, cancel) in zip(handles, plan):
+        if cancel:
+            handle.cancel()
+    live = sum(1 for h, (_, cancel) in zip(handles, plan) if not cancel)
+    assert len(loop) == live
+    fired = loop.run()
+    assert fired == live
+    assert len(loop) == 0

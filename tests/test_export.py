@@ -51,6 +51,42 @@ class TestTsdbCsv:
         with pytest.raises(ValueError):
             import_tsdb_csv(path)
 
+    def test_roundtrip_is_bit_exact(self, tmp_path):
+        """CSV -> TSDB -> CSV preserves every timestamp and value exactly.
+
+        Python's float repr is shortest-round-trip, so export/import must
+        not lose a single bit — including values with no finite binary
+        expansion (0.1), subnormals, and large magnitudes.
+        """
+        awkward = [
+            (0.1, 0.2),
+            (1.0 / 3.0, 2.0 / 3.0),
+            (1e-300, 5e-324),        # near-underflow and smallest subnormal
+            (1e300, -1e300),
+            (123456789.123456789, -0.0),
+            (np.nextafter(1.0, 2.0), np.pi),
+        ]
+        db = TimeSeriesDB()
+        t = 0.0
+        for dt, v in awkward:
+            t += dt
+            db.write("m", t, float(v))
+
+        first = tmp_path / "first.csv"
+        export_tsdb_csv(db, first)
+        loaded = import_tsdb_csv(first)
+
+        orig, back = db.query("m"), loaded.query("m")
+        # Exact equality, not allclose: np.array_equal compares bitwise
+        # for these (no NaNs involved).
+        assert np.array_equal(orig.times, back.times)
+        assert np.array_equal(orig.values, back.values)
+
+        # And the re-exported file is byte-identical to the first export.
+        second = tmp_path / "second.csv"
+        export_tsdb_csv(loaded, second)
+        assert second.read_bytes() == first.read_bytes()
+
 
 class TestResultJson:
     @pytest.fixture

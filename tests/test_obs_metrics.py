@@ -1,0 +1,168 @@
+"""Tests for counters/gauges/histograms and the Prometheus exporter."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("requests_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_counters_only_go_up(self):
+        c = Counter("requests_total")
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+    def test_labelled_series_are_independent(self):
+        c = Counter("actions_total", labelnames=("kind",))
+        c.inc(kind="bind")
+        c.inc(kind="bind")
+        c.inc(kind="resize")
+        assert c.value(kind="bind") == 2.0
+        assert c.value(kind="resize") == 1.0
+        assert c.value(kind="sleep") == 0.0
+
+    def test_wrong_label_set_rejected(self):
+        c = Counter("actions_total", labelnames=("kind",))
+        with pytest.raises(ValueError):
+            c.inc(color="red")
+        with pytest.raises(ValueError):
+            c.inc()
+
+    def test_invalid_metric_name_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("bad name with spaces")
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        g = Gauge("queue_depth")
+        g.set(7.0)
+        g.inc(-2.0)   # gauges may go down
+        assert g.value() == 5.0
+
+
+class TestHistogramBucketing:
+    def test_boundary_value_lands_in_its_bucket(self):
+        # Prometheus buckets are "le" (<=): an observation exactly on a
+        # boundary counts toward that boundary's bucket.
+        h = Histogram("lat_ms", buckets=(10.0, 100.0))
+        h.observe(10.0)
+        counts = h.bucket_counts()
+        assert counts[10.0] == 1
+        assert counts[100.0] == 1
+        assert counts[math.inf] == 1
+
+    def test_cumulative_counts(self):
+        h = Histogram("lat_ms", buckets=(10.0, 100.0, 1000.0))
+        for v in (5.0, 50.0, 500.0, 5_000.0):
+            h.observe(v)
+        counts = h.bucket_counts()
+        assert counts == {10.0: 1, 100.0: 2, 1000.0: 3, math.inf: 4}
+        assert h.count() == 4
+        assert h.sum() == pytest.approx(5_555.0)
+
+    def test_overflow_bucket(self):
+        h = Histogram("lat_ms", buckets=(1.0,))
+        h.observe(99.0)
+        assert h.bucket_counts() == {1.0: 0, math.inf: 1}
+
+    def test_unsorted_bucket_input_is_sorted(self):
+        h = Histogram("lat_ms", buckets=(100.0, 1.0, 10.0))
+        assert h.buckets == (1.0, 10.0, 100.0)
+
+    def test_duplicate_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("lat_ms", buckets=(1.0, 1.0))
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("lat_ms", buckets=())
+
+
+class TestPrometheusRender:
+    def test_counter_text_format(self):
+        c = Counter("pods_total", "Pods seen", labelnames=("qos",))
+        c.inc(3, qos="batch")
+        lines = c.render()
+        assert lines[0] == "# HELP pods_total Pods seen"
+        assert lines[1] == "# TYPE pods_total counter"
+        assert 'pods_total{qos="batch"} 3' in lines
+
+    def test_histogram_text_format(self):
+        h = Histogram("wait_ms", "Queue wait", buckets=(10.0, 100.0))
+        h.observe(7.0)
+        h.observe(70.0)
+        h.observe(700.0)
+        lines = h.render()
+        assert 'wait_ms_bucket{le="10"} 1' in lines
+        assert 'wait_ms_bucket{le="100"} 2' in lines
+        assert 'wait_ms_bucket{le="+Inf"} 3' in lines
+        assert "wait_ms_sum 777" in lines
+        assert "wait_ms_count 3" in lines
+
+    def test_unobserved_histogram_still_exposes_buckets(self):
+        h = Histogram("wait_ms", buckets=(10.0,))
+        lines = h.render()
+        assert 'wait_ms_bucket{le="+Inf"} 0' in lines
+        assert "wait_ms_count 0" in lines
+
+    def test_registry_render_is_sorted_and_terminated(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("z_total").inc()
+        reg.gauge("a_gauge").set(1.0)
+        text = reg.render()
+        assert text.endswith("\n")
+        assert text.index("a_gauge") < text.index("z_total")
+        path = tmp_path / "metrics.prom"
+        reg.write(path)
+        assert path.read_text() == text
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total")
+        b = reg.counter("x_total")
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x_total")
+
+    def test_lookup(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total")
+        assert reg.get("x_total") is c
+        assert reg.get("missing") is None
+        assert reg.names() == ["x_total"]
+
+
+class TestNullRegistry:
+    def test_instruments_are_shared_noops(self):
+        reg = NullMetricsRegistry()
+        c1 = reg.counter("a_total")
+        c2 = reg.counter("b_total")
+        assert c1 is c2
+        c1.inc(100)
+        assert c1.value() == 0.0
+        reg.gauge("g").set(5.0)
+        reg.histogram("h").observe(1.0)
+        assert reg.render() == ""
+        assert reg.enabled is False

@@ -1,0 +1,147 @@
+"""Tests for the structured event tracer and its exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.tracer import NullTracer, SimClock, TraceError, Tracer
+
+
+class TestSpanNesting:
+    def test_begin_end_pairs_nest(self):
+        tr = Tracer()
+        tr.begin("outer")
+        assert tr.depth == 1
+        tr.begin("inner")
+        assert tr.depth == 2
+        assert tr.open_spans() == ["outer", "inner"]
+        tr.end()
+        assert tr.depth == 1
+        tr.end()
+        assert tr.depth == 0
+        phases = [ev["ph"] for ev in tr.events]
+        names = [ev["name"] for ev in tr.events]
+        assert phases == ["B", "B", "E", "E"]
+        # E events close in LIFO order: inner closes before outer.
+        assert names == ["outer", "inner", "inner", "outer"]
+
+    def test_end_without_begin_raises(self):
+        tr = Tracer()
+        with pytest.raises(TraceError):
+            tr.end()
+
+    def test_span_context_manager_closes_on_exception(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError, match="boom"):
+            with tr.span("work"):
+                assert tr.depth == 1
+                raise RuntimeError("boom")
+        assert tr.depth == 0
+        assert [ev["ph"] for ev in tr.events] == ["B", "E"]
+
+    def test_nested_span_context_managers(self):
+        tr = Tracer()
+        with tr.span("a"):
+            with tr.span("b"):
+                with tr.span("c"):
+                    assert tr.open_spans() == ["a", "b", "c"]
+        assert tr.depth == 0
+        assert len(tr) == 6
+
+
+class TestClockAndEvents:
+    def test_timestamps_come_from_sim_clock(self):
+        clock = SimClock(0.0)
+        tr = Tracer(clock)
+        tr.instant("first")
+        clock.now = 42.5
+        tr.instant("second")
+        assert [ev["ts"] for ev in tr.events] == [0.0, 42.5]
+
+    def test_explicit_ts_overrides_clock(self):
+        tr = Tracer(SimClock(100.0))
+        tr.instant("pinned", ts=7.0)
+        assert tr.events[0]["ts"] == 7.0
+
+    def test_async_spans_carry_ids(self):
+        tr = Tracer()
+        tr.async_begin("pod:img/a", "pod-1", ts=0.0)
+        tr.async_begin("pod:img/b", "pod-2", ts=1.0)
+        tr.async_end("pod:img/a", "pod-1", ts=5.0)
+        tr.async_end("pod:img/b", "pod-2", ts=6.0)
+        by_id: dict[str, list[str]] = {}
+        for ev in tr.events:
+            by_id.setdefault(ev["id"], []).append(ev["ph"])
+        assert by_id == {"pod-1": ["b", "e"], "pod-2": ["b", "e"]}
+
+    def test_counter_events(self):
+        tr = Tracer()
+        tr.counter("queue", {"depth": 3.0}, ts=10.0)
+        ev = tr.events[0]
+        assert ev["ph"] == "C"
+        assert ev["args"] == {"depth": 3.0}
+
+    def test_determinism_same_inputs_same_events(self):
+        def emit(tr: Tracer) -> None:
+            tr.begin("pass", args={"n": 1}, ts=0.0)
+            tr.instant("oom", ts=1.0)
+            tr.end(ts=2.0)
+
+        a, b = Tracer(), Tracer()
+        emit(a)
+        emit(b)
+        assert a.events == b.events
+
+
+class TestChromeExport:
+    def test_valid_chrome_trace_json(self, tmp_path):
+        tr = Tracer()
+        tr.begin("pass", cat="scheduler", ts=1.0)
+        tr.instant("oom", cat="pod", ts=1.5)
+        tr.end(ts=2.0)
+        tr.async_begin("pod:x", "u1", ts=0.5)
+        tr.async_end("pod:x", "u1", ts=3.0)
+        path = tmp_path / "trace.json"
+        n = tr.to_chrome(path)
+        assert n == 5
+
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        assert len(events) == 5
+        assert payload["displayTimeUnit"] == "ms"
+        for ev in events:
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(ev)
+        # ms -> us scaling on export, original events untouched.
+        assert events[0]["ts"] == 1_000.0
+        assert tr.events[0]["ts"] == 1.0
+
+    def test_jsonl_round_trips_raw_events(self, tmp_path):
+        tr = Tracer()
+        tr.instant("a", ts=1.0)
+        tr.counter("c", {"v": 2.0}, ts=2.0)
+        path = tmp_path / "trace.jsonl"
+        assert tr.to_jsonl(path) == 2
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines == tr.events
+
+
+class TestNullTracer:
+    def test_disabled_and_recordless(self):
+        tr = NullTracer()
+        assert tr.enabled is False
+        tr.begin("x")
+        tr.instant("y")
+        tr.async_begin("z", "id")
+        tr.counter("c", {"v": 1.0})
+        tr.end()           # no open span, but must not raise
+        with tr.span("s"):
+            pass
+        assert len(tr) == 0
+        assert tr.depth == 0
+
+    def test_shares_clock_protocol_with_real_tracer(self):
+        clock = SimClock(5.0)
+        tr = NullTracer(clock)
+        assert tr.clock is clock

@@ -1,0 +1,107 @@
+"""Property-based tests for the node-local TSDB.
+
+Two contracts the schedulers lean on:
+
+* **Window boundaries are inclusive on both ends** — ``query(since,
+  until)`` returns exactly the points with ``since <= t <= until``.
+  PP's five-second sliding window (``last_window``) samples land
+  exactly on heartbeat timestamps, so off-by-one boundary handling
+  would silently shrink its forecast input.
+* **Ring-buffer wraparound is invisible** — once a series exceeds its
+  capacity, the store holds exactly the most recent ``capacity``
+  points, still in time order, and every query behaves as if only
+  those points were ever written.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.telemetry.tsdb import TimeSeriesDB
+
+# Heartbeat-like timelines: non-decreasing, duplicate timestamps allowed
+# (two monitors can report the same tick).
+times_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=64,
+).map(sorted)
+
+bound_strategy = st.one_of(
+    st.none(),
+    st.floats(min_value=-10.0, max_value=1.1e6, allow_nan=False, allow_infinity=False),
+)
+
+
+@given(times=times_strategy, since=bound_strategy, until=bound_strategy)
+def test_query_matches_inclusive_brute_force(times, since, until):
+    db = TimeSeriesDB(capacity=len(times) + 8)
+    for i, t in enumerate(times):
+        db.write("m", t, float(i))
+
+    window = db.query("m", since=since, until=until)
+    lo = -np.inf if since is None else since
+    hi = np.inf if until is None else until
+    expected = [(t, float(i)) for i, t in enumerate(times) if lo <= t <= hi]
+
+    assert list(zip(window.times, window.values)) == expected
+
+
+@given(times=times_strategy)
+def test_exact_boundary_points_are_included(times):
+    db = TimeSeriesDB(capacity=len(times) + 8)
+    for i, t in enumerate(times):
+        db.write("m", t, float(i))
+    first, last = times[0], times[-1]
+
+    window = db.query("m", since=first, until=last)
+    assert len(window) == len(times)
+
+    # Pinning both bounds to one stored timestamp returns its points.
+    pin = db.query("m", since=first, until=first)
+    assert len(pin) == times.count(first)
+
+
+@given(
+    n_points=st.integers(min_value=1, max_value=200),
+    capacity=st.integers(min_value=1, max_value=50),
+)
+def test_wraparound_keeps_most_recent_points_in_order(n_points, capacity):
+    db = TimeSeriesDB(capacity=capacity)
+    for i in range(n_points):
+        db.write("m", float(i), float(i * 10))
+
+    window = db.query("m")
+    kept = min(n_points, capacity)
+    expected_times = [float(i) for i in range(n_points - kept, n_points)]
+
+    assert list(window.times) == expected_times
+    assert list(window.values) == [t * 10 for t in expected_times]
+    assert db.latest("m") == (float(n_points - 1), float((n_points - 1) * 10))
+
+
+@given(
+    n_points=st.integers(min_value=5, max_value=120),
+    capacity=st.integers(min_value=2, max_value=40),
+    window=st.floats(min_value=0.0, max_value=200.0, allow_nan=False),
+)
+@settings(max_examples=60)
+def test_last_window_after_wraparound(n_points, capacity, window):
+    """last_window == brute-force filter over the surviving ring contents."""
+    db = TimeSeriesDB(capacity=capacity)
+    for i in range(n_points):
+        db.write("m", float(i), float(i))
+    now = float(n_points - 1)
+
+    got = db.last_window("m", window, now)
+    survivors = range(max(0, n_points - capacity), n_points)
+    expected = [float(i) for i in survivors if now - window <= i <= now]
+
+    assert list(got.times) == expected
+
+
+def test_unknown_metric_yields_empty_window():
+    db = TimeSeriesDB()
+    window = db.query("never-written", since=0.0, until=100.0)
+    assert len(window) == 0
