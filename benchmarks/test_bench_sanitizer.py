@@ -1,0 +1,59 @@
+"""Bench: the runtime sanitizer's cost model.
+
+Two claims are enforced:
+
+* **off = free (within noise)** — with ``sanitize=False`` every
+  instrumented call site reduces to one ``is None`` check, so the
+  Fig. 9-style appmix run must cost the same as it did before the
+  sanitizer existed.  The benchmark records the off-path run under
+  pytest-benchmark (regressions show up against saved baselines like
+  every other bench), and additionally times an identical second
+  off-path run in-process: two runs of the same seeded simulation must
+  agree within a generous noise factor, which would not hold if the
+  instrumentation had data-dependent cost.
+* **on = bounded** — arming the sanitizer may not blow the run up by
+  more than ``MAX_SANITIZE_OVERHEAD``x (it is meant to be left on in
+  CI smoke runs).
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import run_once
+from repro.core.schedulers import make_scheduler
+from repro.obs.context import Observability
+from repro.sim.simulator import run_appmix
+
+#: Paired same-seed off-path runs must agree within this factor.
+NOISE_FACTOR = 1.5
+#: Sanitize-on may cost at most this much relative to sanitize-off.
+MAX_SANITIZE_OVERHEAD = 3.0
+
+
+def _timed_run(obs=None):
+    t0 = time.perf_counter()
+    result = run_appmix("app-mix-1", make_scheduler("peak-prediction"),
+                        duration_s=6.0, seed=3, num_nodes=4, obs=obs)
+    return time.perf_counter() - t0, result
+
+
+def test_bench_sanitizer_off_is_noise(benchmark):
+    elapsed_a, result_a = run_once(benchmark, _timed_run)
+    elapsed_b, result_b = _timed_run()
+    assert result_a.makespan_ms == result_b.makespan_ms  # same seed, same run
+    lo, hi = sorted((elapsed_a, elapsed_b))
+    assert hi <= lo * NOISE_FACTOR, (
+        f"off-path runtime unstable: {lo:.3f}s vs {hi:.3f}s"
+    )
+
+
+def test_bench_sanitize_on_overhead_is_bounded():
+    elapsed_off, _ = _timed_run()
+    obs = Observability(trace=False, metrics=False, audit=False, sanitize=True)
+    elapsed_on, _ = _timed_run(obs=obs)
+    assert obs.sanitizer.checks > 0
+    assert obs.sanitizer.violations == []
+    assert elapsed_on <= elapsed_off * MAX_SANITIZE_OVERHEAD, (
+        f"sanitizer overhead too high: {elapsed_off:.3f}s off, {elapsed_on:.3f}s on"
+    )

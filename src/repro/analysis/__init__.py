@@ -1,0 +1,29 @@
+"""``repro.analysis`` — correctness tooling for the reproduction.
+
+Two halves guard the properties every experiment in this repo depends
+on (bit-stable runs, conserved per-GPU accounting):
+
+* :mod:`repro.analysis.lint` — an AST-based static lint pass with
+  Kube-Knots-specific rules (``KK001``–``KK004``), run as
+  ``python -m repro lint`` and as a CI gate;
+* :mod:`repro.analysis.sanitizer` — an ASan-style runtime sanitizer
+  wired into the event loop, kubelets, Knots and the aggregator,
+  enabled with ``--sanitize`` on ``simulate``/``dlsim`` or the
+  ``sanitized_obs`` pytest fixture.
+
+See ``docs/static-analysis.md`` for the rule catalog and the sanitizer
+invariant table.
+"""
+
+from repro.analysis.lint import Finding, lint_paths, lint_source
+from repro.analysis.sanitizer import INVARIANTS, Sanitizer, SanitizerError, Violation
+
+__all__ = [
+    "Finding",
+    "lint_paths",
+    "lint_source",
+    "Sanitizer",
+    "SanitizerError",
+    "Violation",
+    "INVARIANTS",
+]

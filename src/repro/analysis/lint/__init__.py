@@ -1,0 +1,76 @@
+"""``repro.analysis.lint`` — the Kube-Knots static lint pass.
+
+Public surface: :func:`lint_paths` / :func:`lint_source` (programmatic),
+:func:`main` (the ``python -m repro lint`` entry point), and the rule
+catalog via :func:`all_rules`.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Sequence
+
+from repro.analysis.lint.framework import (
+    DOCS_URL,
+    FileContext,
+    Finding,
+    Rule,
+    all_rules,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.lint import rules as _rules  # noqa: F401  (registers KK001-KK004)
+
+__all__ = [
+    "DOCS_URL",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "main",
+]
+
+
+def render_catalog() -> str:
+    """One line per registered rule: id, name, summary, docs anchor."""
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.id}  {rule.name:<24} {rule.summary}  [{DOCS_URL}#{rule.id.lower()}]")
+    return "\n".join(lines)
+
+
+def main(
+    paths: Sequence[str],
+    select: Sequence[str] | None = None,
+    list_rules: bool = False,
+    out=None,
+) -> int:
+    """Lint ``paths``; print findings; return a shell exit code.
+
+    0 = clean, 1 = findings, 2 = usage error (nothing to lint / bad
+    rule selection).
+    """
+    out = out or sys.stdout
+    if list_rules:
+        print(render_catalog(), file=out)
+        return 0
+    if not paths:
+        print("repro lint: no paths given", file=sys.stderr)
+        return 2
+    files = list(iter_python_files(paths))
+    if not files:
+        print(f"repro lint: no python files under {list(paths)}", file=sys.stderr)
+        return 2
+    try:
+        findings = lint_paths(paths, select=select)
+    except KeyError as exc:
+        print(f"repro lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.render(), file=out)
+    tally = f"{len(findings)} finding{'s' if len(findings) != 1 else ''}"
+    print(f"repro lint: {len(files)} files, {tally}", file=out)
+    return 1 if findings else 0

@@ -1,0 +1,220 @@
+"""AST rule framework for the ``repro lint`` static pass.
+
+The framework is deliberately small: a :class:`Rule` visits one parsed
+file (a :class:`FileContext`) and yields :class:`Finding` objects; the
+driver (:func:`lint_paths`) walks the target files, parses each once,
+runs every registered rule, and filters the result through the
+per-line suppression pragma::
+
+    something_suspicious()   # kk: disable=KK001
+    another_thing()          # kk: disable=KK002,KK004
+    whatever()               # kk: disable=all
+
+Rules are registered with the :func:`register` decorator, carry a
+stable ``id`` (``KKnnn``), a one-line summary and a docs anchor, and
+scope themselves to parts of the tree through :meth:`Rule.applies_to`
+(e.g. KK001 only fires inside the simulation-critical packages).
+
+Findings are deterministic and ordered (path, line, col, rule id) so
+lint output — like everything else in this repo — is byte-stable.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "DOCS_URL",
+    "Finding",
+    "FileContext",
+    "Rule",
+    "register",
+    "all_rules",
+    "lint_source",
+    "lint_paths",
+    "iter_python_files",
+]
+
+#: Base of every rule's documentation link (anchors are ``#kk001`` ...).
+DOCS_URL = "docs/static-analysis.md"
+
+#: ``# kk: disable=KK001,KK002`` or ``# kk: disable=all``.
+_PRAGMA = re.compile(r"#\s*kk:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def docs_url(self) -> str:
+        return f"{DOCS_URL}#{self.rule_id.lower()}"
+
+    def render(self) -> str:
+        """``path:line:col: KKnnn message (docs url)`` — one line."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message} "
+            f"[{self.docs_url}]"
+        )
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule_id)
+
+
+@dataclass
+class FileContext:
+    """One parsed file plus everything rules need to inspect it."""
+
+    path: str                     # as reported in findings (may be virtual)
+    source: str
+    tree: ast.AST
+    lines: list[str] = field(default_factory=list)
+    #: line number -> set of disabled rule ids ({"all"} disables every rule)
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, source: str, path: str) -> "FileContext":
+        tree = ast.parse(source, filename=path)
+        lines = source.splitlines()
+        suppressions: dict[int, set[str]] = {}
+        for i, line in enumerate(lines, start=1):
+            m = _PRAGMA.search(line)
+            if m:
+                ids = {tok.strip().upper() for tok in m.group(1).split(",") if tok.strip()}
+                suppressions[i] = {("ALL" if t == "ALL" else t) for t in ids}
+        return cls(path=path, source=source, tree=tree, lines=lines, suppressions=suppressions)
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        """Path components, used by rules to scope themselves."""
+        return Path(self.path).parts
+
+    def in_package(self, names: Iterable[str]) -> bool:
+        """Does the path cross any directory named in ``names``?"""
+        wanted = set(names)
+        return any(part in wanted for part in self.parts[:-1])
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        ids = self.suppressions.get(line)
+        if not ids:
+            return False
+        return "ALL" in ids or rule_id.upper() in ids
+
+
+class Rule:
+    """Base class for one lint rule."""
+
+    id: str = "KK000"
+    name: str = "base-rule"
+    summary: str = ""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule_id=self.id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding one instance of ``cls`` to the registry."""
+    rule = cls()
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules, ordered by id."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def _select(select: Sequence[str] | None) -> list[Rule]:
+    rules = all_rules()
+    if select is None:
+        return rules
+    wanted = {s.upper() for s in select}
+    unknown = wanted - {r.id for r in rules}
+    if unknown:
+        raise KeyError(f"unknown rule ids: {sorted(unknown)}; known: {[r.id for r in rules]}")
+    return [r for r in rules if r.id in wanted]
+
+
+def lint_source(
+    source: str, path: str = "<string>", select: Sequence[str] | None = None
+) -> list[Finding]:
+    """Lint one source string under a (possibly virtual) path.
+
+    The path matters: scoped rules such as KK001 decide applicability
+    from the directory components (``.../sim/...`` etc.), which is also
+    how the fixture corpus under ``tests/fixtures/lint/`` is laid out.
+    """
+    try:
+        ctx = FileContext.parse(source, path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule_id="KK000",
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    findings: list[Finding] = []
+    for rule in _select(select):
+        if not rule.applies_to(ctx):
+            continue
+        for f in rule.check(ctx):
+            if not ctx.suppressed(f.rule_id, f.line):
+                findings.append(f)
+    return sorted(findings, key=Finding.sort_key)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    seen: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            candidates: Iterable[Path] = sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            candidates = [p]
+        else:
+            candidates = []
+        for c in candidates:
+            if c not in seen:
+                seen.add(c)
+                yield c
+
+
+def lint_paths(
+    paths: Iterable[str | Path], select: Sequence[str] | None = None
+) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths``; returns sorted findings."""
+    findings: list[Finding] = []
+    for file in iter_python_files(paths):
+        findings.extend(lint_source(file.read_text(), str(file), select=select))
+    return sorted(findings, key=Finding.sort_key)

@@ -1,0 +1,501 @@
+"""The Kube-Knots lint rules (``KK001``–``KK004``).
+
+Each rule encodes one convention the simulator's determinism or
+accounting depends on.  They are conservative by design: a rule only
+fires on patterns it can prove from the AST, and every finding can be
+silenced in place with ``# kk: disable=KKnnn`` (see
+``docs/static-analysis.md`` for the catalog and rationale).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.framework import FileContext, Finding, Rule, register
+
+__all__ = [
+    "NoWallClockRule",
+    "UnitBoundaryRule",
+    "EventHandlerHygieneRule",
+    "ApiHygieneRule",
+]
+
+#: Directory components marking the simulation-critical packages: code
+#: under any of these must be bit-deterministic (KK001's scope).
+SIM_CRITICAL_PACKAGES = frozenset({"sim", "core", "kube", "telemetry"})
+
+# -- import-alias helpers ---------------------------------------------------
+
+
+def _module_aliases(tree: ast.AST, module: str) -> set[str]:
+    """Local names bound to ``module`` by ``import`` statements."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module:
+                    names.add(alias.asname or alias.name.split(".")[0])
+    return names
+
+
+# -- KK001 ------------------------------------------------------------------
+
+#: ``time`` module functions reading the host clock.
+_WALL_CLOCK_FNS = frozenset(
+    {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+     "perf_counter_ns", "process_time", "process_time_ns", "clock_gettime"}
+)
+#: ``datetime``/``date`` constructors reading the host clock.
+_DATETIME_NOW_FNS = frozenset({"now", "utcnow", "today"})
+#: The only attributes of ``random`` that produce *seedable* state.
+_RANDOM_OK = frozenset({"Random"})
+#: Seeded construction entry points of ``numpy.random``.
+_NP_RANDOM_OK = frozenset({"default_rng", "Generator", "SeedSequence", "PCG64", "Philox", "MT19937"})
+
+
+@register
+class NoWallClockRule(Rule):
+    """KK001 — no wall-clock or unseeded RNG in simulation-critical code.
+
+    Simulation time comes from the event loop / ``SimClock``; randomness
+    comes from a seeded ``np.random.default_rng`` / ``random.Random``
+    threaded through the call chain.  Touching the host clock
+    (``time.time``, ``datetime.now``) or process-global RNG state
+    (``random.random``, ``np.random.rand``) breaks bit-stable replays.
+    """
+
+    id = "KK001"
+    name = "no-wall-clock"
+    summary = "wall-clock or unseeded process-global RNG inside sim-critical packages"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package(SIM_CRITICAL_PACKAGES)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        tree = ctx.tree
+        time_aliases = _module_aliases(tree, "time")
+        random_aliases = _module_aliases(tree, "random")
+        datetime_aliases = _module_aliases(tree, "datetime")
+        numpy_aliases = _module_aliases(tree, "numpy")
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _WALL_CLOCK_FNS:
+                            yield self.finding(
+                                ctx, node,
+                                f"`from time import {alias.name}` pulls the host clock into "
+                                "sim code; use the simulation clock instead",
+                            )
+                elif node.module == "random":
+                    for alias in node.names:
+                        if alias.name not in _RANDOM_OK:
+                            yield self.finding(
+                                ctx, node,
+                                f"`from random import {alias.name}` is process-global RNG "
+                                "state; construct a seeded `random.Random(seed)`",
+                            )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            base = func.value
+            # time.<wall-clock fn>()
+            if (
+                isinstance(base, ast.Name)
+                and base.id in time_aliases
+                and func.attr in _WALL_CLOCK_FNS
+            ):
+                yield self.finding(
+                    ctx, node,
+                    f"`{base.id}.{func.attr}()` reads the host clock; sim code must take "
+                    "time from the event loop / SimClock",
+                )
+            # datetime.now() / date.today() after `from datetime import datetime`
+            elif (
+                isinstance(base, ast.Name)
+                and base.id in {"datetime", "date"}
+                and func.attr in _DATETIME_NOW_FNS
+            ):
+                yield self.finding(
+                    ctx, node,
+                    f"`{base.id}.{func.attr}()` reads the host clock; sim code must take "
+                    "time from the event loop / SimClock",
+                )
+            # datetime.datetime.now() after `import datetime`
+            elif (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id in datetime_aliases
+                and func.attr in _DATETIME_NOW_FNS
+            ):
+                yield self.finding(
+                    ctx, node,
+                    f"`{base.value.id}.{base.attr}.{func.attr}()` reads the host clock",
+                )
+            # random.<fn>() on the module (unseeded global state)
+            elif (
+                isinstance(base, ast.Name)
+                and base.id in random_aliases
+                and func.attr not in _RANDOM_OK
+            ):
+                yield self.finding(
+                    ctx, node,
+                    f"`{base.id}.{func.attr}()` uses process-global RNG state; construct "
+                    "a seeded `random.Random(seed)` and thread it through",
+                )
+            # np.random.<fn>() legacy global-state API
+            elif (
+                isinstance(base, ast.Attribute)
+                and base.attr == "random"
+                and isinstance(base.value, ast.Name)
+                and base.value.id in numpy_aliases
+                and func.attr not in _NP_RANDOM_OK
+            ):
+                yield self.finding(
+                    ctx, node,
+                    f"`{base.value.id}.random.{func.attr}()` is numpy's unseeded global "
+                    "RNG; use `np.random.default_rng(seed)`",
+                )
+
+
+# -- KK002 ------------------------------------------------------------------
+
+_S_SUFFIXES = ("_s", "_sec", "_secs", "_seconds")
+_MS_SUFFIXES = ("_ms", "_millis")
+#: Conversion helpers whose *return* unit is known (repro.units).
+_CONVERTERS = {"ms_to_s": "s", "s_to_ms": "ms"}
+#: Scale constants that mark an explicit conversion at a boundary.
+_SCALE_CONSTANTS = frozenset({1_000, 1_000.0, 1e3, 1 / 1_000, 0.001})
+
+
+def _name_unit(name: str | None) -> str | None:
+    if not name:
+        return None
+    if name.endswith(_MS_SUFFIXES):
+        return "ms"
+    if name.endswith(_S_SUFFIXES):
+        return "s"
+    return None
+
+
+def _is_scale_constant(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value in _SCALE_CONSTANTS
+
+
+def _expr_unit(node: ast.AST) -> str | None:
+    """Best-effort unit of an expression: 'ms', 's', or None (unknown).
+
+    Multiplying or dividing by 1000 (or calling a ``repro.units``
+    helper) counts as an explicit conversion, after which the
+    expression is trusted.
+    """
+    if isinstance(node, ast.Name):
+        return _name_unit(node.id)
+    if isinstance(node, ast.Attribute):
+        return _name_unit(node.attr)
+    if isinstance(node, ast.Call):
+        func = node.func
+        fname = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if fname in _CONVERTERS:
+            return _CONVERTERS[fname]
+        return _name_unit(fname)
+    if isinstance(node, ast.UnaryOp):
+        return _expr_unit(node.operand)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, (ast.Mult, ast.Div)) and (
+            _is_scale_constant(node.left) or _is_scale_constant(node.right)
+        ):
+            return None          # explicit conversion — trusted
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            lu, ru = _expr_unit(node.left), _expr_unit(node.right)
+            if lu and ru:
+                return lu if lu == ru else "mixed"
+            return lu or ru
+        return None
+    return None
+
+
+@register
+class UnitBoundaryRule(Rule):
+    """KK002 — ms/s unit-boundary hygiene.
+
+    The engine runs in milliseconds; the DL simulator in seconds.
+    Values may only cross that boundary through an explicitly named
+    conversion (``* 1_000.0`` / ``/ 1_000.0`` or ``repro.units``
+    helpers).  The rule flags a ``_s``-suffixed value flowing into a
+    ``_ms``-suffixed slot (and vice versa), and arithmetic or
+    comparisons mixing the two.
+    """
+
+    id = "KK002"
+    name = "unit-boundary"
+    summary = "second-suffixed value crossing into a millisecond slot (or vice versa)"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    declared = _name_unit(kw.arg)
+                    if declared is None:
+                        continue
+                    actual = _expr_unit(kw.value)
+                    if actual is not None and actual != declared:
+                        yield self.finding(
+                            ctx, kw.value,
+                            f"argument `{kw.arg}` expects {declared} but receives a value "
+                            f"in {actual}; convert explicitly (e.g. `* 1_000.0` or "
+                            "repro.units helpers)",
+                        )
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                value = node.value
+                if value is None:
+                    continue
+                actual = _expr_unit(value)
+                if actual is None:
+                    continue
+                for target in targets:
+                    declared = _expr_unit(target) if isinstance(
+                        target, (ast.Name, ast.Attribute)
+                    ) else None
+                    if declared is not None and declared != actual and "mixed" not in (
+                        declared, actual
+                    ):
+                        name = ast.unparse(target)
+                        yield self.finding(
+                            ctx, node,
+                            f"assigning a {actual} value to `{name}` ({declared}); "
+                            "convert explicitly at the boundary",
+                        )
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                lu, ru = _expr_unit(node.left), _expr_unit(node.right)
+                if lu in ("ms", "s") and ru in ("ms", "s") and lu != ru:
+                    yield self.finding(
+                        ctx, node,
+                        f"arithmetic mixes {lu} and {ru} operands; convert one side "
+                        "explicitly",
+                    )
+            elif isinstance(node, ast.Compare):
+                lu = _expr_unit(node.left)
+                for comparator in node.comparators:
+                    ru = _expr_unit(comparator)
+                    if lu in ("ms", "s") and ru in ("ms", "s") and lu != ru:
+                        yield self.finding(
+                            ctx, node,
+                            f"comparison mixes {lu} and {ru} operands; convert one side "
+                            "explicitly",
+                        )
+
+
+# -- KK003 ------------------------------------------------------------------
+
+#: Aggregator/TSDB query methods returning (dicts of) SeriesWindow.
+_WINDOW_QUERIES = frozenset({"query", "last_window", "memory_window", "query_node_stats"})
+#: In-place numpy mutators that would corrupt a shared window.
+_ARRAY_MUTATORS = frozenset({"sort", "fill", "put", "resize", "partition", "itemset", "setfield"})
+
+
+def _negative_constant(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return isinstance(node.operand, ast.Constant) and isinstance(
+            node.operand.value, (int, float)
+        )
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and node.value < 0
+    )
+
+
+def _is_now_expr(node: ast.AST) -> bool:
+    """``now``, ``self._now``, ``loop.now`` — a current-time read."""
+    if isinstance(node, ast.Name):
+        return node.id in {"now", "t"}
+    if isinstance(node, ast.Attribute):
+        return node.attr in {"now", "_now"}
+    return False
+
+
+@register
+class EventHandlerHygieneRule(Rule):
+    """KK003 — event handlers must not rewrite the past or shared telemetry.
+
+    Two classes of corruption: scheduling behind the event loop's clock
+    (``schedule(-5, ...)``, ``schedule_at(now - x, ...)``), and mutating
+    the arrays inside a :class:`SeriesWindow` returned by a TSDB query —
+    those arrays are views over the ring buffer every other consumer
+    reads.
+    """
+
+    id = "KK003"
+    name = "event-handler-hygiene"
+    summary = "scheduling in the past or mutating a queried SeriesWindow in place"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        # schedule / schedule_at misuse (whole file).
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            attr = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            if attr == "schedule" and _negative_constant(node.args[0]):
+                yield self.finding(
+                    ctx, node,
+                    "`schedule()` with a negative delay fires in the past; "
+                    "events must be scheduled at t >= now",
+                )
+            elif attr == "schedule_at":
+                when = node.args[0]
+                if (
+                    isinstance(when, ast.BinOp)
+                    and isinstance(when.op, ast.Sub)
+                    and _is_now_expr(when.left)
+                ):
+                    yield self.finding(
+                        ctx, node,
+                        "`schedule_at(now - ...)` targets a time before the current "
+                        "clock; events must be scheduled at t >= now",
+                    )
+
+        # SeriesWindow mutation (per-function local dataflow).
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            tracked: set[str] = set()
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Assign) and self._is_window_call(node.value):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            tracked.add(target.id)
+            for node in ast.walk(fn):
+                if isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                    for target in targets:
+                        if isinstance(target, ast.Subscript) and self._is_window_array(
+                            target.value, tracked
+                        ):
+                            yield self.finding(
+                                ctx, node,
+                                "writing into a SeriesWindow's arrays mutates the shared "
+                                "TSDB view; copy before modifying",
+                            )
+                elif isinstance(node, ast.Call):
+                    func = node.func
+                    if (
+                        isinstance(func, ast.Attribute)
+                        and func.attr in _ARRAY_MUTATORS
+                        and self._is_window_array(func.value, tracked)
+                    ):
+                        yield self.finding(
+                            ctx, node,
+                            f"`.{func.attr}()` mutates a SeriesWindow's array in place; "
+                            "copy before modifying",
+                        )
+
+    @staticmethod
+    def _is_window_call(node: ast.AST | None) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _WINDOW_QUERIES
+        )
+
+    @classmethod
+    def _is_window_array(cls, node: ast.AST, tracked: set[str]) -> bool:
+        """Is ``node`` (the thing being mutated) ``<window>.values/.times``?"""
+        if not (isinstance(node, ast.Attribute) and node.attr in {"values", "times"}):
+            return False
+        base = node.value
+        if isinstance(base, ast.Name):
+            return base.id in tracked
+        if isinstance(base, ast.Subscript):   # query_node_stats()[metric].values
+            inner = base.value
+            return isinstance(inner, ast.Name) and inner.id in tracked
+        return cls._is_window_call(base)      # direct: knots.memory_window(...).values
+
+
+# -- KK004 ------------------------------------------------------------------
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "deque", "defaultdict"})
+
+
+def _is_mutable_default(node: ast.AST | None) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CALLS
+    )
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> ast.expr | None:
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = target.id if isinstance(target, ast.Name) else (
+            target.attr if isinstance(target, ast.Attribute) else None
+        )
+        if name == "dataclass":
+            return dec
+    return None
+
+
+@register
+class ApiHygieneRule(Rule):
+    """KK004 — public-API hygiene: no shared mutable state by accident.
+
+    Mutable default arguments alias one object across every call; a
+    non-frozen ``*Config`` dataclass invites mid-run mutation of knobs
+    the simulator read at construction time.  Both undermine paired
+    scheduler comparisons.
+    """
+
+    id = "KK004"
+    name = "api-hygiene"
+    summary = "mutable default argument or non-frozen Config dataclass in a public API"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name.startswith("_"):
+                    continue
+                defaults = list(node.args.defaults) + [
+                    d for d in node.args.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    if _is_mutable_default(default):
+                        yield self.finding(
+                            ctx, default,
+                            f"mutable default argument in public function `{node.name}`; "
+                            "use None and construct inside",
+                        )
+            elif isinstance(node, ast.ClassDef):
+                if node.name.startswith("_") or not node.name.endswith("Config"):
+                    continue
+                dec = _dataclass_decorator(node)
+                if dec is None:
+                    continue
+                frozen = isinstance(dec, ast.Call) and any(
+                    kw.arg == "frozen"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in dec.keywords
+                )
+                if not frozen:
+                    yield self.finding(
+                        ctx, node,
+                        f"config dataclass `{node.name}` is not frozen; declare "
+                        "`@dataclass(frozen=True)` so runs cannot mutate knobs mid-flight",
+                    )

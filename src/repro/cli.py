@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the workflows a user reaches for first:
+The subcommands cover the workflows a user reaches for first:
 
 ``experiment``
     Regenerate one of the paper's figures/tables (or ``all``) and print
@@ -12,8 +12,15 @@ Four subcommands cover the workflows a user reaches for first:
     The DL-cluster comparison (Sec. V-C) for a chosen policy set.
 ``replay``
     Drive the simulator from a real Alibaba ``batch_task.csv``.
+``lint``
+    Run the Kube-Knots static lint rules (KK001–KK004) over source
+    paths; the CI gate is ``python -m repro lint src``.
 ``list``
     Enumerate available experiments, schedulers, mixes and policies.
+
+``simulate`` and ``dlsim`` accept ``--sanitize`` to run under the
+runtime sanitizer (:mod:`repro.analysis.sanitizer`): invariant breaches
+abort the run with exit code 3 and land in the decision audit log.
 """
 
 from __future__ import annotations
@@ -24,6 +31,9 @@ import sys
 from typing import Sequence
 
 import numpy as np
+
+from repro.analysis.sanitizer import SanitizerError
+from repro.units import ms_to_s
 
 EXPERIMENTS = (
     "fig1",
@@ -94,13 +104,16 @@ def _make_observability(args: argparse.Namespace):
     Any of ``--trace``/``--metrics``/``--audit`` switches the matching
     sink on; the audit log rides along with ``--trace`` (written next to
     the trace file) so a traced run always explains its decisions.
+    ``--sanitize`` attaches the runtime sanitizer (which always brings
+    the audit log with it, so violations are recorded somewhere).
     """
     from repro.obs import Observability
 
     trace = getattr(args, "trace", None)
     metrics = getattr(args, "metrics", None)
     audit = getattr(args, "audit", None)
-    if not (trace or metrics or audit):
+    sanitize = bool(getattr(args, "sanitize", False))
+    if not (trace or metrics or audit or sanitize):
         return None, None
     audit_path = audit
     # Only commands that audit decisions define --audit; for those the
@@ -110,7 +123,12 @@ def _make_observability(args: argparse.Namespace):
 
         audit_path = str(Path(trace).with_suffix("")) + ".audit.jsonl"
     return (
-        Observability(trace=bool(trace), metrics=bool(metrics), audit=bool(audit_path)),
+        Observability(
+            trace=bool(trace),
+            metrics=bool(metrics),
+            audit=bool(audit_path),
+            sanitize=sanitize,
+        ),
         audit_path,
     )
 
@@ -132,6 +150,9 @@ def _export_observability(obs, args: argparse.Namespace, audit_path) -> None:
         summary = ", ".join(f"{k}={v}" for k, v in sorted(obs.audit.summary().items()))
         print(f"decision audit: {written['audit_records']} records -> {audit_path}"
               + (f" ({summary})" if summary else ""))
+    if obs.sanitizer is not None:
+        san = obs.sanitizer
+        print(f"sanitizer: {san.checks} checks, {len(san.violations)} violations")
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -159,20 +180,24 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     args.mix = MIX_ALIASES.get(args.mix, args.mix)
     args.scheduler = SCHEDULER_ALIASES.get(args.scheduler, args.scheduler)
     obs, audit_path = _make_observability(args)
-    result = run_appmix(
-        args.mix,
-        make_scheduler(args.scheduler),
-        duration_s=args.duration,
-        seed=args.seed,
-        num_nodes=args.nodes,
-        load_factor=args.load_factor,
-        obs=obs,
-    )
+    try:
+        result = run_appmix(
+            args.mix,
+            make_scheduler(args.scheduler),
+            duration_s=args.duration,
+            seed=args.seed,
+            num_nodes=args.nodes,
+            load_factor=args.load_factor,
+            obs=obs,
+        )
+    except SanitizerError as exc:
+        print(f"sanitizer violation: {exc}", file=sys.stderr)
+        return 3
     util = cluster_percentiles(result.gpu_util_series)
-    mean_power = result.total_energy_j() / (result.makespan_ms / 1_000.0)
+    mean_power = result.total_energy_j() / ms_to_s(result.makespan_ms)
     rows = [
         ("pods completed", f"{len(result.completed())}/{len(result.pods)}"),
-        ("makespan", f"{result.makespan_ms / 1_000.0:.1f} s"),
+        ("makespan", f"{ms_to_s(result.makespan_ms):.1f} s"),
         ("utilization p50/p90/p99/max %", "/".join(f"{v:.0f}" for v in util.as_tuple())),
         ("QoS violations per kilo-query", f"{result.qos_violations_per_kilo():.1f}"),
         ("OOM kills", str(result.oom_kills)),
@@ -219,7 +244,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             [
                 ("replayed tasks", str(len(tasks))),
                 ("completed", f"{len(result.completed())}/{len(result.pods)}"),
-                ("makespan", f"{result.makespan_ms / 1_000.0:.1f} s"),
+                ("makespan", f"{ms_to_s(result.makespan_ms):.1f} s"),
                 ("OOM kills", str(result.oom_kills)),
                 ("harvest resizes", str(result.resizes)),
             ],
@@ -239,9 +264,13 @@ def _cmd_dlsim(args: argparse.Namespace) -> int:
     if args.quick:
         config = DLWorkloadConfig(n_training=100, n_inference=300, window_s=2 * 3_600.0)
     obs, audit_path = _make_observability(args)
-    results = run_dl_comparison(
-        jobs_seed=args.seed, policies=args.policies, config=config, obs=obs
-    )
+    try:
+        results = run_dl_comparison(
+            jobs_seed=args.seed, policies=args.policies, config=config, obs=obs
+        )
+    except SanitizerError as exc:
+        print(f"sanitizer violation: {exc}", file=sys.stderr)
+        return 3
     ref = "cbp-pp" if "cbp-pp" in results else args.policies[0]
     ratios = normalized_jct({n: r.jcts_s() for n, r in results.items()}, reference=ref)
     rows = []
@@ -264,6 +293,12 @@ def _cmd_dlsim(args: argparse.Namespace) -> int:
     )
     _export_observability(obs, args, audit_path)
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import main as lint_main
+
+    return lint_main(args.paths, select=args.select, list_rules=args.list_rules)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -297,6 +332,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write Prometheus text-format metrics")
     p_sim.add_argument("--audit", default=None, metavar="PATH",
                        help="write the scheduler decision audit log (JSONL)")
+    p_sim.add_argument("--sanitize", action="store_true",
+                       help="run under the runtime sanitizer; invariant breaches "
+                            "abort with exit code 3")
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_rep = sub.add_parser("replay", help="replay an Alibaba batch_task.csv trace")
@@ -318,7 +356,19 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write a Chrome trace-event JSON of all policies' job lifecycles")
     p_dl.add_argument("--metrics", default=None, metavar="PATH",
                       help="write Prometheus text-format metrics")
+    p_dl.add_argument("--sanitize", action="store_true",
+                      help="run under the runtime sanitizer; invariant breaches "
+                           "abort with exit code 3")
     p_dl.set_defaults(func=_cmd_dlsim)
+
+    p_lint = sub.add_parser("lint", help="run the KK static lint rules (KK001-KK004)")
+    p_lint.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    p_lint.add_argument("--select", nargs="+", default=None, metavar="KKnnn",
+                        help="run only these rule ids")
+    p_lint.add_argument("--list-rules", action="store_true", dest="list_rules",
+                        help="print the rule catalog and exit")
+    p_lint.set_defaults(func=_cmd_lint)
 
     return parser
 

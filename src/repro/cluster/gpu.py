@@ -140,6 +140,10 @@ class GPU:
         """Reserve ``alloc_mb`` for a container.  Wakes a sleeping device."""
         if pod_uid in self.containers:
             raise ValueError(f"pod {pod_uid} already attached to {self.gpu_id}")
+        if alloc_mb < 0:
+            raise ValueError(
+                f"pod {pod_uid}: negative reservation ({alloc_mb:.0f} MB) on {self.gpu_id}"
+            )
         if not self.can_fit(alloc_mb, exclusive):
             raise ValueError(
                 f"pod {pod_uid} ({alloc_mb:.0f} MB) does not fit on {self.gpu_id} "
@@ -168,6 +172,11 @@ class GPU:
         alloc = self.containers.get(pod_uid)
         if alloc is None:
             raise KeyError(f"pod {pod_uid} not on {self.gpu_id}")
+        if new_alloc_mb < 0:
+            raise ValueError(
+                f"cannot resize {pod_uid} to {new_alloc_mb:.0f} MB on {self.gpu_id}: "
+                "reservations must be non-negative"
+            )
         delta = alloc.alloc_mb - float(new_alloc_mb)
         if delta < 0 and -delta > self.free_mem_mb + 1e-9:
             raise ValueError(

@@ -66,11 +66,20 @@ class Knots:
 
     def query(self, gpu_id: str, now: float) -> dict[str, SeriesWindow]:
         """``QUERY(gpu_node)``: recent windows of all five metrics."""
-        return self.aggregator.query_node_stats(gpu_id, self.config.window_ms, now)
+        windows = self.aggregator.query_node_stats(gpu_id, self.config.window_ms, now)
+        san = self.obs.sanitizer
+        if san is not None:
+            for metric, window in windows.items():
+                san.check_window_fresh(gpu_id, metric, window, now, self.config.heartbeat_ms)
+        return windows
 
     def memory_window(self, gpu_id: str, now: float) -> SeriesWindow:
         """The memory-utilization series PP autocorrelates and forecasts."""
-        return self.aggregator.query(gpu_id, "mem_util", self.config.window_ms, now)
+        window = self.aggregator.query(gpu_id, "mem_util", self.config.window_ms, now)
+        san = self.obs.sanitizer
+        if san is not None:
+            san.check_window_fresh(gpu_id, "mem_util", window, now, self.config.heartbeat_ms)
+        return window
 
     def active_gpus_by_free_memory(self) -> list[GpuView]:
         """``Sort_by_Free_Memory(All_Active_GPUs)``."""

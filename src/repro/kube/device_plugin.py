@@ -13,11 +13,19 @@ from __future__ import annotations
 
 from repro.cluster.node import GpuNode
 
-__all__ = ["DevicePluginError", "SharedGPUDevicePlugin"]
+__all__ = ["DevicePluginError", "InvalidResizeError", "SharedGPUDevicePlugin"]
 
 
 class DevicePluginError(RuntimeError):
     """Allocation request the device cannot satisfy."""
+
+
+class InvalidResizeError(DevicePluginError, ValueError):
+    """Resize to a negative or over-capacity reservation.
+
+    Subclasses :class:`ValueError` as well so callers that predate the
+    typed error (``except ValueError``) keep working.
+    """
 
 
 class SharedGPUDevicePlugin:
@@ -52,8 +60,18 @@ class SharedGPUDevicePlugin:
 
         Returns the harvested (positive) or granted (negative) MB.
         Only legal when sharing is enabled — the stock plugin has no
-        resize path.
+        resize path.  A negative target or a grow beyond free capacity
+        raises :class:`InvalidResizeError` — never a silent clamp, so
+        per-device accounting cannot drift.
         """
         if not self.sharing_enabled:
             raise DevicePluginError("resize requires the shared-GPU plugin")
-        return self.node.find_gpu(gpu_id).resize(pod_uid, new_mem_mb)
+        if new_mem_mb < 0:
+            raise InvalidResizeError(
+                f"{gpu_id}: cannot resize {pod_uid} to {new_mem_mb:.0f} MB "
+                "(reservations must be non-negative)"
+            )
+        try:
+            return self.node.find_gpu(gpu_id).resize(pod_uid, new_mem_mb)
+        except ValueError as exc:
+            raise InvalidResizeError(str(exc)) from exc

@@ -80,6 +80,9 @@ class Kubelet:
         if pod.gpu_id is None:
             raise ValueError(f"{pod.uid} has no GPU assignment")
         self.plugin.allocate(pod.gpu_id, pod.uid, pod.alloc_mb)
+        san = self.obs.sanitizer
+        if san is not None:
+            san.check_gpu(self.node.find_gpu(pod.gpu_id))
         cold = pod.spec.image not in self._image_cache
         delay = self.config.image_pull_ms if cold else self.config.warm_start_ms
         self._image_cache.add(pod.spec.image)
@@ -101,6 +104,9 @@ class Kubelet:
         if pod.uid not in self._pods:
             raise KeyError(f"{pod.uid} not hosted on {self.node.node_id}")
         delta = self.plugin.resize(pod.gpu_id, pod.uid, new_alloc_mb)
+        san = self.obs.sanitizer
+        if san is not None:
+            san.check_gpu(self.node.find_gpu(pod.gpu_id))
         self.api.notify_resized(pod, new_alloc_mb, now)
         if self.obs.enabled:
             self._m_resizes.inc()
@@ -128,6 +134,7 @@ class Kubelet:
                 del self._start_deadline[uid]
 
         victims: list[Pod] = []
+        san = self.obs.sanitizer
         for gpu in self.node.gpus:
             if gpu.failed:
                 # The device fell off the bus: every hosted pod dies.
@@ -148,6 +155,8 @@ class Kubelet:
             ]
             demands = {p.uid: p.spec.trace.demand_at(p.progress_ms) for p in running}
             shares, _sample, violation = gpu.arbitrate(demands)
+            if san is not None:
+                san.check_shares(gpu.gpu_id, shares)
 
             if violation is not None:
                 victim = self._pods[violation.victim_uid]
@@ -175,6 +184,8 @@ class Kubelet:
                         self._m_completed.inc()
                         self._pod_trace_end(pod, "succeeded", now)
 
+            if san is not None:
+                san.check_gpu(gpu)
             # Hardware power management: devices idle long enough fall
             # into deep sleep on their own (attach() wakes them).
             if gpu.containers or gpu.asleep:

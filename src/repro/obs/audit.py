@@ -32,8 +32,10 @@ from repro.obs.tracer import SimClock
 __all__ = ["DecisionRecord", "DecisionAuditLog", "NullAuditLog", "KINDS"]
 
 #: The decision vocabulary.  ``bind``/``reject``/``resize`` are the
-#: per-pod scheduling decisions; ``sleep``/``wake`` are the power ones.
-KINDS = ("bind", "reject", "resize", "sleep", "wake")
+#: per-pod scheduling decisions; ``sleep``/``wake`` are the power ones;
+#: ``violation`` records a runtime-sanitizer invariant breach
+#: (:mod:`repro.analysis.sanitizer`).
+KINDS = ("bind", "reject", "resize", "sleep", "wake", "violation")
 
 
 @dataclass(frozen=True)
@@ -155,6 +157,10 @@ class DecisionAuditLog:
         for r in self.records:
             out[r.kind] = out.get(r.kind, 0) + 1
         return out
+
+    def violations(self) -> list[DecisionRecord]:
+        """Sanitizer invariant breaches recorded into this log."""
+        return self.of_kind("violation")
 
     def forecast_admits(self) -> list[DecisionRecord]:
         """Binds that went through PP's ARIMA branch (carry a forecast)."""

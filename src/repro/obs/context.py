@@ -21,9 +21,9 @@ __all__ = ["Observability", "NOOP"]
 
 
 class Observability:
-    """Tracer + metrics + audit log sharing one simulation clock."""
+    """Tracer + metrics + audit log (+ sanitizer) sharing one sim clock."""
 
-    __slots__ = ("clock", "tracer", "metrics", "audit", "enabled")
+    __slots__ = ("clock", "tracer", "metrics", "audit", "sanitizer", "enabled")
 
     def __init__(
         self,
@@ -31,12 +31,25 @@ class Observability:
         metrics: bool = True,
         audit: bool = True,
         clock: SimClock | None = None,
+        sanitize: bool = False,
+        halt_on_violation: bool = True,
     ) -> None:
         self.clock = clock or SimClock()
         self.tracer = Tracer(self.clock) if trace else NullTracer(self.clock)
         self.metrics = MetricsRegistry() if metrics else NullMetricsRegistry()
-        self.audit = DecisionAuditLog(self.clock) if audit else NullAuditLog(self.clock)
-        self.enabled = bool(trace or metrics or audit)
+        # Sanitizer violations must land somewhere visible, so sanitizing
+        # always brings a real audit log along.
+        use_audit = bool(audit or sanitize)
+        self.audit = DecisionAuditLog(self.clock) if use_audit else NullAuditLog(self.clock)
+        if sanitize:
+            from repro.analysis.sanitizer import Sanitizer
+
+            self.sanitizer: "Sanitizer | None" = Sanitizer(
+                audit=self.audit, clock=self.clock, halt=halt_on_violation
+            )
+        else:
+            self.sanitizer = None
+        self.enabled = bool(trace or metrics or use_audit)
 
     @classmethod
     def disabled(cls) -> "Observability":

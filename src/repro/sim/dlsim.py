@@ -40,6 +40,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.obs.context import NOOP, Observability
+from repro.units import s_to_ms
 from repro.workloads.dlt import DLJob, DLJobKind
 
 __all__ = [
@@ -526,6 +527,7 @@ class DLClusterSimulator:
         self.jobs = sorted(jobs, key=lambda j: j.arrival_s)
         self.policy = policy
         self.obs = obs or NOOP
+        self._san = self.obs.sanitizer
         self._m_submitted = self.obs.metrics.counter(
             "dl_jobs_submitted_total", "DL jobs submitted", labelnames=("policy", "kind")
         )
@@ -562,6 +564,11 @@ class DLClusterSimulator:
             if not t_candidates:
                 break
             t_next = min(t_candidates)
+            san = self._san
+            if san is not None:
+                self.obs.clock.now = s_to_ms(now)   # stamp violations in ms
+                san.check_dl_time(now, t_next)
+                san.check_dl_pool(self.pool.load, self.pool.dli)
             if t_next > self.max_horizon_s:
                 break
             dt = max(t_next - now, 0.0)
@@ -580,13 +587,13 @@ class DLClusterSimulator:
                 if self.obs.enabled:
                     # The DL loop runs in seconds; trace timestamps stay
                     # in the package-wide millisecond convention.
-                    self.obs.clock.now = now * 1_000.0
+                    self.obs.clock.now = s_to_ms(now)
                     self._m_completed.inc(policy=policy.name, kind=state.job.kind.value)
                     tracer = self.obs.tracer
                     if tracer.enabled:
                         tracer.async_end(
                             f"dljob:{state.job.kind.value}", f"{policy.name}/{state.job.job_id}",
-                            cat=policy.name, ts=now * 1_000.0,
+                            cat=policy.name, ts=s_to_ms(now),
                         )
 
             # arrivals
@@ -595,7 +602,7 @@ class DLClusterSimulator:
                 next_arrival_idx += 1
                 policy.submit(_RunState(job=job, gpus=[], remaining_s=job.service_s), now)
                 if self.obs.enabled:
-                    self.obs.clock.now = now * 1_000.0
+                    self.obs.clock.now = s_to_ms(now)
                     self._m_submitted.inc(policy=policy.name, kind=job.kind.value)
                     tracer = self.obs.tracer
                     if tracer.enabled:
@@ -603,7 +610,7 @@ class DLClusterSimulator:
                             f"dljob:{job.kind.value}", f"{policy.name}/{job.job_id}",
                             cat=policy.name,
                             args={"num_gpus": job.num_gpus, "service_s": job.service_s},
-                            ts=now * 1_000.0,
+                            ts=s_to_ms(now),
                         )
 
             # policy timer

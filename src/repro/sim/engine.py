@@ -15,6 +15,12 @@ fired event then advances the shared sim clock, bumps the
 ``engine_events_fired_total`` counter and (when tracing) emits a span
 named after the callback.  With the default disabled bundle the only
 overhead is one boolean check per event.
+
+When the bundle carries a runtime sanitizer
+(``Observability(sanitize=True)``), the loop additionally checks that
+no event is scheduled behind the clock, that fired events never move
+time backwards, and — every ``heap_audit_interval`` events — that the
+O(1) live-event counter agrees with a full heap census.
 """
 
 from __future__ import annotations
@@ -97,6 +103,8 @@ class EventLoop:
         # O(1) instead of an O(n) heap scan.
         self._pending = 0
         self.obs = obs or NOOP
+        self._san = self.obs.sanitizer
+        self._fired_total = 0
         self._m_fired = self.obs.metrics.counter(
             "engine_events_fired_total", "Events fired by the discrete-event loop"
         )
@@ -113,12 +121,17 @@ class EventLoop:
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` time units from now."""
         if delay < 0:
+            if self._san is not None:
+                self._san.check_schedule(self._now, self._now + delay)
             raise SimulationError(f"cannot schedule event {delay} units in the past")
         return self.schedule_at(self._now + delay, callback, *args)
 
     def schedule_at(self, when: float, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to run at absolute time ``when``."""
         if when < self._now:
+            if self._san is not None:
+                # Audits the breach and (by default) raises SanitizerError.
+                self._san.check_schedule(self._now, when)
             raise SimulationError(
                 f"cannot schedule event at t={when} before current time t={self._now}"
             )
@@ -136,9 +149,17 @@ class EventLoop:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue          # already uncounted at cancel time
+            san = self._san
+            if san is not None:
+                san.check_event_time(self._now, event.time)
             self._now = event.time
             event.fired = True
             self._pending -= 1
+            if san is not None:
+                self._fired_total += 1
+                if self._fired_total % san.heap_audit_interval == 0:
+                    live = sum(1 for e in self._heap if not e.cancelled)
+                    san.check_heap(self._pending, live)
             obs = self.obs
             if obs.enabled:
                 obs.clock.now = event.time

@@ -22,6 +22,7 @@ from repro.kube.api import EventType
 from repro.kube.kubelet import KubeletConfig
 from repro.kube.pod import Pod
 from repro.obs.context import NOOP, Observability
+from repro.units import ms_to_s
 from repro.workloads.appmix import WorkloadItem
 from repro.workloads.base import QoSClass
 
@@ -221,7 +222,7 @@ class KubeKnotsSimulator:
             # A sleeping device's last arbitrate() saw no demands and the
             # sleep flag, so its sample power already reflects p_state 12.
             power = s.power_w if s.num_containers or not gpu.asleep else gpu.power_model.sleep_watts
-            self._energy_j[gpu.gpu_id] += power * dt_ms / 1_000.0
+            self._energy_j[gpu.gpu_id] += power * ms_to_s(dt_ms)
             self._util_hist[gpu.gpu_id].append(s.sm_util)
             self._mem_hist[gpu.gpu_id].append(s.mem_util)
             if tracing:

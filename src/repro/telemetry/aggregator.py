@@ -79,6 +79,7 @@ class UtilizationAggregator:
             raise ValueError("aggregator needs at least one node monitor")
         self._monitors = {m.node.node_id: m for m in monitors}
         obs = obs or NOOP
+        self._san = obs.sanitizer
         self._m_queries = obs.metrics.counter(
             "aggregator_queries_total", "Windowed telemetry queries served", labelnames=("metric",)
         )
@@ -131,6 +132,9 @@ class UtilizationAggregator:
                         failed=gpu.failed,
                     )
                 )
+        if self._san is not None:
+            for view in views:
+                self._san.check_view(view)
         return views
 
     def active_views(self) -> list[GpuView]:

@@ -1,0 +1,27 @@
+"""Time-unit conversion helpers for the ms/s package boundary.
+
+The discrete-event engine and the cluster simulator keep time in
+**milliseconds**; the DL-cluster simulator (:mod:`repro.sim.dlsim`)
+keeps it in **seconds**, matching the Tiresias simulator it replaces.
+Crossing that boundary must be explicit: either multiply/divide by
+``1_000.0`` in place, or call these helpers.  The KK002 lint rule
+(:mod:`repro.analysis.lint.rules`) recognises both spellings and flags
+every other crossing.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MS_PER_S", "s_to_ms", "ms_to_s"]
+
+#: Milliseconds per second — the only scale factor at the boundary.
+MS_PER_S = 1_000.0
+
+
+def s_to_ms(seconds: float) -> float:
+    """Seconds -> milliseconds (the engine/tracer convention)."""
+    return seconds * MS_PER_S
+
+
+def ms_to_s(millis: float) -> float:
+    """Milliseconds -> seconds (the DL-simulator convention)."""
+    return millis / MS_PER_S

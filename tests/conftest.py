@@ -9,6 +9,7 @@ from repro.cluster.cluster import Cluster, make_paper_cluster
 from repro.core.orchestrator import KubeKnots
 from repro.core.schedulers import make_scheduler
 from repro.kube.pod import PodSpec
+from repro.obs.context import Observability
 from repro.workloads.base import Phase, QoSClass, ResourceDemand, WorkloadTrace
 
 
@@ -21,6 +22,12 @@ def rng() -> np.random.Generator:
 def small_cluster() -> Cluster:
     """Three single-P100 worker nodes."""
     return make_paper_cluster(num_nodes=3)
+
+
+@pytest.fixture
+def sanitized_obs() -> Observability:
+    """An observability bundle with the runtime sanitizer armed (halting)."""
+    return Observability(trace=False, metrics=False, audit=True, sanitize=True)
 
 
 def make_trace(

@@ -1,0 +1,9 @@
+"""KK002 fixture: seconds flowing into millisecond slots unconverted."""
+
+
+def start(engine, job, deadline_ms, duration_s):
+    engine.run(until_ms=duration_s)            # kw boundary crossing
+    budget_ms = duration_s                     # assignment crossing
+    elapsed = deadline_ms - duration_s         # mixed arithmetic
+    late = deadline_ms < duration_s            # mixed comparison
+    return budget_ms, elapsed, late

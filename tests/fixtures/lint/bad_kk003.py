@@ -1,0 +1,11 @@
+"""KK003 fixture: handlers rewriting the past or shared telemetry."""
+
+
+def handler(loop, knots, gpu_id, now):
+    loop.schedule(-5.0, handler)                  # negative delay
+    loop.schedule_at(loop.now - 10.0, handler)    # behind the clock
+    window = knots.memory_window(gpu_id, now)
+    window.values[0] = 0.0                        # mutates the TSDB view
+    window.values.sort()                          # in-place mutator
+    stats = knots.query(gpu_id, now)
+    stats["mem_util"].values[1] = 1.0             # dict-of-windows variant

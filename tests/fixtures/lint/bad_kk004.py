@@ -1,0 +1,14 @@
+"""KK004 fixture: accidental shared mutable state in public APIs."""
+
+from dataclasses import dataclass
+
+
+def submit(pods, queue=[], index={}):     # mutable defaults
+    queue.extend(pods)
+    return queue, index
+
+
+@dataclass
+class RetryConfig:        # not frozen
+    attempts: int = 3
+    backoff_ms: float = 100.0

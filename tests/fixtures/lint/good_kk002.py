@@ -1,0 +1,11 @@
+"""KK002 fixture: explicit conversions the rule must allow."""
+
+from repro.units import ms_to_s, s_to_ms
+
+
+def start(engine, job, deadline_ms, duration_s):
+    engine.run(until_ms=duration_s * 1_000.0)     # inline conversion
+    budget_ms = s_to_ms(duration_s)               # helper conversion
+    elapsed_s = ms_to_s(deadline_ms) - duration_s
+    late = deadline_ms < s_to_ms(duration_s)
+    return budget_ms, elapsed_s, late

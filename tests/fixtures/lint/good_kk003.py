@@ -1,0 +1,11 @@
+"""KK003 fixture: forward scheduling and copy-before-modify."""
+
+
+def handler(loop, knots, gpu_id, now):
+    loop.schedule(5.0, handler)
+    loop.schedule_at(loop.now + 10.0, handler)
+    window = knots.memory_window(gpu_id, now)
+    values = window.values.copy()     # private copy is fair game
+    values[0] = 0.0
+    values.sort()
+    return values

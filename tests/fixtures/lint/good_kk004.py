@@ -1,0 +1,20 @@
+"""KK004 fixture: the None-default and frozen-config spellings."""
+
+from dataclasses import dataclass
+
+
+def submit(pods, queue=None, index=None):
+    queue = [] if queue is None else queue
+    index = {} if index is None else index
+    queue.extend(pods)
+    return queue, index
+
+
+def _internal(scratch=[]):    # private helpers are out of scope
+    return scratch
+
+
+@dataclass(frozen=True)
+class RetryConfig:
+    attempts: int = 3
+    backoff_ms: float = 100.0

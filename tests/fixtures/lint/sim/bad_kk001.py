@@ -1,0 +1,17 @@
+"""KK001 fixture: every nondeterminism source the rule must catch."""
+
+import datetime
+import random
+import time
+
+import numpy as np
+from random import randint  # noqa: F401  (flagged at the import)
+
+
+def handler(event):
+    started = time.time()
+    stamp = datetime.datetime.now()
+    jitter = random.random()
+    noise = np.random.rand(4)
+    choice = random.choice([1, 2, 3])
+    return started, stamp, jitter, noise, choice

@@ -1,0 +1,12 @@
+"""KK001 fixture: the seeded/sim-clock spellings the rule must allow."""
+
+import random
+
+import numpy as np
+
+
+def handler(event, loop, seed):
+    now = loop.now                      # sim time, not wall time
+    rng = np.random.default_rng(seed)   # seeded generator
+    r = random.Random(seed)             # seeded instance
+    return now, rng.random(), r.random()

@@ -1,0 +1,16 @@
+"""Suppression fixture: every finding silenced with the pragma."""
+
+from dataclasses import dataclass
+
+
+def submit(pods, queue=[]):  # kk: disable=KK004
+    return queue
+
+
+def start(engine, duration_s):
+    engine.run(until_ms=duration_s)  # kk: disable=all
+
+
+@dataclass
+class LooseConfig:  # kk: disable=KK004
+    knob: int = 1

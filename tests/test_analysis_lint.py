@@ -1,0 +1,156 @@
+"""Tests for the static lint pass (repro.analysis.lint).
+
+The fixture corpus under ``tests/fixtures/lint/`` holds one bad/good
+pair per rule; its directory layout mirrors the package layout so that
+path-scoped rules (KK001) see fixture files the same way they see
+``src/repro/sim/...``.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import all_rules, lint_paths, lint_source, main
+from repro.analysis.lint.framework import DOCS_URL, FileContext
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+
+BAD_FIXTURES = {
+    "KK001": FIXTURES / "sim" / "bad_kk001.py",
+    "KK002": FIXTURES / "bad_kk002.py",
+    "KK003": FIXTURES / "bad_kk003.py",
+    "KK004": FIXTURES / "bad_kk004.py",
+}
+GOOD_FIXTURES = {
+    "KK001": FIXTURES / "sim" / "good_kk001.py",
+    "KK002": FIXTURES / "good_kk002.py",
+    "KK003": FIXTURES / "good_kk003.py",
+    "KK004": FIXTURES / "good_kk004.py",
+}
+
+
+def lint_fixture(path: Path, select=None):
+    return lint_source(path.read_text(), str(path), select=select)
+
+
+class TestFixtureCorpus:
+    @pytest.mark.parametrize("rule_id", sorted(BAD_FIXTURES))
+    def test_bad_fixture_fires_its_rule(self, rule_id):
+        findings = lint_fixture(BAD_FIXTURES[rule_id])
+        assert findings, f"{rule_id} bad fixture produced no findings"
+        assert {f.rule_id for f in findings} == {rule_id}
+
+    @pytest.mark.parametrize("rule_id", sorted(GOOD_FIXTURES))
+    def test_good_fixture_is_clean(self, rule_id):
+        assert lint_fixture(GOOD_FIXTURES[rule_id]) == []
+
+    def test_bad_kk001_catches_every_nondeterminism_source(self):
+        messages = " ".join(f.message for f in lint_fixture(BAD_FIXTURES["KK001"]))
+        for source in ("time.time", "datetime.now", "random.random",
+                       "np.random.rand", "random.choice", "from random import"):
+            assert source in messages
+
+    def test_bad_kk002_catches_all_four_boundary_shapes(self):
+        findings = lint_fixture(BAD_FIXTURES["KK002"])
+        assert len(findings) == 4  # kwarg, assignment, arithmetic, comparison
+
+    def test_bad_kk003_catches_scheduling_and_window_mutation(self):
+        messages = [f.message for f in lint_fixture(BAD_FIXTURES["KK003"])]
+        assert len(messages) == 5
+        assert any("negative delay" in m for m in messages)
+        assert any("schedule_at" in m for m in messages)
+        assert sum("SeriesWindow" in m for m in messages) == 3
+
+    def test_bad_kk004_catches_defaults_and_unfrozen_config(self):
+        findings = lint_fixture(BAD_FIXTURES["KK004"])
+        assert len(findings) == 3  # two mutable defaults + one unfrozen Config
+
+    def test_suppression_pragma_silences_findings(self):
+        path = FIXTURES / "suppressed.py"
+        assert lint_fixture(path) == []
+        # The same code without the pragmas is not clean.
+        stripped = "\n".join(
+            line.split("#")[0].rstrip() for line in path.read_text().splitlines()
+        )
+        assert lint_source(stripped, str(path))
+
+
+class TestScoping:
+    """KK001 only applies inside simulation-critical packages."""
+
+    WALLCLOCK = "import time\n\ndef f():\n    return time.time()\n"
+
+    def test_fires_under_sim_path(self):
+        findings = lint_source(self.WALLCLOCK, "src/repro/sim/whatever.py")
+        assert [f.rule_id for f in findings] == ["KK001"]
+
+    def test_silent_outside_critical_packages(self):
+        assert lint_source(self.WALLCLOCK, "src/repro/plots/whatever.py") == []
+        assert lint_source(self.WALLCLOCK, "experiments/fig9.py") == []
+
+    def test_in_package_matches_components_not_substrings(self):
+        ctx = FileContext.parse("x = 1\n", "src/repro/simulation_notes/a.py")
+        assert not ctx.in_package({"sim"})
+
+
+class TestFrameworkBehaviour:
+    def test_syntax_error_becomes_kk000_finding(self):
+        findings = lint_source("def broken(:\n", "x.py")
+        assert [f.rule_id for f in findings] == ["KK000"]
+        assert "syntax error" in findings[0].message
+
+    def test_select_restricts_rules(self):
+        findings = lint_fixture(BAD_FIXTURES["KK003"], select=["KK004"])
+        assert findings == []
+
+    def test_unknown_select_raises(self):
+        with pytest.raises(KeyError):
+            lint_paths([str(FIXTURES)], select=["KK999"])
+
+    def test_finding_render_carries_id_location_and_docs_link(self):
+        finding = lint_fixture(BAD_FIXTURES["KK004"])[0]
+        rendered = finding.render()
+        assert "bad_kk004.py" in rendered
+        assert "KK004" in rendered
+        assert f"{DOCS_URL}#kk004" in rendered
+        assert f":{finding.line}:" in rendered
+
+    def test_catalog_registers_the_four_rules(self):
+        assert [r.id for r in all_rules()] == ["KK001", "KK002", "KK003", "KK004"]
+
+
+class TestRepoIsClean:
+    def test_src_repro_has_no_findings(self):
+        repo = Path(__file__).parent.parent
+        assert lint_paths([str(repo / "src" / "repro")]) == []
+
+
+class TestCliEntryPoint:
+    @pytest.mark.parametrize("rule_id", sorted(BAD_FIXTURES))
+    def test_nonzero_on_each_bad_fixture(self, rule_id):
+        out = io.StringIO()
+        assert main([str(BAD_FIXTURES[rule_id])], out=out) == 1
+        assert rule_id in out.getvalue()
+
+    def test_zero_on_good_fixtures(self):
+        out = io.StringIO()
+        code = main([str(p) for p in GOOD_FIXTURES.values()], out=out)
+        assert code == 0
+        assert "0 findings" in out.getvalue()
+
+    def test_usage_error_on_no_paths_and_no_files(self, tmp_path):
+        assert main([], out=io.StringIO()) == 2
+        assert main([str(tmp_path)], out=io.StringIO()) == 2
+
+    def test_usage_error_on_bad_select(self):
+        assert main([str(FIXTURES)], select=["NOPE"], out=io.StringIO()) == 2
+
+    def test_list_rules(self):
+        out = io.StringIO()
+        assert main([], list_rules=True, out=out) == 0
+        text = out.getvalue()
+        for rule_id in ("KK001", "KK002", "KK003", "KK004"):
+            assert rule_id in text
