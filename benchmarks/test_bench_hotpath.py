@@ -1,0 +1,80 @@
+"""Hot-path micro-benchmarks under pytest-benchmark.
+
+The ``python -m repro bench`` harness is the tracked before/after
+suite (it emits ``BENCH_hotpath.json``); these benches put the same
+inner loops under pytest-benchmark so ``pytest benchmarks/
+--benchmark-only`` tracks them alongside the figure regenerations —
+and they double as shape assertions on the harness output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.hotpath import bench_ar1, bench_correlation_matrix, bench_tsdb_query
+from repro.forecast.arima import Ar1Cache, fit_ar1
+from repro.forecast.correlation import correlation_matrix
+from repro.telemetry.tsdb import TimeSeriesDB
+
+
+def test_tsdb_query_bench(benchmark):
+    db = TimeSeriesDB(capacity=4_096)
+    for i in range(5_000):
+        db.write("gpu0.mem_util", i * 0.01, (i % 89) / 89.0)
+    now = 4_999 * 0.01
+
+    window = benchmark(db.last_window, "gpu0.mem_util", 5.0, now)
+    assert len(window) == 501
+    assert not window.values.flags.writeable
+
+    # Harness cross-check: the fast path must beat the legacy path.
+    report = bench_tsdb_query(quick=True)
+    assert report["speedup"] > 1.0
+
+
+def test_correlation_matrix_bench(benchmark):
+    rng = np.random.default_rng(3)
+    series = {f"s{i:02d}": rng.random(64) for i in range(48)}
+
+    names, mat = benchmark(correlation_matrix, series)
+    assert len(names) == 48 and mat.shape == (48, 48)
+    assert np.allclose(np.diag(mat), 1.0)
+
+
+def test_correlation_matrix_harness_speedup():
+    report = bench_correlation_matrix(quick=True)
+    assert report["speedup"] > 3.0
+
+
+def test_ar1_incremental_bench(benchmark):
+    rng = np.random.default_rng(5)
+    n = 2_000
+    values = rng.random(n)
+    times = np.arange(n) * 0.01
+
+    def slide_fit():
+        cache = Ar1Cache()
+        model = None
+        for i in range(n - 500):
+            model = cache.fit("g", times[i : i + 500], values[i : i + 500])
+        return cache, model
+
+    cache, model = benchmark.pedantic(slide_fit, rounds=1, iterations=1)
+    assert cache.slides > 0
+    assert abs(model.phi) <= 1.0
+
+
+def test_ar1_harness_equivalence_and_speedup():
+    report = bench_ar1(quick=True)
+    assert report["speedup"] > 1.0
+    # Spot-check model equivalence on the bench's own signal shape.
+    rng = np.random.default_rng(11)
+    values = np.clip(rng.normal(0.5, 0.2, 800), 0.0, 1.0)
+    times = np.arange(800) * 0.01
+    cache = Ar1Cache()
+    for i in range(300):
+        incremental = cache.fit("g", times[i : i + 500], values[i : i + 500])
+        batch = fit_ar1(values[i : i + 500])
+        assert incremental.phi == pytest.approx(batch.phi, abs=1e-9)
+        assert incremental.mu == pytest.approx(batch.mu, abs=1e-9)

@@ -1,0 +1,11 @@
+"""Hot-path benchmark harness (``python -m repro bench``).
+
+Micro and meso benchmarks over the telemetry -> forecast -> scheduler
+pipeline, with before/after measurements where a legacy reference
+implementation is retained.  Results are written as
+``BENCH_hotpath.json`` and tracked in CI as a regression gate.
+"""
+
+from repro.bench.hotpath import run_benchmarks
+
+__all__ = ["run_benchmarks"]

@@ -15,6 +15,11 @@ The subcommands cover the workflows a user reaches for first:
 ``lint``
     Run the Kube-Knots static lint rules (KK001–KK004) over source
     paths; the CI gate is ``python -m repro lint src``.
+``bench``
+    Run the hot-path benchmark suite (TSDB windowed queries, the
+    correlation matrix, AR(1) fits, CBP/PP scheduler passes) and
+    optionally write/compare ``BENCH_hotpath.json``; the CI gate is
+    ``python -m repro bench --quick --json ... --baseline ...``.
 ``list``
     Enumerate available experiments, schedulers, mixes and policies.
 
@@ -301,6 +306,39 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(args.paths, select=args.select, list_rules=args.list_rules)
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.hotpath import (
+        check_regression,
+        format_report,
+        load_json,
+        run_benchmarks,
+        save_json,
+    )
+
+    try:
+        payload = run_benchmarks(quick=args.quick, only=args.only)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(format_report(payload))
+    if args.json:
+        save_json(payload, args.json)
+        print(f"benchmarks -> {args.json}")
+    if args.baseline:
+        try:
+            baseline = load_json(args.baseline)
+        except OSError as exc:
+            print(f"cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
+            return 2
+        failures = check_regression(payload, baseline, args.max_regression)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 4
+        print(f"regression gate: ok (<= {args.max_regression:.1f}x of {args.baseline})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -369,6 +407,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--list-rules", action="store_true", dest="list_rules",
                         help="print the rule catalog and exit")
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_bench = sub.add_parser("bench", help="run the hot-path benchmark suite")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="reduced iteration counts (the CI smoke configuration)")
+    p_bench.add_argument("--json", default=None, metavar="PATH",
+                         help="write results as JSON (e.g. BENCH_hotpath.json)")
+    p_bench.add_argument("--baseline", default=None, metavar="PATH",
+                         help="compare scheduler-pass benchmarks against a committed "
+                              "baseline JSON; exit 4 on regression")
+    p_bench.add_argument("--max-regression", type=float, default=2.0,
+                         dest="max_regression", metavar="RATIO",
+                         help="fail when a gated benchmark exceeds RATIO x baseline "
+                              "(default: 2.0)")
+    p_bench.add_argument("--only", nargs="+", default=None, metavar="NAME",
+                         help="run only these benchmarks")
+    p_bench.set_defaults(func=_cmd_bench)
 
     return parser
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.forecast.correlation import rank_with_ties
 from repro.workloads.base import WorkloadTrace
 
 __all__ = ["ImageProfile", "ProfileStore", "PROFILE_SERIES_POINTS"]
@@ -53,6 +54,11 @@ class ImageProfile:
     mean_runtime_ms: float = 0.0
     # Pooled percentile inputs.
     _mem_samples: list[np.ndarray] = field(default_factory=list)
+    # Rank cache for the correlation hot path, keyed on `observations`
+    # (the profile's version: mem_series is replaced on every update).
+    _rank_cache: tuple[int, np.ndarray, bool] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def update(self, sampled: dict[str, np.ndarray], runtime_ms: float = 0.0) -> None:
         """Fold one completed run's sampled series into the profile."""
@@ -66,6 +72,22 @@ class ImageProfile:
         self._mem_samples.append(np.asarray(sampled["mem_mb"], dtype=float))
         if len(self._mem_samples) > 32:       # bound memory
             self._mem_samples.pop(0)
+
+    def correlation_ranks(self) -> tuple[np.ndarray, bool]:
+        """(average ranks of ``mem_series``, tie flag), ranked once.
+
+        CBP's admission gate Spearman-correlates this profile against
+        every resident of every candidate device; caching the ranks per
+        profile version makes each comparison a dot product instead of
+        a re-ranking.  The cached vector is read-only — it is shared by
+        every consumer.
+        """
+        cache = self._rank_cache
+        if cache is None or cache[0] != self.observations:
+            ranks, ties = rank_with_ties(self.mem_series)
+            ranks.flags.writeable = False
+            cache = self._rank_cache = (self.observations, ranks, ties)
+        return cache[1], cache[2]
 
     # -- the statistics CBP provisions with ---------------------------------
 
@@ -126,3 +148,23 @@ class ProfileStore:
         if profile is None or profile.observations == 0:
             return None
         return profile.mem_series
+
+    def correlation_ranks(self, image: str) -> tuple[np.ndarray, bool] | None:
+        """Cached (ranks, tie flag) of ``image``'s correlation series.
+
+        ``None`` under exactly the conditions :meth:`correlation_series`
+        returns ``None`` — no profile or no observations yet.
+        """
+        profile = self._profiles.get(image)
+        if profile is None or profile.observations == 0:
+            return None
+        return profile.correlation_ranks()
+
+    def version(self, image: str) -> int:
+        """Profile version (observation count; 0 if unknown image).
+
+        Keys cross-pass memoization: a (candidate, resident) rho is
+        valid as long as both profiles' versions are unchanged.
+        """
+        profile = self._profiles.get(image)
+        return 0 if profile is None else profile.observations

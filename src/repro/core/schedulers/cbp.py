@@ -43,7 +43,7 @@ from repro.core.schedulers.base import (
     Scheduler,
     SchedulingContext,
 )
-from repro.forecast.correlation import spearman
+from repro.forecast.correlation import spearman_from_ranks
 from repro.kube.pod import Pod
 from repro.workloads.base import QoSClass
 
@@ -96,12 +96,23 @@ class CBPScheduler(Scheduler):
         #: Only populated while the decision audit log is enabled.
         self._last_correlations: dict[str, float] | None = None
         self._auditing = False
+        #: Pass-scoped admission-rho memo: (candidate image, resident
+        #: image, candidate profile version, resident profile version)
+        #: -> rho (or None for an unprofiled resident).  Profiles only
+        #: change between passes, so k residents cost k dict lookups
+        #: after the first evaluation instead of k re-rankings.
+        self._rho_memo: dict[tuple[str, str, int, int], float | None] = {}
 
     # -- pass ---------------------------------------------------------------
 
+    def _begin_pass(self) -> None:
+        """Reset pass-scoped state (audit flag, admission-rho memo)."""
+        self._auditing = self.obs.audit.enabled
+        self._rho_memo.clear()
+
     def schedule(self, ctx: SchedulingContext) -> list[Action]:
         actions: list[Action] = []
-        self._auditing = self.obs.audit.enabled
+        self._begin_pass()
         views = ctx.knots.all_gpus_by_free_memory()
         state = PassState.from_views(views, ctx.residents_on)
         self._load_pressure(ctx, state)
@@ -402,7 +413,7 @@ class CBPScheduler(Scheduler):
         self._last_correlations = None
         if max(alloc, peak) < self.corr_gate_min_mb:
             return True
-        candidate = ctx.knots.profiles.correlation_series(pod.spec.image)
+        candidate = ctx.knots.profiles.correlation_ranks(pod.spec.image)
         if candidate is None:
             # First pod of an image: no signal.  It carries its full
             # request as reservation, so co-location is already safe
@@ -413,10 +424,9 @@ class CBPScheduler(Scheduler):
         # ρ per resident image, captured for the decision audit trail.
         correlations: dict[str, float] | None = {} if self._auditing else None
         for image in resident_images:
-            series = ctx.knots.profiles.correlation_series(image)
-            if series is None:
+            rho = self._admission_rho(ctx, pod.spec.image, candidate, image)
+            if rho is None:
                 continue
-            rho = spearman(candidate, series)
             if correlations is not None:
                 correlations[image] = round(float(rho), 4)
             if rho >= self.correlation_threshold:
@@ -424,3 +434,38 @@ class CBPScheduler(Scheduler):
                 return False
         self._last_correlations = correlations
         return True
+
+    def _admission_rho(
+        self,
+        ctx: SchedulingContext,
+        cand_image: str,
+        candidate: tuple[np.ndarray, bool],
+        res_image: str,
+    ) -> float | None:
+        """Memoized Spearman rho between two image profiles.
+
+        ``None`` means the resident image has no profile yet (no
+        correlation signal — the original gate skipped it).  Ranks come
+        pre-computed from the profile store, so a memo miss is one dot
+        product, and every further resident of the same image this pass
+        is a dictionary lookup.
+        """
+        profiles = ctx.knots.profiles
+        key = (
+            cand_image,
+            res_image,
+            profiles.version(cand_image),
+            profiles.version(res_image),
+        )
+        memo = self._rho_memo
+        if key in memo:
+            return memo[key]
+        resident = profiles.correlation_ranks(res_image)
+        if resident is None:
+            memo[key] = None
+            return None
+        cand_ranks, cand_ties = candidate
+        res_ranks, res_ties = resident
+        rho = spearman_from_ranks(cand_ranks, res_ranks, cand_ties or res_ties)
+        memo[key] = rho
+        return rho

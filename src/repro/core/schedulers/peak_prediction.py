@@ -37,7 +37,7 @@ from repro.core.schedulers.base import (
     Wake,
 )
 from repro.core.schedulers.cbp import CBPScheduler
-from repro.forecast.arima import forecast_series
+from repro.forecast.arima import Ar1Cache
 from repro.forecast.autocorr import autocorrelation
 from repro.kube.pod import Pod
 from repro.workloads.base import QoSClass
@@ -71,6 +71,9 @@ class PeakPredictionScheduler(CBPScheduler):
         self._forecast_misses = 0
         #: Evidence from the last forecast evaluation (audit-only).
         self._last_forecast: dict | None = None
+        #: Incremental AR(1) sufficient statistics per device series:
+        #: the per-heartbeat Eq. 3 fit is O(points slid), not O(window).
+        self._ar1 = Ar1Cache()
 
     def _candidate_gpus(
         self, pod: Pod, state: PassState, lc_ceiling: float | None = None
@@ -89,7 +92,7 @@ class PeakPredictionScheduler(CBPScheduler):
 
     def schedule(self, ctx: SchedulingContext) -> list[Action]:
         actions: list[Action] = []
-        self._auditing = self.obs.audit.enabled
+        self._begin_pass()
         active = ctx.knots.active_gpus_by_free_memory()
         state = PassState.from_views(active, ctx.residents_on)
         self._load_pressure(ctx, state)
@@ -231,6 +234,20 @@ class PeakPredictionScheduler(CBPScheduler):
                 attempts.append(entry)
         return False
 
+    def _forecast_util(self, gpu_id: str, window) -> float:
+        """Eq. 3 forecast of a device's memory utilization, clipped to [0, 1].
+
+        Fitting goes through the incremental :class:`Ar1Cache`: per
+        heartbeat the device's sliding window gains one point and loses
+        at most a few, so the steady-state fit updates rolling
+        sufficient statistics instead of re-reducing the whole window
+        (with the exact batch fit as the cache-miss fallback).
+        """
+        model = self._ar1.fit(gpu_id, window.times, window.values)
+        pred = model.forecast(float(window.values[-1]), self.forecast_steps)
+        np.clip(pred, 0.0, 1.0, out=pred)
+        return float(pred[-1])
+
     def _forecast_admit(self, ctx: SchedulingContext, gpu_id: str, alloc: float, cap_mb: float) -> bool:
         """The ARIMA branch: admit if predicted free memory covers ``alloc``."""
         window = ctx.knots.memory_window(gpu_id, ctx.now)
@@ -243,7 +260,7 @@ class PeakPredictionScheduler(CBPScheduler):
             if self._auditing:
                 self._last_forecast = {"reason": "no-trend", "admitted": False}
             return False          # trend not strong enough to predict
-        pred_util = forecast_series(values, steps=self.forecast_steps, clip=(0.0, 1.0))[-1]
+        pred_util = self._forecast_util(gpu_id, window)
         pred_free_mb = (1.0 - float(pred_util)) * cap_mb
         admitted = pred_free_mb >= alloc * self.forecast_safety
         if self._auditing:
@@ -274,7 +291,7 @@ class PeakPredictionScheduler(CBPScheduler):
         if len(window) < 3:
             return {"reason": "short-window"}
         values = np.asarray(window.values)
-        pred_util = forecast_series(values, steps=self.forecast_steps, clip=(0.0, 1.0))[-1]
+        pred_util = self._forecast_util(gpu_id, window)
         return {
             "predicted_peak_util": round(float(pred_util), 4),
             "predicted_free_mb": round((1.0 - float(pred_util)) * cap_mb, 1),

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Arima1", "fit_ar1", "fit_ar1_at_lag", "forecast_series"]
+__all__ = ["Arima1", "fit_ar1", "fit_ar1_at_lag", "forecast_series", "Ar1Cache"]
 
 
 @dataclass(frozen=True)
@@ -93,6 +93,166 @@ def fit_ar1_at_lag(window: np.ndarray, lag: int) -> Arima1:
     phi = float(np.clip(phi, -1.0, 1.0))
     mu = float(x_next.mean() - phi * x_prev.mean())
     return Arima1(mu=mu, phi=phi, n_obs=n)
+
+
+def fit_ar1_from_stats(
+    n: int, s1: float, s2: float, c: float, first: float, last: float
+) -> Arima1:
+    """Eq. 3 fit from sufficient statistics of a window ``y`` of length ``n``.
+
+    ``s1 = sum(y)``, ``s2 = sum(y**2)``, ``c = sum(y[1:] * y[:-1])``,
+    ``first = y[0]``, ``last = y[-1]``.  The lag-1 pairs' moments all
+    derive from these: ``sum(y[:-1]) = s1 - last``,
+    ``sum(y[:-1]**2) = s2 - last**2``, ``sum(y[1:]) = s1 - first``.
+
+    Degenerate handling mirrors :func:`fit_ar1`: fewer than 3 points or
+    a (near-)constant lag series produce a persistence forecast.  The
+    arithmetic differs from the batch path only in summation order, so
+    results agree to ~1e-12 on utilization-scale data (the equivalence
+    the property tests assert at 1e-9).
+    """
+    if n == 0:
+        return Arima1(mu=0.0, phi=0.0, n_obs=0)
+    if n < 3:
+        return Arima1(mu=s1 / n, phi=0.0, n_obs=n)
+    m = n - 1
+    mean_prev = (s1 - last) / m
+    mean_next = (s1 - first) / m
+    var = (s2 - last * last) / m - mean_prev * mean_prev
+    if var <= 1e-12:
+        return Arima1(mu=mean_next, phi=0.0, n_obs=n)
+    cov = c / m - mean_prev * mean_next
+    phi = float(np.clip(cov / var, -1.0, 1.0))
+    mu = mean_next - phi * mean_prev
+    return Arima1(mu=mu, phi=phi, n_obs=n)
+
+
+class _Ar1State:
+    """Rolling sufficient statistics of one device's sliding window."""
+
+    __slots__ = ("times", "values", "s1", "s2", "c", "updates", "model")
+
+    def __init__(self, times: np.ndarray, values: np.ndarray) -> None:
+        self.rebuild(times, values)
+
+    def rebuild(self, times: np.ndarray, values: np.ndarray) -> None:
+        """Exact batch (re)computation — the cache-miss path."""
+        self.times = times
+        self.values = values
+        self.s1 = float(values.sum())
+        self.s2 = float(values @ values)
+        self.c = float(values[1:] @ values[:-1]) if len(values) > 1 else 0.0
+        self.updates = 0
+        self.model = self._fit()
+
+    def _fit(self) -> Arima1:
+        v = self.values
+        n = len(v)
+        return fit_ar1_from_stats(
+            n, self.s1, self.s2, self.c,
+            float(v[0]) if n else 0.0, float(v[-1]) if n else 0.0,
+        )
+
+    def matches(self, times: np.ndarray) -> bool:
+        """Is this state's window exactly ``times``?"""
+        mine = self.times
+        return (
+            len(mine) == len(times)
+            and len(mine) > 0
+            and mine[0] == times[0]
+            and mine[-1] == times[-1]
+        )
+
+    def slide(self, times: np.ndarray, values: np.ndarray) -> bool:
+        """O(evicted + appended) update to a forward-slid window.
+
+        Returns False when the new window is not a forward slide sharing
+        at least half its points with the old one (then the caller falls
+        back to :meth:`rebuild`).  Eviction removes the old prefix's
+        contribution — including its lag-1 pairs and the bridge pair —
+        and appending adds the new suffix's.
+        """
+        old_t, old_v = self.times, self.values
+        n_old, n_new = len(old_t), len(times)
+        if n_old == 0 or n_new == 0:
+            return False
+        if times[0] < old_t[0] or times[-1] < old_t[-1]:
+            return False          # window moved backwards: not a slide
+        evict = int(np.searchsorted(old_t, times[0], side="left"))
+        keep = n_old - evict
+        appended = n_new - keep
+        # The shared span must line up point-for-point (duplicate
+        # timestamps can break the correspondence — rebuild instead).
+        if (
+            appended < 0
+            or keep < 1
+            or keep < (n_new >> 1)
+            or times[keep - 1] != old_t[-1]
+        ):
+            return False
+        if evict:
+            gone = old_v[:evict]
+            self.s1 -= float(gone.sum())
+            self.s2 -= float(gone @ gone)
+            # Pairs (i-1, i) for i = 1..evict vanish with the prefix.
+            self.c -= float(old_v[1 : evict + 1] @ old_v[:evict])
+        if appended:
+            new = values[keep:]
+            self.s1 += float(new.sum())
+            self.s2 += float(new @ new)
+            self.c += float(values[keep:] @ values[keep - 1 : -1])
+        self.times = times
+        self.values = values
+        self.updates += 1
+        self.model = self._fit()
+        return True
+
+
+class Ar1Cache:
+    """Per-series incremental AR(1) fitter for sliding-window forecasts.
+
+    PP re-fits Eq. 3 on every device's five-second memory window every
+    heartbeat; between consecutive heartbeats that window slides by one
+    or two points.  This cache keeps rolling sufficient statistics
+    (sums, squared sums, lag-1 cross products with eviction) per series
+    key, making the steady-state fit O(points slid) instead of
+    O(window), with the exact batch computation as the fallback on any
+    cache miss.  ``refresh_every`` bounds floating-point drift by
+    forcing a batch rebuild after that many incremental updates.
+    """
+
+    def __init__(self, refresh_every: int = 1024) -> None:
+        if refresh_every < 1:
+            raise ValueError("refresh_every must be >= 1")
+        self.refresh_every = refresh_every
+        self._states: dict[str, _Ar1State] = {}
+        self.hits = 0             # served from unchanged-window cache
+        self.slides = 0           # incremental O(1) updates
+        self.rebuilds = 0         # batch fallbacks
+
+    def fit(self, key: str, times: np.ndarray, values: np.ndarray) -> Arima1:
+        """AR(1) model over ``(times, values)``, reusing per-key state.
+
+        ``times`` must be the window's (monotonic) timestamps — they
+        identify which points entered and left since the previous fit.
+        """
+        state = self._states.get(key)
+        if state is not None and state.matches(times):
+            self.hits += 1
+            return state.model
+        if (
+            state is not None
+            and state.updates < self.refresh_every
+            and state.slide(times, values)
+        ):
+            self.slides += 1
+            return state.model
+        if state is None:
+            self._states[key] = _Ar1State(times, values)
+        else:
+            state.rebuild(times, values)
+        self.rebuilds += 1
+        return self._states[key].model
 
 
 def forecast_series(window: np.ndarray, steps: int = 1, clip: tuple[float, float] | None = None) -> np.ndarray:

@@ -8,6 +8,16 @@ different nodes because they will peak together.
 The implementation follows Eq. 1 — ``rho = 1 - 6*sum(d_i^2) / (n(n^2-1))``
 on ranks — with average ranks for ties (in which case the rank-Pearson
 form is used, since the d_i^2 shortcut is only exact without ties).
+
+Hot-path structure: ranking is the expensive part of Spearman, and on
+the scheduler's hot path the *same* series is ranked against many
+partners (CBP gates one candidate against every resident).  The module
+therefore exposes a rank-once API — :func:`rank_with_ties` to compute a
+series' ranks (and tie flag) once, and :func:`spearman_from_ranks` to
+combine two pre-ranked series — which :class:`~repro.core.profiles.ImageProfile`
+caches per profile version.  :func:`correlation_matrix` ranks each
+series once and forms all pairwise rhos as a single centered
+rank-matrix multiply instead of O(n^2) pairwise Python loops.
 """
 
 from __future__ import annotations
@@ -16,27 +26,37 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["rankdata", "spearman", "correlation_matrix", "is_safe_to_colocate"]
+__all__ = [
+    "rankdata",
+    "rank_with_ties",
+    "spearman",
+    "spearman_from_ranks",
+    "correlation_matrix",
+    "correlation_matrix_pairwise",
+    "is_safe_to_colocate",
+]
+
+
+def rank_with_ties(x: np.ndarray) -> tuple[np.ndarray, bool]:
+    """Average ranks (1-based) and whether any ties are present.
+
+    Vectorized via ``np.unique(return_inverse=True)``: the average rank
+    of a tie group ending at cumulative count ``c`` with ``k`` members
+    is ``c - (k - 1) / 2``, which reproduces
+    ``scipy.stats.rankdata('average')`` exactly.  (NaNs are not
+    supported — utilization series never contain them.)
+    """
+    x = np.asarray(x, dtype=float)
+    if len(x) == 0:
+        return np.empty(0), False
+    uniques, inverse, counts = np.unique(x, return_inverse=True, return_counts=True)
+    avg = np.cumsum(counts) - (counts - 1) / 2.0
+    return avg[inverse], len(uniques) != len(x)
 
 
 def rankdata(x: np.ndarray) -> np.ndarray:
     """Average ranks (1-based), matching scipy.stats.rankdata('average')."""
-    x = np.asarray(x, dtype=float)
-    order = np.argsort(x, kind="mergesort")
-    ranks = np.empty(len(x), dtype=float)
-    ranks[order] = np.arange(1, len(x) + 1, dtype=float)
-    # average ranks within tie groups
-    sorted_x = x[order]
-    i = 0
-    while i < len(x):
-        j = i
-        while j + 1 < len(x) and sorted_x[j + 1] == sorted_x[i]:
-            j += 1
-        if j > i:
-            avg = (i + j) / 2.0 + 1.0
-            ranks[order[i : j + 1]] = avg
-        i = j + 1
-    return ranks
+    return rank_with_ties(x)[0]
 
 
 def spearman(x: Sequence[float] | np.ndarray, y: Sequence[float] | np.ndarray) -> float:
@@ -55,11 +75,45 @@ def spearman(x: Sequence[float] | np.ndarray, y: Sequence[float] | np.ndarray) -
         return 0.0
     if np.all(x == x[0]) or np.all(y == y[0]):
         return 0.0
-    rx, ry = rankdata(x), rankdata(y)
-    if _has_ties(rx) or _has_ties(ry):
-        # Pearson on ranks (exact in the presence of ties).
-        rx -= rx.mean()
-        ry -= ry.mean()
+    rx, tx = rank_with_ties(x)
+    ry, ty = rank_with_ties(y)
+    return _rho_from_ranks(rx, ry, tx or ty)
+
+
+def spearman_from_ranks(
+    rx: np.ndarray, ry: np.ndarray, ties: bool | None = None
+) -> float:
+    """:func:`spearman` on pre-computed average ranks (the rank-once path).
+
+    ``rx``/``ry`` must come from :func:`rankdata` / :func:`rank_with_ties`
+    over the original series; ``ties`` is the OR of the two tie flags
+    (recomputed from the ranks when ``None``).  Produces bit-identical
+    results to :func:`spearman` on the underlying series: a series is
+    constant iff its ranks are, and average ranks determine the rho in
+    both the tied and untied branches.
+    """
+    rx = np.asarray(rx, dtype=float)
+    ry = np.asarray(ry, dtype=float)
+    if rx.shape != ry.shape:
+        raise ValueError(f"shape mismatch: {rx.shape} vs {ry.shape}")
+    n = len(rx)
+    if n < 2:
+        return 0.0
+    if np.all(rx == rx[0]) or np.all(ry == ry[0]):
+        return 0.0
+    if ties is None:
+        ties = _has_ties(rx) or _has_ties(ry)
+    return _rho_from_ranks(rx, ry, ties)
+
+
+def _rho_from_ranks(rx: np.ndarray, ry: np.ndarray, ties: bool) -> float:
+    """Eq. 1 on non-degenerate rank vectors (d^2 shortcut unless tied)."""
+    n = len(rx)
+    if ties:
+        # Pearson on ranks (exact in the presence of ties).  Not done
+        # in place: rank vectors may be shared read-only cache entries.
+        rx = rx - rx.mean()
+        ry = ry - ry.mean()
         denom = np.sqrt((rx @ rx) * (ry @ ry))
         return float((rx @ ry) / denom) if denom > 0 else 0.0
     d = rx - ry
@@ -75,6 +129,45 @@ def correlation_matrix(series: Mapping[str, np.ndarray]) -> tuple[list[str], np.
 
     Returns the metric names (sorted for determinism) and the symmetric
     rho matrix with unit diagonal.
+
+    Each series is ranked once; all off-diagonal entries then fall out
+    of one centered rank-matrix product, ``Rc @ Rc.T`` row-normalized —
+    rank-Pearson, which equals Eq. 1's d^2 form exactly in the absence
+    of ties and is the correct tie-handling form otherwise.  Degenerate
+    rows (constant or shorter than 2 points) get rho 0, matching
+    :func:`spearman`.
+    """
+    names = sorted(series)
+    k = len(names)
+    if k == 0:
+        return names, np.eye(0)
+    first = np.asarray(series[names[0]], dtype=float)
+    for name in names[1:]:
+        arr = np.asarray(series[name], dtype=float)
+        if arr.shape != first.shape:
+            raise ValueError(f"shape mismatch: {first.shape} vs {arr.shape}")
+    n = len(first)
+    if n < 2:
+        return names, np.eye(k)
+    ranks = np.empty((k, n), dtype=float)
+    for i, name in enumerate(names):
+        ranks[i] = rankdata(np.asarray(series[name], dtype=float))
+    centered = ranks - ranks.mean(axis=1, keepdims=True)
+    norms = np.sqrt(np.einsum("ij,ij->i", centered, centered))
+    cov = centered @ centered.T
+    scale = np.outer(norms, norms)
+    mat = np.divide(cov, scale, out=np.zeros((k, k)), where=scale > 0)
+    np.fill_diagonal(mat, 1.0)
+    return names, mat
+
+
+def correlation_matrix_pairwise(
+    series: Mapping[str, np.ndarray],
+) -> tuple[list[str], np.ndarray]:
+    """Reference O(n^2)-pairwise implementation of :func:`correlation_matrix`.
+
+    Kept for the equivalence tests and the before/after benchmark; the
+    vectorized path above is what production code calls.
     """
     names = sorted(series)
     n = len(names)

@@ -28,7 +28,12 @@ __all__ = ["SlidingWindow", "resample", "AccuracyReport", "evaluate_forecaster",
 
 
 class SlidingWindow:
-    """Bounded FIFO window over a stream of floats (NumPy-backed)."""
+    """Bounded FIFO window over a stream of floats (NumPy-backed).
+
+    Mirrors the TSDB ring's zero-copy design: before wraparound
+    :meth:`values` is a read-only view of the buffer, and afterwards the
+    ordered assembly is cached per version (one rebuild per push, not
+    one per read)."""
 
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
@@ -37,11 +42,14 @@ class SlidingWindow:
         self._capacity = capacity
         self._count = 0
         self._head = 0
+        self._version = 0
+        self._cache: tuple[int, np.ndarray] | None = None
 
     def push(self, value: float) -> None:
         self._buf[self._head] = value
         self._head = (self._head + 1) % self._capacity
         self._count = min(self._count + 1, self._capacity)
+        self._version += 1
 
     def __len__(self) -> int:
         return self._count
@@ -51,13 +59,18 @@ class SlidingWindow:
         return self._count == self._capacity
 
     def values(self) -> np.ndarray:
-        """Window contents, oldest first."""
+        """Window contents, oldest first (read-only, cached per push)."""
+        if self._cache is not None and self._cache[0] == self._version:
+            return self._cache[1]
         if self._count < self._capacity:
-            return self._buf[: self._count].copy()
-        idx = np.concatenate(
-            [np.arange(self._head, self._capacity), np.arange(0, self._head)]
-        )
-        return self._buf[idx]
+            out = self._buf[: self._count]
+        elif self._head == 0:
+            out = self._buf[:]
+        else:
+            out = np.concatenate([self._buf[self._head:], self._buf[: self._head]])
+        out.flags.writeable = False
+        self._cache = (self._version, out)
+        return out
 
 
 def resample(times_ms: np.ndarray, values: np.ndarray, interval_ms: float) -> tuple[np.ndarray, np.ndarray]:

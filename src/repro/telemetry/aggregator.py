@@ -43,6 +43,14 @@ class NodeMonitor:
     def series(self, gpu_id: str, metric: str, window: float, now: float) -> SeriesWindow:
         return self.tsdb.last_window(f"{gpu_id}.{metric}", window, now)
 
+    def series_many(
+        self, gpu_id: str, metrics: Sequence[str], window: float, now: float
+    ) -> dict[str, SeriesWindow]:
+        """All of ``metrics`` for one device in a single TSDB pass."""
+        keys = [f"{gpu_id}.{m}" for m in metrics]
+        windows = self.tsdb.last_windows(keys, window, now)
+        return {m: windows[k] for m, k in zip(metrics, keys)}
+
 
 @dataclass(frozen=True)
 class GpuView:
@@ -106,8 +114,18 @@ class UtilizationAggregator:
         return mon.series(gpu_id, metric, window, now)
 
     def query_node_stats(self, gpu_id: str, window: float, now: float) -> dict[str, SeriesWindow]:
-        """Algorithm 1's ``QUERY``: all five metric windows for a device."""
-        return {m: self.query(gpu_id, m, window, now) for m in METRICS}
+        """Algorithm 1's ``QUERY``: all five metric windows for a device.
+
+        Resolved as one batched TSDB pass (:meth:`NodeMonitor.series_many`)
+        rather than five independent query round-trips.
+        """
+        node_id = gpu_id.split("/", 1)[0]
+        mon = self._monitors.get(node_id)
+        if mon is None:
+            raise KeyError(f"no monitor for node {node_id!r}")
+        for metric in METRICS:
+            self._m_queries.inc(metric=metric)
+        return mon.series_many(gpu_id, METRICS, window, now)
 
     # -- instantaneous cluster snapshot ------------------------------------
 
@@ -159,17 +177,27 @@ class UtilizationAggregator:
         """Stacked per-device series for a metric, shape (n_gpus, n_pts).
 
         Series are aligned by truncating to the shortest window, which
-        only matters in the first seconds of a run.
+        only matters in the first seconds of a run.  Each node's TSDB is
+        visited once through the batch query API, and the aligned
+        series land directly in one preallocated matrix (no per-device
+        re-query, no intermediate Python list-of-copies).
         """
-        series = []
+        series: list[np.ndarray] = []
         for node_id in self.node_ids:
-            node = self._monitors[node_id].node
-            for gpu in node.gpus:
-                w = self.query(gpu.gpu_id, metric, window, now)
-                series.append(w.values)
+            mon = self._monitors[node_id]
+            gpu_ids = [gpu.gpu_id for gpu in mon.node.gpus]
+            windows = mon.tsdb.last_windows(
+                [f"{gid}.{metric}" for gid in gpu_ids], window, now
+            )
+            for _ in gpu_ids:
+                self._m_queries.inc(metric=metric)
+            series.extend(w.values for w in windows.values())
         if not series:
             return np.empty((0, 0))
         n = min(len(s) for s in series)
+        out = np.empty((len(series), n))
         if n == 0:
-            return np.empty((len(series), 0))
-        return np.vstack([s[-n:] for s in series])
+            return out
+        for i, s in enumerate(series):
+            out[i] = s[len(s) - n:]
+        return out

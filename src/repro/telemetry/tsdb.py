@@ -2,25 +2,55 @@
 
 Each worker runs one :class:`TimeSeriesDB` into which the Knots monitor
 writes one point per metric per heartbeat.  The store is a set of
-fixed-capacity ring buffers (one per series), so memory stays bounded
-for arbitrarily long simulations and the hot query — "the last *d*
-seconds of metric *m*" — is two array slices with no copies beyond the
-returned view assembly.
+fixed-capacity ring buffers (one per series), and the hot query — "the
+last *d* seconds of metric *m*" — is served without materializing the
+ring:
+
+* timestamps are appended monotonically (enforced by :meth:`write`), so
+  window boundaries are found by binary search *inside* the ring — two
+  ``searchsorted`` calls over the ring's two physical segments;
+* the returned :class:`SeriesWindow` wraps **zero-copy read-only
+  views** of the ring whenever the window is physically contiguous
+  (always true before wraparound, and for most windows after); only a
+  window that straddles the ring seam is assembled by copying — and
+  then at most the requested window, never the whole ring;
+* every series carries a **version counter** (one tick per append) and
+  a one-entry query cache, so repeated queries of an unchanged window
+  — e.g. the five metric windows a scheduler pass reads several times —
+  are served without touching the ring at all.
+
+:meth:`query_many` / :meth:`last_windows` resolve a batch of metrics in
+one call, which is how the aggregator's ``query_node_stats`` fetches
+Algorithm 1's five windows per device.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
 
 import numpy as np
 
 __all__ = ["SeriesWindow", "TimeSeriesDB"]
 
+#: Shared empty array used by every empty window (read-only).
+_EMPTY = np.empty(0)
+_EMPTY.flags.writeable = False
+
+
+def _readonly(a: np.ndarray) -> np.ndarray:
+    """Mark an array (or view) immutable; windows are shared telemetry."""
+    a.flags.writeable = False
+    return a
+
 
 @dataclass(frozen=True)
 class SeriesWindow:
-    """A queried chunk of one series: parallel time/value arrays."""
+    """A queried chunk of one series: parallel time/value arrays.
+
+    The arrays are read-only: a window is a *view* of shared telemetry
+    (zero-copy where physically contiguous), and mutating it in place
+    would corrupt every other consumer's reads (lint rule KK003).
+    """
 
     times: np.ndarray
     values: np.ndarray
@@ -38,10 +68,20 @@ class SeriesWindow:
         return float(self.values.mean()) if len(self.values) else float("nan")
 
 
-class _RingSeries:
-    """Fixed-capacity ring buffer of (time, value) points."""
+#: The one shared empty window (immutable, so sharing is safe).
+_EMPTY_WINDOW = SeriesWindow(_EMPTY, _EMPTY)
 
-    __slots__ = ("times", "values", "capacity", "head", "count")
+
+class _RingSeries:
+    """Fixed-capacity ring buffer of (time, value) points.
+
+    Appends must be time-monotonic (non-decreasing): the windowed-query
+    fast path binary-searches the ring in place, which is only sound on
+    sorted timestamps.
+    """
+
+    __slots__ = ("times", "values", "capacity", "head", "count", "version",
+                 "last_t", "_cache_key", "_cache_window")
 
     def __init__(self, capacity: int) -> None:
         self.capacity = capacity
@@ -49,20 +89,100 @@ class _RingSeries:
         self.values = np.empty(capacity, dtype=np.float64)
         self.head = 0   # next write slot
         self.count = 0
+        #: Bumped on every append; keys the one-entry query cache and
+        #: lets downstream caches (ranks, AR(1) stats) detect staleness.
+        self.version = 0
+        self.last_t = -np.inf
+        self._cache_key: tuple[int, float | None, float | None] | None = None
+        self._cache_window: SeriesWindow = _EMPTY_WINDOW
 
     def append(self, t: float, v: float) -> None:
+        if t < self.last_t:
+            raise ValueError(
+                f"non-monotonic append: t={t!r} is before the series' last "
+                f"timestamp {self.last_t!r}; out-of-order points would corrupt "
+                "binary-searched window queries"
+            )
         self.times[self.head] = t
         self.values[self.head] = v
         self.head = (self.head + 1) % self.capacity
         if self.count < self.capacity:
             self.count += 1
+        self.last_t = t
+        self.version += 1
+
+    # -- reference path ----------------------------------------------------
 
     def ordered(self) -> tuple[np.ndarray, np.ndarray]:
-        """Time-ordered copies of the stored points (oldest first)."""
+        """Time-ordered copies of the stored points (oldest first).
+
+        The original copy-then-slice query path materialized this on
+        every query; it is kept as the reference implementation for the
+        equivalence property tests and the before/after benchmark.
+        """
         if self.count < self.capacity:
             return self.times[: self.count].copy(), self.values[: self.count].copy()
         idx = np.concatenate([np.arange(self.head, self.capacity), np.arange(0, self.head)])
         return self.times[idx], self.values[idx]
+
+    # -- in-ring fast path -------------------------------------------------
+
+    def _logical_searchsorted(self, t: float, side: str) -> int:
+        """``searchsorted`` over the time-ordered view, without building it.
+
+        The ring holds at most two physically contiguous, individually
+        sorted segments — ``times[head:]`` (older) then ``times[:head]``
+        (newer) once full, or just ``times[:count]`` before that — and
+        monotonic appends guarantee every older-segment timestamp is
+        ``<=`` every newer-segment timestamp.
+        """
+        if self.count < self.capacity:
+            return int(np.searchsorted(self.times[: self.count], t, side=side))
+        older = self.times[self.head:]
+        pos = int(np.searchsorted(older, t, side=side))
+        if pos < len(older):
+            return pos
+        return len(older) + int(np.searchsorted(self.times[: self.head], t, side=side))
+
+    def _slice(self, lo: int, hi: int) -> SeriesWindow:
+        """Logical index range ``[lo, hi)`` as a window, copying only if
+        the range straddles the ring seam (and then only ``hi - lo``
+        points, never the whole ring)."""
+        n = hi - lo
+        if n <= 0:
+            return _EMPTY_WINDOW
+        if self.count < self.capacity:
+            return SeriesWindow(
+                _readonly(self.times[lo:hi]), _readonly(self.values[lo:hi])
+            )
+        start = self.head + lo
+        end = start + n
+        if start >= self.capacity:               # entirely in the newer segment
+            start -= self.capacity
+            end -= self.capacity
+            return SeriesWindow(
+                _readonly(self.times[start:end]), _readonly(self.values[start:end])
+            )
+        if end <= self.capacity:                 # entirely in the older segment
+            return SeriesWindow(
+                _readonly(self.times[start:end]), _readonly(self.values[start:end])
+            )
+        wrap = end - self.capacity               # straddles the seam: bounded copy
+        times = np.concatenate([self.times[start:], self.times[:wrap]])
+        values = np.concatenate([self.values[start:], self.values[:wrap]])
+        return SeriesWindow(_readonly(times), _readonly(values))
+
+    def window(self, since: float | None, until: float | None) -> SeriesWindow:
+        """Points with ``since <= t <= until`` — cached, zero-copy."""
+        key = (self.version, since, until)
+        if key == self._cache_key:
+            return self._cache_window
+        lo = 0 if since is None else self._logical_searchsorted(since, "left")
+        hi = self.count if until is None else self._logical_searchsorted(until, "right")
+        window = self._slice(lo, hi)
+        self._cache_key = key
+        self._cache_window = window
+        return window
 
 
 class TimeSeriesDB:
@@ -75,7 +195,12 @@ class TimeSeriesDB:
         self._series: dict[str, _RingSeries] = {}
 
     def write(self, metric: str, t: float, value: float) -> None:
-        """Append one point to ``metric`` (created on first write)."""
+        """Append one point to ``metric`` (created on first write).
+
+        Timestamps must be non-decreasing per series; an out-of-order
+        point raises ``ValueError`` instead of silently corrupting the
+        binary-searched query path.
+        """
         series = self._series.get(metric)
         if series is None:
             series = self._series[metric] = _RingSeries(self._capacity)
@@ -92,6 +217,16 @@ class TimeSeriesDB:
     def __contains__(self, metric: str) -> bool:
         return metric in self._series
 
+    def version(self, metric: str) -> int:
+        """Monotonic write counter for ``metric`` (0 if unseen).
+
+        Anything caching derived state for a series (rank vectors,
+        AR(1) sufficient statistics, ...) can key on this to detect
+        staleness without comparing array contents.
+        """
+        series = self._series.get(metric)
+        return 0 if series is None else series.version
+
     def query(self, metric: str, since: float | None = None, until: float | None = None) -> SeriesWindow:
         """Return points of ``metric`` with ``since <= t <= until``.
 
@@ -100,12 +235,26 @@ class TimeSeriesDB:
         """
         series = self._series.get(metric)
         if series is None:
-            empty = np.empty(0)
-            return SeriesWindow(empty, empty)
-        times, values = series.ordered()
-        lo = 0 if since is None else int(np.searchsorted(times, since, side="left"))
-        hi = len(times) if until is None else int(np.searchsorted(times, until, side="right"))
-        return SeriesWindow(times[lo:hi], values[lo:hi])
+            return _EMPTY_WINDOW
+        return series.window(since, until)
+
+    def query_many(
+        self,
+        metrics: list[str] | tuple[str, ...],
+        since: float | None = None,
+        until: float | None = None,
+    ) -> dict[str, SeriesWindow]:
+        """One-pass batch of :meth:`query` over several metrics.
+
+        This is the shape ``query_node_stats`` uses: all five metric
+        windows of a device resolved in a single call.
+        """
+        out: dict[str, SeriesWindow] = {}
+        get = self._series.get
+        for metric in metrics:
+            series = get(metric)
+            out[metric] = _EMPTY_WINDOW if series is None else series.window(since, until)
+        return out
 
     def last_window(self, metric: str, window: float, now: float) -> SeriesWindow:
         """The last ``window`` time units of ``metric``, ending at ``now``.
@@ -114,6 +263,12 @@ class TimeSeriesDB:
         (a five-second sliding window in the paper).
         """
         return self.query(metric, since=now - window, until=now)
+
+    def last_windows(
+        self, metrics: list[str] | tuple[str, ...], window: float, now: float
+    ) -> dict[str, SeriesWindow]:
+        """Batch :meth:`last_window` over several metrics."""
+        return self.query_many(metrics, since=now - window, until=now)
 
     def latest(self, metric: str) -> tuple[float, float] | None:
         """Most recent (time, value) for ``metric``, or None if unseen."""

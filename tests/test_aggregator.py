@@ -45,6 +45,19 @@ class TestNodeMonitor:
         w = monitors[0].series("node1/gpu0", "sm_util", window=5.0, now=19.0)
         assert len(w) == 6
 
+    def test_series_many_matches_individual_series(self, monitored_nodes):
+        nodes, monitors, _ = monitored_nodes
+        for t in range(20):
+            tick(nodes[0])
+            monitors[0].heartbeat(float(t))
+        metrics = ("sm_util", "mem_util", "power_w")
+        batch = monitors[0].series_many("node1/gpu0", metrics, window=5.0, now=19.0)
+        assert set(batch) == set(metrics)
+        for m in metrics:
+            single = monitors[0].series("node1/gpu0", m, window=5.0, now=19.0)
+            np.testing.assert_array_equal(batch[m].times, single.times)
+            np.testing.assert_array_equal(batch[m].values, single.values)
+
 
 class TestAggregator:
     def test_requires_monitors(self):
@@ -98,3 +111,21 @@ class TestAggregator:
         assert mat.shape == (2, 10)
         assert mat[0].max() > 0          # node1 busy
         assert np.all(mat[1] == 0.0)     # node2 idle
+
+    def test_cluster_utilization_batch_matches_per_series_queries(self, monitored_nodes):
+        nodes, monitors, agg = monitored_nodes
+        for t in range(12):
+            for n in nodes:
+                tick(n)
+            for m in monitors:
+                m.heartbeat(float(t))
+        mat = agg.cluster_utilization(window=50.0, now=11.0, metric="sm_util")
+
+        rows = []
+        for mon in monitors:
+            for gpu in mon.node.gpus:
+                w = mon.series(gpu.gpu_id, "sm_util", window=50.0, now=11.0)
+                rows.append(w.values)
+        n = min(len(r) for r in rows)
+        expected = np.stack([r[len(r) - n:] for r in rows])
+        np.testing.assert_array_equal(mat, expected)

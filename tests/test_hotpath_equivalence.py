@@ -1,0 +1,293 @@
+"""Equivalence proofs for the hot-path rewrites.
+
+Every optimisation in the telemetry -> forecast hot path kept its
+original implementation as an in-tree reference:
+
+* ``_RingSeries.ordered()`` — the copy-then-slice query path the
+  in-ring binary search replaced;
+* ``correlation_matrix_pairwise`` — the O(k^2) re-ranking matrix the
+  rank-once vectorised ``correlation_matrix`` replaced;
+* ``fit_ar1`` — the batch AR(1) fit the sufficient-statistics
+  ``Ar1Cache`` replaced on the per-heartbeat path.
+
+These tests pin the fast paths to their references point-for-point
+(TSDB, ranks) or to 1e-9 (AR(1), where float summation order differs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import stats as sps
+
+from repro.forecast.arima import Ar1Cache, fit_ar1
+from repro.forecast.correlation import (
+    correlation_matrix,
+    correlation_matrix_pairwise,
+    rank_with_ties,
+    rankdata,
+    spearman,
+    spearman_from_ranks,
+)
+from repro.telemetry.tsdb import SeriesWindow, TimeSeriesDB, _RingSeries
+
+# ---------------------------------------------------------------------------
+# TSDB: in-ring binary search vs. the copy-then-slice reference
+# ---------------------------------------------------------------------------
+
+
+def _reference_window(series: _RingSeries, since, until) -> SeriesWindow:
+    """The pre-optimisation query path: materialise, then slice."""
+    times, values = series.ordered()
+    lo = 0 if since is None else int(np.searchsorted(times, since, side="left"))
+    hi = len(times) if until is None else int(np.searchsorted(times, until, side="right"))
+    return SeriesWindow(times[lo:hi], values[lo:hi])
+
+
+times_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=0,
+    max_size=80,
+).map(sorted)
+
+bound_strategy = st.one_of(
+    st.none(),
+    st.floats(min_value=-10.0, max_value=1.1e6, allow_nan=False, allow_infinity=False),
+)
+
+
+@given(
+    times=times_strategy,
+    capacity=st.integers(min_value=1, max_value=48),
+    since=bound_strategy,
+    until=bound_strategy,
+)
+@settings(max_examples=300)
+def test_inring_query_matches_reference(times, capacity, since, until):
+    """Fast path == reference across partial-fill, wraparound, empty."""
+    series = _RingSeries(capacity)
+    for i, t in enumerate(times):
+        series.append(t, float(i))
+
+    got = series.window(since, until)
+    want = _reference_window(series, since, until)
+
+    np.testing.assert_array_equal(got.times, want.times)
+    np.testing.assert_array_equal(got.values, want.values)
+
+
+@given(times=times_strategy.filter(len), capacity=st.integers(min_value=1, max_value=48))
+@settings(max_examples=150)
+def test_inring_query_exact_boundaries(times, capacity):
+    """Windows pinned to stored timestamps are inclusive on both ends,
+    exactly as the reference path was."""
+    series = _RingSeries(capacity)
+    for i, t in enumerate(times):
+        series.append(t, float(i))
+
+    for since, until in [
+        (times[0], times[-1]),
+        (times[0], times[0]),
+        (times[-1], times[-1]),
+        (times[len(times) // 2], times[-1]),
+    ]:
+        got = series.window(since, until)
+        want = _reference_window(series, since, until)
+        np.testing.assert_array_equal(got.times, want.times)
+        np.testing.assert_array_equal(got.values, want.values)
+
+
+@given(
+    n_points=st.integers(min_value=0, max_value=120),
+    capacity=st.integers(min_value=1, max_value=40),
+    window=st.floats(min_value=0.0, max_value=150.0, allow_nan=False),
+)
+@settings(max_examples=150)
+def test_seam_straddling_windows_match_reference(n_points, capacity, window):
+    """Sliding last-``window`` queries — the PP shape — hit every slice
+    case: contiguous-older, contiguous-newer, and seam-straddling."""
+    db = TimeSeriesDB(capacity=capacity)
+    for i in range(n_points):
+        db.write("m", float(i), float(i) * 0.5)
+    now = float(n_points - 1) if n_points else 0.0
+
+    got = db.last_window("m", window, now)
+    if n_points == 0:
+        assert len(got) == 0
+        return
+    series = db._series["m"]
+    want = _reference_window(series, now - window, now)
+    np.testing.assert_array_equal(got.times, want.times)
+    np.testing.assert_array_equal(got.values, want.values)
+
+
+def test_windows_are_read_only_views():
+    db = TimeSeriesDB(capacity=8)
+    for i in range(20):
+        db.write("m", float(i), float(i))
+    w = db.last_window("m", 3.0, 19.0)
+    assert not w.times.flags.writeable
+    assert not w.values.flags.writeable
+    with pytest.raises(ValueError):
+        w.values[0] = 99.0
+
+
+def test_query_cache_serves_repeat_queries_and_invalidates_on_write():
+    db = TimeSeriesDB(capacity=16)
+    for i in range(10):
+        db.write("m", float(i), float(i))
+
+    first = db.query("m", since=2.0, until=8.0)
+    again = db.query("m", since=2.0, until=8.0)
+    assert again is first                      # one-entry cache hit
+
+    db.write("m", 10.0, 10.0)                  # version bump invalidates
+    after = db.query("m", since=2.0, until=8.0)
+    assert after is not first
+    np.testing.assert_array_equal(after.times, first.times)
+
+
+def test_query_many_matches_individual_queries():
+    db = TimeSeriesDB(capacity=32)
+    for i in range(20):
+        db.write_many(float(i), {"a": float(i), "b": float(-i)})
+
+    batch = db.query_many(["a", "b", "ghost"], since=5.0, until=15.0)
+    assert set(batch) == {"a", "b", "ghost"}
+    for name in ("a", "b"):
+        single = db.query(name, since=5.0, until=15.0)
+        np.testing.assert_array_equal(batch[name].times, single.times)
+        np.testing.assert_array_equal(batch[name].values, single.values)
+    assert len(batch["ghost"]) == 0
+
+
+# ---------------------------------------------------------------------------
+# Correlation: rank-once vectorised matrix vs. pairwise reference
+# ---------------------------------------------------------------------------
+
+
+values_strategy = st.lists(
+    st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=50,
+)
+
+
+@given(xs=values_strategy)
+@settings(max_examples=200)
+def test_rank_with_ties_matches_scipy_average(xs):
+    x = np.asarray(xs)
+    ranks, has_ties = rank_with_ties(x)
+    np.testing.assert_array_equal(ranks, sps.rankdata(x, method="average"))
+    assert has_ties == (len(np.unique(x)) < len(x))
+
+
+def test_rankdata_keeps_legacy_loop_semantics():
+    # Bitwise-equal to the old sort-and-average loop on a tied input.
+    x = np.array([3.0, 1.0, 3.0, 2.0, 3.0, 1.0])
+    np.testing.assert_array_equal(rankdata(x), [5.0, 1.5, 5.0, 3.0, 5.0, 1.5])
+
+
+@given(
+    n_series=st.integers(min_value=1, max_value=8),
+    n_points=st.integers(min_value=2, max_value=30),
+    seed=st.integers(min_value=0, max_value=2**16),
+    quantize=st.booleans(),
+)
+@settings(max_examples=100)
+def test_matrix_matches_pairwise_reference(n_series, n_points, seed, quantize):
+    rng = np.random.default_rng(seed)
+    series = {}
+    for i in range(n_series):
+        v = rng.normal(size=n_points)
+        if quantize:                      # force heavy ties
+            v = np.round(v)
+        series[f"s{i}"] = v
+    series["flat"] = np.zeros(n_points)   # degenerate constant series
+
+    names_fast, fast = correlation_matrix(series)
+    names_ref, ref = correlation_matrix_pairwise(series)
+
+    assert names_fast == names_ref
+    np.testing.assert_allclose(fast, ref, atol=1e-12)
+
+
+@given(xs=values_strategy.filter(lambda v: len(v) >= 2), seed=st.integers(0, 2**16))
+@settings(max_examples=150)
+def test_spearman_from_cached_ranks_matches_direct(xs, seed):
+    x = np.asarray(xs)
+    y = np.random.default_rng(seed).permutation(x) + 0.25
+    rx, tx = rank_with_ties(x)
+    ry, ty = rank_with_ties(y)
+    assert spearman_from_ranks(rx, ry, tx or ty) == pytest.approx(
+        spearman(x, y), abs=1e-12
+    )
+
+
+def test_spearman_from_ranks_does_not_mutate_cached_ranks():
+    rx, _ = rank_with_ties(np.array([1.0, 3.0, 2.0, 4.0]))
+    ry, _ = rank_with_ties(np.array([2.0, 1.0, 4.0, 3.0]))
+    before = rx.copy()
+    spearman_from_ranks(rx, ry, True)     # ties path centres the ranks
+    np.testing.assert_array_equal(rx, before)
+
+
+# ---------------------------------------------------------------------------
+# AR(1): incremental sufficient statistics vs. batch reference
+# ---------------------------------------------------------------------------
+
+
+@given(
+    n_total=st.integers(min_value=3, max_value=400),
+    window=st.integers(min_value=1, max_value=64),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=100)
+def test_incremental_ar1_matches_batch_over_sliding_windows(n_total, window, seed):
+    rng = np.random.default_rng(seed)
+    values = np.clip(rng.normal(0.5, 0.25, n_total), 0.0, 1.0)
+    times = np.arange(n_total, dtype=float) * 0.25
+
+    cache = Ar1Cache()
+    for i in range(n_total - window + 1):
+        t, v = times[i : i + window], values[i : i + window]
+        incremental = cache.fit("gpu", t, v)
+        batch = fit_ar1(v)
+        assert incremental.phi == pytest.approx(batch.phi, abs=1e-9)
+        assert incremental.mu == pytest.approx(batch.mu, abs=1e-9)
+        assert incremental.n_obs == batch.n_obs
+    # A 1-point window shares nothing with its successor, so only
+    # windows of >= 2 points can take the incremental path.
+    assert cache.slides > 0 or window < 2 or n_total - window + 1 <= 1
+
+
+def test_incremental_ar1_handles_duplicate_timestamps():
+    """Duplicate heartbeat stamps break the slide's alignment check —
+    the cache must fall back to a batch rebuild, not mis-slide."""
+    times = np.array([0.0, 1.0, 1.0, 2.0, 3.0, 4.0])
+    values = np.array([0.1, 0.5, 0.2, 0.8, 0.3, 0.6])
+    cache = Ar1Cache()
+    for i in range(3):
+        t, v = times[i : i + 4], values[i : i + 4]
+        assert cache.fit("g", t, v).phi == pytest.approx(fit_ar1(v).phi, abs=1e-9)
+
+
+def test_incremental_ar1_handles_disjoint_jump():
+    cache = Ar1Cache()
+    a = np.arange(10.0)
+    cache.fit("g", a, np.sin(a))
+    b = a + 1_000.0                       # nothing shared -> rebuild
+    model = cache.fit("g", b, np.cos(b))
+    batch = fit_ar1(np.cos(b))
+    assert model.phi == pytest.approx(batch.phi, abs=1e-9)
+    assert cache.rebuilds >= 2
+
+
+def test_ar1_cache_is_per_key():
+    cache = Ar1Cache()
+    t = np.arange(20.0)
+    up = cache.fit("gpu-a", t, t / 20.0)
+    down = cache.fit("gpu-b", t, 1.0 - t / 20.0)
+    assert up.phi == pytest.approx(fit_ar1(t / 20.0).phi, abs=1e-9)
+    assert down.phi == pytest.approx(fit_ar1(1.0 - t / 20.0).phi, abs=1e-9)

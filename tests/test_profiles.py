@@ -79,3 +79,26 @@ class TestProfileStore:
         store.record_trace("img", make_trace(duration_ms=333.0))
         series = store.correlation_series("img")
         assert series.shape == (PROFILE_SERIES_POINTS,)
+
+    def test_correlation_ranks_none_for_unknown(self):
+        assert ProfileStore().correlation_ranks("ghost") is None
+
+    def test_correlation_ranks_cached_per_observation_count(self):
+        store = ProfileStore()
+        store.record_trace("img", make_trace(mem_mb=1_000, peak_mem_mb=4_000))
+        ranks1, _ = store.correlation_ranks("img")
+        ranks2, _ = store.correlation_ranks("img")
+        assert ranks2 is ranks1                   # same cached vector
+        assert not ranks1.flags.writeable         # shared -> immutable
+
+        store.record_trace("img", make_trace(mem_mb=3_000, peak_mem_mb=3_000))
+        ranks3, _ = store.correlation_ranks("img")
+        assert ranks3 is not ranks1               # new observation invalidates
+
+    def test_version_tracks_observations(self):
+        store = ProfileStore()
+        assert store.version("ghost") == 0
+        store.record_trace("img", make_trace())
+        assert store.version("img") == 1
+        store.record_trace("img", make_trace())
+        assert store.version("img") == 2

@@ -56,6 +56,29 @@ class TestBasics:
         with pytest.raises(ValueError):
             db.query("ghost").latest()
 
+    def test_non_monotonic_append_rejected(self):
+        db = TimeSeriesDB()
+        db.write("m", 5.0, 1.0)
+        with pytest.raises(ValueError, match="non-monotonic append"):
+            db.write("m", 4.9, 2.0)
+        # The bad point was not stored; the series still queries fine.
+        assert db.latest("m") == (5.0, 1.0)
+        db.write("m", 5.0, 3.0)      # equal timestamps stay legal
+        assert len(db.query("m")) == 2
+
+    def test_monotonicity_is_per_series(self):
+        db = TimeSeriesDB()
+        db.write("a", 10.0, 1.0)
+        db.write("b", 1.0, 1.0)      # older than a's clock: fine
+        assert db.latest("b") == (1.0, 1.0)
+
+    def test_version_counts_writes(self):
+        db = TimeSeriesDB()
+        assert db.version("m") == 0
+        for i in range(5):
+            db.write("m", float(i), 0.0)
+        assert db.version("m") == 5
+
 
 class TestRingBehaviour:
     def test_wraparound_keeps_newest(self):
