@@ -27,6 +27,10 @@ paper's results silently rely on:
 ``pool_accounting``
     The DL pool's per-device training/inference counters never go
     negative.
+``fast_forward_quiescence``
+    The cluster simulator only fast-forwards its tick chains when the
+    cluster is provably quiescent (every submitted pod finished, every
+    device asleep or failed) and only to a strictly later time.
 
 A :class:`Sanitizer` rides on the :class:`repro.obs.Observability`
 bundle (``Observability(sanitize=True)``); every instrumented call site
@@ -57,6 +61,7 @@ INVARIANTS = (
     "heap_consistency",
     "telemetry_staleness",
     "pool_accounting",
+    "fast_forward_quiescence",
 )
 
 _EPS = 1e-6
@@ -291,4 +296,26 @@ class Sanitizer:
                 "time_monotonicity",
                 "DL simulator stepping backwards",
                 now=now, t_next=t_next,
+            )
+
+    # -- idle fast-forward ----------------------------------------------------
+
+    def check_fast_forward(
+        self, now: float, target: float, all_done: bool, devices_parked: bool
+    ) -> None:
+        """A fast-forward must jump strictly forward and only from a
+        quiescent cluster (all pods finished, all devices asleep or
+        failed) — otherwise skipped ticks would not have been no-ops."""
+        self.checks += 1
+        if target <= now + _EPS:
+            self.violation(
+                "fast_forward_quiescence",
+                "fast-forward target not ahead of current time",
+                now=now, target=target,
+            )
+        if not (all_done and devices_parked):
+            self.violation(
+                "fast_forward_quiescence",
+                "fast-forward attempted on a non-quiescent cluster",
+                all_done=all_done, devices_parked=devices_parked,
             )

@@ -39,7 +39,18 @@ from repro.telemetry.tsdb import SeriesWindow, TimeSeriesDB
 __all__ = ["run_benchmarks", "check_regression", "GATED_BENCHMARKS"]
 
 #: Benchmarks whose regression CI fails on, and the field that is gated.
-GATED_BENCHMARKS = {"cbp_pass": "ms_per_pass", "pp_pass": "ms_per_pass"}
+#: The scheduler-pass benchmarks gate against ``BENCH_hotpath.json``;
+#: the simulator-loop benchmarks (:mod:`repro.bench.simloop`) gate
+#: against ``BENCH_simloop.json`` — :func:`check_regression` skips
+#: entries missing from either payload, so each baseline file gates
+#: only the benchmarks it contains.
+GATED_BENCHMARKS = {
+    "cbp_pass": "ms_per_pass",
+    "pp_pass": "ms_per_pass",
+    "sim_dense": "ms_run",
+    "sim_sparse": "ms_run",
+    "dlsim_loop": "ms_run",
+}
 
 #: The scale the acceptance numbers are quoted at.
 NODES, GPUS_PER_NODE, METRICS_PER_GPU = 32, 8, 5
@@ -240,8 +251,15 @@ def bench_scheduler_pass(scheduler_name: str, quick: bool) -> tuple[dict, float]
 
 def run_benchmarks(quick: bool = False, only: list[str] | None = None) -> dict:
     """Run the hot-path suite; returns the ``BENCH_hotpath.json`` payload."""
+    from repro.bench.simloop import (
+        SIMLOOP_BENCHMARKS,
+        bench_dlsim_loop,
+        bench_sim_dense,
+        bench_sim_sparse,
+    )
+
     all_benches = ("tsdb_window_query", "correlation_matrix", "ar1_heartbeat_fit",
-                   "cbp_pass", "pp_pass", "simulate_e2e")
+                   "cbp_pass", "pp_pass", "simulate_e2e") + SIMLOOP_BENCHMARKS
     selected = set(only) if only else set(all_benches)
     unknown = selected - set(all_benches)
     if unknown:
@@ -266,6 +284,12 @@ def run_benchmarks(quick: bool = False, only: list[str] | None = None) -> dict:
                 "ms": e2e * 1e3,
                 "quick": quick,
             }
+    if "sim_dense" in selected:
+        results["sim_dense"] = bench_sim_dense(quick)
+    if "sim_sparse" in selected:
+        results["sim_sparse"] = bench_sim_sparse(quick)
+    if "dlsim_loop" in selected:
+        results["dlsim_loop"] = bench_dlsim_loop(quick)
     return {
         "schema": "kube-knots/bench-hotpath/v1",
         "mode": "quick" if quick else "full",

@@ -1,0 +1,141 @@
+"""End-to-end simulator-loop benchmarks.
+
+The event-driven core (:mod:`repro.sim.engine` + :mod:`repro.sim.harness`)
+replaced both simulators' hand-rolled time loops; these benchmarks
+measure the whole loop, not one inner kernel:
+
+* ``sim_dense`` — a dense Table-I app-mix where every tick has work.
+  The event decomposition must cost about the same as the old loop
+  (there is nothing to skip), so this is the no-regression gate.
+* ``sim_sparse`` — the same mix with arrival gaps stretched 40x.  The
+  cluster idles between bursts and the idle fast-forward jumps the tick
+  chains across quiescent spans; the reference tick-by-tick loop pays
+  for every tick.  This is where the event core wins wall-clock.
+* ``dlsim_loop`` — the DL-cluster simulator's advance-and-recompute
+  cycle as wakeup/arrival/finalize events vs the old while-loop.
+
+Each benchmark runs the event-driven simulator and the retained
+reference loop (:mod:`repro.sim.reference`) on identical inputs,
+reports best-of wall-clock for both, and sanity-checks that the two
+produced the same makespan/horizon — a bench run that diverged would be
+measuring different work.
+
+Like :mod:`repro.bench.hotpath`, this module reads the host clock and
+therefore lives outside the sim-critical packages (KK001).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.cluster.cluster import make_paper_cluster
+from repro.core.schedulers import make_scheduler
+from repro.sim.dlsim import DLClusterSimulator, make_dl_policy
+from repro.sim.reference import run_dl_reference, run_tick_reference
+from repro.sim.simulator import KubeKnotsSimulator, SimConfig
+from repro.workloads.appmix import generate_appmix_workload
+from repro.workloads.dlt import DLWorkloadConfig, generate_dl_workload
+
+__all__ = ["bench_sim_dense", "bench_sim_sparse", "bench_dlsim_loop", "SIMLOOP_BENCHMARKS"]
+
+#: Benchmark names this module contributes to the suite registry.
+SIMLOOP_BENCHMARKS = ("sim_dense", "sim_sparse", "dlsim_loop")
+
+
+def _best_run(make, run, repeats: int):
+    """Best wall-clock seconds of ``run(make())`` over ``repeats`` fresh
+    instances (construction excluded from the timing); returns
+    ``(best_seconds, last_instance, last_result)``."""
+    best = float("inf")
+    instance = result = None
+    for _ in range(repeats):
+        instance = make()
+        t0 = time.perf_counter()
+        result = run(instance)
+        best = min(best, time.perf_counter() - t0)
+    return best, instance, result
+
+
+def _bench_kk(make: Callable[[], KubeKnotsSimulator], repeats: int) -> dict:
+    after, sim, res = _best_run(make, lambda s: s.run(), repeats)
+    before, _, ref = _best_run(make, run_tick_reference, repeats)
+    if res.makespan_ms != ref.makespan_ms:  # pragma: no cover - bit-identity is pinned by tests
+        raise RuntimeError(
+            f"bench runs diverged: event-loop makespan {res.makespan_ms} "
+            f"vs reference {ref.makespan_ms}"
+        )
+    return {
+        "events_fired": sim.events_fired,
+        "fast_forwards": sim.fast_forwards,
+        "ticks_skipped": sim.ticks_skipped,
+        "makespan_ms": res.makespan_ms,
+        "before_ms": before * 1e3,     # reference tick-by-tick loop
+        "after_ms": after * 1e3,       # event-driven loop
+        "ms_run": after * 1e3,         # the gated field
+        "speedup": before / after,
+    }
+
+
+def bench_sim_dense(quick: bool) -> dict:
+    """Dense app-mix: every tick has running pods, nothing to skip.
+
+    Runs at the same scale in quick and full mode — this is a CI
+    regression gate, so the committed full-mode baseline must be
+    directly comparable to the CI quick run.
+    """
+    def make() -> KubeKnotsSimulator:
+        return KubeKnotsSimulator(
+            make_paper_cluster(num_nodes=4),
+            make_scheduler("cbp"),
+            generate_appmix_workload("app-mix-1", duration_s=4.0, seed=3),
+            SimConfig(min_horizon_ms=20_000.0),
+        )
+
+    return _bench_kk(make, repeats=2 if quick else 3)
+
+
+def bench_sim_sparse(quick: bool) -> dict:
+    """Sparse app-mix: arrival gaps stretched 200x leave quiescent spans
+    much longer than the telemetry window, so the idle fast-forward can
+    skip whole stretches of ticks (and most of their heartbeats)."""
+    def make() -> KubeKnotsSimulator:
+        workload = generate_appmix_workload("app-mix-1", duration_s=1.0, seed=5)
+        workload = [(at * 200.0, spec) for at, spec in workload]
+        return KubeKnotsSimulator(
+            make_paper_cluster(num_nodes=2),
+            make_scheduler("cbp"),
+            workload,
+            SimConfig(min_horizon_ms=5_000.0),
+        )
+
+    out = _bench_kk(make, repeats=2 if quick else 3)
+    if out["fast_forwards"] == 0:  # pragma: no cover - pinned by tests
+        raise RuntimeError("sparse bench never fast-forwarded; workload is not sparse enough")
+    return out
+
+
+def bench_dlsim_loop(quick: bool) -> dict:
+    """The DL-cluster simulator loop, event-driven vs reference."""
+    cfg = DLWorkloadConfig(n_training=60, n_inference=150, window_s=3_600.0)
+
+    def make() -> DLClusterSimulator:
+        jobs = generate_dl_workload(cfg, seed=11)
+        return DLClusterSimulator(jobs, make_dl_policy("cbp-pp"), n_nodes=8, gpus_per_node=8)
+
+    after, sim, res = _best_run(make, lambda s: s.run(), 2 if quick else 3)
+    before, _, ref = _best_run(make, run_dl_reference, 2 if quick else 3)
+    if res.horizon_s != ref.horizon_s:  # pragma: no cover - bit-identity is pinned by tests
+        raise RuntimeError(
+            f"bench runs diverged: event-loop horizon {res.horizon_s} "
+            f"vs reference {ref.horizon_s}"
+        )
+    return {
+        "events_fired": sim.events_fired,
+        "jobs": len(res.jobs),
+        "horizon_s": res.horizon_s,
+        "before_ms": before * 1e3,
+        "after_ms": after * 1e3,
+        "ms_run": after * 1e3,
+        "speedup": before / after,
+    }

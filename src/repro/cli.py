@@ -16,9 +16,11 @@ The subcommands cover the workflows a user reaches for first:
     Run the Kube-Knots static lint rules (KK001–KK004) over source
     paths; the CI gate is ``python -m repro lint src``.
 ``bench``
-    Run the hot-path benchmark suite (TSDB windowed queries, the
-    correlation matrix, AR(1) fits, CBP/PP scheduler passes) and
-    optionally write/compare ``BENCH_hotpath.json``; the CI gate is
+    Run the benchmark suite: hot-path kernels (TSDB windowed queries,
+    the correlation matrix, AR(1) fits, CBP/PP scheduler passes — the
+    ``BENCH_hotpath.json`` baseline) and the end-to-end simulator loops
+    (``sim_dense``/``sim_sparse``/``dlsim_loop`` — the
+    ``BENCH_simloop.json`` baseline); the CI gate is
     ``python -m repro bench --quick --json ... --baseline ...``.
 ``list``
     Enumerate available experiments, schedulers, mixes and policies.
@@ -180,7 +182,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.core.schedulers import make_scheduler
     from repro.metrics.percentiles import cluster_percentiles
     from repro.metrics.report import format_table
-    from repro.sim.simulator import run_appmix
+    from repro.sim.simulator import SimConfig, run_appmix
 
     args.mix = MIX_ALIASES.get(args.mix, args.mix)
     args.scheduler = SCHEDULER_ALIASES.get(args.scheduler, args.scheduler)
@@ -192,6 +194,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             duration_s=args.duration,
             seed=args.seed,
             num_nodes=args.nodes,
+            config=SimConfig(fast_forward=args.fast_forward),
             load_factor=args.load_factor,
             obs=obs,
         )
@@ -210,6 +213,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         ("mean cluster power", f"{mean_power:.0f} W"),
         ("total energy", f"{result.total_energy_j() / 1_000.0:.1f} kJ"),
     ]
+    if obs is not None and getattr(args, "metrics", None):
+        fired = obs.metrics.get("engine_events_fired_total").value()
+        rows.append(("engine events fired", f"{fired:.0f}"))
     print(
         format_table(
             ["metric", "value"],
@@ -373,6 +379,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--sanitize", action="store_true",
                        help="run under the runtime sanitizer; invariant breaches "
                             "abort with exit code 3")
+    p_sim.add_argument("--no-fast-forward", action="store_false", dest="fast_forward",
+                       help="disable the idle fast-forward (outputs are bit-identical "
+                            "either way; this only slows wall-clock on sparse runs)")
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_rep = sub.add_parser("replay", help="replay an Alibaba batch_task.csv trace")

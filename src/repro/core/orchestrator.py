@@ -60,6 +60,12 @@ class KubeKnots:
         self._m_actions = metrics.counter(
             "scheduler_actions_total", "Actions applied, by kind", labelnames=("kind",)
         )
+        self._m_faults = metrics.counter(
+            "gpu_faults_injected_total", "Devices failed by the fault plan"
+        )
+        self._m_repairs = metrics.counter(
+            "gpu_repairs_total", "Failed devices repaired"
+        )
 
     # -- context assembly ----------------------------------------------------
 
@@ -145,3 +151,28 @@ class KubeKnots:
 
     def heartbeat(self, now: float) -> None:
         self.knots.heartbeat(now)
+
+    # -- failure injection (driven by the simulator's fault plan) ----------------
+
+    def fail_gpu(self, gpu_id: str) -> bool:
+        """Fail a device (it falls off the bus; the kubelet evicts its
+        pods on the next quantum).  Returns False if already failed —
+        the fault-plan entry is then swallowed, exactly like the old
+        in-loop ``if not gpu.failed`` check."""
+        gpu = self.cluster.find_gpu(gpu_id)
+        if gpu.failed:
+            return False
+        gpu.fail()
+        if self.obs.enabled:
+            self._m_faults.inc()
+            if self.obs.tracer.enabled:
+                self.obs.tracer.instant("gpu_fail", cat="fault", args={"gpu": gpu_id})
+        return True
+
+    def repair_gpu(self, gpu_id: str) -> None:
+        """Bring a failed device back (empty and awake)."""
+        self.cluster.find_gpu(gpu_id).repair()
+        if self.obs.enabled:
+            self._m_repairs.inc()
+            if self.obs.tracer.enabled:
+                self.obs.tracer.instant("gpu_repair", cat="fault", args={"gpu": gpu_id})

@@ -31,6 +31,9 @@ class ExperimentSettings:
     seed: int = 1
     num_nodes: int = 10
     load_factor: float = 1.0
+    #: Idle fast-forward in the event-driven core.  Outputs are pinned
+    #: bit-identical either way; turning it off only changes wall-clock.
+    fast_forward: bool = True
 
 
 #: Full-size runs used for EXPERIMENTS.md numbers.
@@ -49,6 +52,7 @@ def mix_run(mix: str, scheduler: str, settings: ExperimentSettings = DEFAULT_SET
         duration_s=settings.duration_s,
         seed=settings.seed,
         num_nodes=settings.num_nodes,
+        config=SimConfig(fast_forward=settings.fast_forward),
         load_factor=settings.load_factor,
     )
 

@@ -1,13 +1,20 @@
-"""Simulators: event engine, cluster simulator, DL-cluster simulator."""
+"""Simulators: event engine, shared harness, cluster + DL-cluster simulators."""
 
 from repro.sim.dlsim import DLClusterSimulator, DLSimResult, make_dl_policy, run_dl_comparison
-from repro.sim.engine import EventHandle, EventLoop, SimulationError
+from repro.sim.engine import EventHandle, EventLoop, RepeatingEvent, SimulationError
+from repro.sim.harness import FaultPlan, GridOneShot, GridPeriodic, TickHarness, run_until_idle
 from repro.sim.simulator import KubeKnotsSimulator, SimConfig, SimResult, run_appmix
 
 __all__ = [
     "EventLoop",
     "EventHandle",
+    "RepeatingEvent",
     "SimulationError",
+    "TickHarness",
+    "GridPeriodic",
+    "GridOneShot",
+    "FaultPlan",
+    "run_until_idle",
     "KubeKnotsSimulator",
     "SimConfig",
     "SimResult",

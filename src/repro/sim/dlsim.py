@@ -28,8 +28,15 @@ their numbers) are implemented:
     are *co-located* onto devices running training jobs through memory
     harvesting, paying only a small interference stretch.
 
-The simulator is event-driven with an advance-and-recompute loop, so
-twelve simulated hours cost a few thousand events regardless of scale.
+The simulator runs on the shared :class:`repro.sim.engine.EventLoop`
+(in seconds, with ``clock_scale=1000`` so observability timestamps stay
+in the package-wide milliseconds): arrivals are first-class events, one
+cancellable *wakeup* event advances progress to the next completion /
+pause-expiry / policy-timer candidate, and a *finalize* event per
+instant recomputes rates and re-aims the wakeup — so twelve simulated
+hours cost a few thousand events regardless of scale.  Outputs are
+pinned bit-identical to the original advance-and-recompute loop
+(:func:`repro.sim.reference.run_dl_reference`).
 """
 
 from __future__ import annotations
@@ -40,6 +47,8 @@ from typing import Iterable
 import numpy as np
 
 from repro.obs.context import NOOP, Observability
+from repro.sim.engine import EventLoop
+from repro.sim.harness import run_until_idle
 from repro.units import s_to_ms
 from repro.workloads.dlt import DLJob, DLJobKind
 
@@ -511,8 +520,15 @@ class DLSimResult:
         return self.qos_violations() * 3_600.0 / self.horizon_s
 
 
+# Same-instant phase order of the DL loop: advance/completions first,
+# then arrivals, then the finalize (timer + rate recompute) step.
+_P_WAKE = 0
+_P_ARRIVAL = 1
+_P_FINALIZE = 2
+
+
 class DLClusterSimulator:
-    """Advance-and-recompute event loop over one policy."""
+    """Advance-and-recompute simulation of one policy, event-driven."""
 
     def __init__(
         self,
@@ -541,88 +557,142 @@ class DLClusterSimulator:
         #: bandwidth-bound parameter-server setup).
         policy.locality_penalty = locality_penalty
         self.max_horizon_s = max_horizon_s
+        #: Events fired by the last :meth:`run` (engine statistics).
+        self.events_fired = 0
 
     def run(self) -> DLSimResult:
-        now = 0.0
-        next_arrival_idx = 0
-        policy = self.policy
-        n = len(self.jobs)
+        # The loop runs in *seconds* (this simulator's native unit);
+        # clock_scale keeps obs timestamps in package-wide milliseconds.
+        loop = EventLoop(obs=self.obs, clock_scale=1_000.0)
+        self._loop = loop
+        self._now = 0.0
+        self._next_arrival = 0
+        self._wake_handle = None
+        self._finalize_pending = False
+        for idx, job in enumerate(self.jobs):
+            loop.schedule_at(
+                max(job.arrival_s, 0.0), self._on_arrival, idx, priority=_P_ARRIVAL
+            )
+        # The initial finalize mirrors the old loop's first iteration:
+        # recompute rates/candidates at t=0 and aim the first wakeup.
+        self._finalize_pending = True
+        loop.schedule_at(0.0, self._on_finalize, priority=_P_FINALIZE)
+        self.events_fired = run_until_idle(loop)
+        return DLSimResult(
+            policy=self.policy.name, jobs=self.jobs, horizon_s=max(self._now, 1.0)
+        )
 
-        while True:
-            policy.rates(now)
-            t_candidates: list[float] = []
-            if next_arrival_idx < n:
-                t_candidates.append(self.jobs[next_arrival_idx].arrival_s)
-            for state in policy.running.values():
-                if state.rate > _EPS:
-                    t_candidates.append(now + state.remaining_s / state.rate)
-                elif state.paused_until is not None:
-                    t_candidates.append(state.paused_until)
-            timer = policy.next_timer(now)
-            if timer is not None and (policy.running or policy.pending):
-                t_candidates.append(timer)
-            if not t_candidates:
-                break
-            t_next = min(t_candidates)
-            san = self._san
-            if san is not None:
-                self.obs.clock.now = s_to_ms(now)   # stamp violations in ms
-                san.check_dl_time(now, t_next)
-                san.check_dl_pool(self.pool.load, self.pool.dli)
-            if t_next > self.max_horizon_s:
-                break
-            dt = max(t_next - now, 0.0)
+    # -- event handlers ------------------------------------------------------
 
-            # advance progress
-            for state in policy.running.values():
+    def _advance_to(self, t: float) -> None:
+        """Advance every running job's progress to time ``t`` at the
+        rates fixed by the last finalize."""
+        dt = max(t - self._now, 0.0)
+        if dt > 0.0:
+            for state in self.policy.running.values():
                 if state.rate > _EPS:
                     state.remaining_s -= dt * state.rate
-            now = t_next
+        self._now = t
 
-            # completions
-            done = [s for s in policy.running.values() if s.remaining_s <= 1e-6]
-            for state in sorted(done, key=lambda s: s.job.job_id):
-                state.job.finish_s = now
-                policy.complete(state, now)
-                if self.obs.enabled:
-                    # The DL loop runs in seconds; trace timestamps stay
-                    # in the package-wide millisecond convention.
-                    self.obs.clock.now = s_to_ms(now)
-                    self._m_completed.inc(policy=policy.name, kind=state.job.kind.value)
-                    tracer = self.obs.tracer
-                    if tracer.enabled:
-                        tracer.async_end(
-                            f"dljob:{state.job.kind.value}", f"{policy.name}/{state.job.job_id}",
-                            cat=policy.name, ts=s_to_ms(now),
-                        )
+    def _queue_finalize(self) -> None:
+        """Ensure exactly one finalize event closes the current instant."""
+        if not self._finalize_pending:
+            self._finalize_pending = True
+            self._loop.schedule_at(self._now, self._on_finalize, priority=_P_FINALIZE)
 
-            # arrivals
-            while next_arrival_idx < n and self.jobs[next_arrival_idx].arrival_s <= now + _EPS:
-                job = self.jobs[next_arrival_idx]
-                next_arrival_idx += 1
-                policy.submit(_RunState(job=job, gpus=[], remaining_s=job.service_s), now)
-                if self.obs.enabled:
-                    self.obs.clock.now = s_to_ms(now)
-                    self._m_submitted.inc(policy=policy.name, kind=job.kind.value)
-                    tracer = self.obs.tracer
-                    if tracer.enabled:
-                        tracer.async_begin(
-                            f"dljob:{job.kind.value}", f"{policy.name}/{job.job_id}",
-                            cat=policy.name,
-                            args={"num_gpus": job.num_gpus, "service_s": job.service_s},
-                            ts=s_to_ms(now),
-                        )
+    def _on_wake(self) -> None:
+        """The next completion / pause-expiry / timer candidate is due:
+        advance progress and retire finished jobs (in job-id order, like
+        the old loop's same-instant completion batch)."""
+        policy = self.policy
+        self._advance_to(self._loop.now)
+        now = self._now
+        done = [s for s in policy.running.values() if s.remaining_s <= 1e-6]
+        for state in sorted(done, key=lambda s: s.job.job_id):
+            state.job.finish_s = now
+            policy.complete(state, now)
+            if self.obs.enabled:
+                self._m_completed.inc(policy=policy.name, kind=state.job.kind.value)
+                tracer = self.obs.tracer
+                if tracer.enabled:
+                    tracer.async_end(
+                        f"dljob:{state.job.kind.value}", f"{policy.name}/{state.job.job_id}",
+                        cat=policy.name, ts=s_to_ms(now),
+                    )
+        self._queue_finalize()
 
-            # policy timer
-            timer = policy.next_timer(now)
-            if timer is not None and timer <= now + _EPS:
-                policy.on_timer(now)
-                policy.reschedule(now)
+    def _on_arrival(self, idx: int) -> None:
+        """One job submission.  A wakeup always lands at or before each
+        arrival instant (arrivals are candidates), so progress is
+        already advanced; the defensive advance covers arrivals inside
+        the old loop's ``_EPS`` batching slop, which were submitted at
+        the batch time without advancing."""
+        job = self.jobs[idx]
+        if job.arrival_s > self._now + _EPS:
+            self._advance_to(job.arrival_s)
+        now = self._now
+        policy = self.policy
+        self._next_arrival = idx + 1
+        policy.submit(_RunState(job=job, gpus=[], remaining_s=job.service_s), now)
+        if self.obs.enabled:
+            self._m_submitted.inc(policy=policy.name, kind=job.kind.value)
+            tracer = self.obs.tracer
+            if tracer.enabled:
+                tracer.async_begin(
+                    f"dljob:{job.kind.value}", f"{policy.name}/{job.job_id}",
+                    cat=policy.name,
+                    args={"num_gpus": job.num_gpus, "service_s": job.service_s},
+                    ts=s_to_ms(now),
+                )
+        self._queue_finalize()
 
-            if next_arrival_idx >= n and not policy.running and not policy.pending:
-                break
+    def _on_finalize(self) -> None:
+        """Close the current instant: fire a due policy timer, check
+        the drain condition, recompute rates and candidate times, and
+        aim the single wakeup event at the earliest candidate."""
+        self._finalize_pending = False
+        policy = self.policy
+        now = self._now
+        n = len(self.jobs)
 
-        return DLSimResult(policy=policy.name, jobs=self.jobs, horizon_s=max(now, 1.0))
+        # Policy timer (checked after completions/arrivals, as before —
+        # a timer that came due while the cluster slept fires late, at
+        # the next event, matching Gandiva's original migration cadence).
+        timer = policy.next_timer(now)
+        if timer is not None and timer <= now + _EPS:
+            policy.on_timer(now)
+            policy.reschedule(now)
+
+        if self._next_arrival >= n and not policy.running and not policy.pending:
+            self._loop.stop()           # drained
+            return
+
+        policy.rates(now)
+        t_candidates: list[float] = []
+        if self._next_arrival < n:
+            t_candidates.append(self.jobs[self._next_arrival].arrival_s)
+        for state in policy.running.values():
+            if state.rate > _EPS:
+                t_candidates.append(now + state.remaining_s / state.rate)
+            elif state.paused_until is not None:
+                t_candidates.append(state.paused_until)
+        timer = policy.next_timer(now)
+        if timer is not None and (policy.running or policy.pending):
+            t_candidates.append(timer)
+        if not t_candidates:
+            self._loop.stop()           # nothing can ever happen again
+            return
+        t_next = min(t_candidates)
+        san = self._san
+        if san is not None:
+            san.check_dl_time(now, t_next)
+            san.check_dl_pool(self.pool.load, self.pool.dli)
+        if t_next > self.max_horizon_s:
+            self._loop.stop()
+            return
+        if self._wake_handle is not None:
+            self._wake_handle.cancel()
+        self._wake_handle = self._loop.schedule_at(t_next, self._on_wake, priority=_P_WAKE)
 
 
 def run_dl_comparison(

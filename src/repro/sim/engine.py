@@ -1,14 +1,28 @@
 """Discrete-event simulation engine.
 
 A minimal, allocation-light event loop used by every simulator in this
-package.  Events are ``(time, seq, callback)`` triples kept in a binary
-heap; ``seq`` is a monotonically increasing tie-breaker so that events
-scheduled for the same instant fire in FIFO order, which keeps runs
-deterministic.
+package: :class:`~repro.sim.simulator.KubeKnotsSimulator` drives its
+tick quantum, heartbeats, scheduling passes, submissions and
+fault/repair plan through it (via :mod:`repro.sim.harness`), and
+:class:`~repro.sim.dlsim.DLClusterSimulator` runs its
+advance-and-recompute cycle as wakeup/arrival/finalize events.
+
+Events are ``(time, priority, seq)``-ordered entries kept in a binary
+heap; ``priority`` breaks ties between events at the same instant
+(lower fires first) and ``seq`` is a monotonically increasing
+tie-breaker so equal-(time, priority) events fire in FIFO order, which
+keeps runs deterministic.
 
 Time is a ``float`` in **milliseconds** throughout the package unless a
 module documents otherwise (the DL simulator in :mod:`repro.sim.dlsim`
-uses seconds, matching the Tiresias simulator it replaces).
+uses seconds, matching the Tiresias simulator it replaces; it passes
+``clock_scale=1000`` so observability timestamps stay in the
+package-wide millisecond convention).
+
+Because time only advances to the next *scheduled* event, an idle
+stretch costs whatever events are scheduled across it — the cluster
+simulator exploits this by fast-forwarding its tick chains over
+quiescent spans (see ``docs/performance.md``).
 
 The loop can carry an :class:`repro.obs.Observability` bundle: each
 fired event then advances the shared sim clock, bumps the
@@ -32,16 +46,17 @@ from typing import Any, Callable
 
 from repro.obs.context import NOOP, Observability
 
-__all__ = ["EventHandle", "EventLoop", "SimulationError"]
+__all__ = ["EventHandle", "EventLoop", "RepeatingEvent", "SimulationError"]
 
 
 class SimulationError(RuntimeError):
     """Raised on invalid use of the event loop (e.g. scheduling in the past)."""
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class _Event:
     time: float
+    priority: int
     seq: int
     callback: Callable[..., None] = field(compare=False)
     args: tuple = field(compare=False, default=())
@@ -72,12 +87,74 @@ class EventHandle:
     def cancelled(self) -> bool:
         return self._event.cancelled
 
+    @property
+    def fired(self) -> bool:
+        return self._event.fired
+
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
         event = self._event
         if not event.cancelled and not event.fired:
             event.cancelled = True
             self._loop._pending -= 1
+
+
+class RepeatingEvent:
+    """A self-rescheduling periodic event, created by :meth:`EventLoop.every`.
+
+    The next occurrence is scheduled *before* the callback runs, so
+    :attr:`next_time` is always valid inside the callback and
+    :meth:`skip_to` may be called from within it (the pre-scheduled
+    occurrence is cancelled and replaced).
+    """
+
+    __slots__ = ("_loop", "interval", "callback", "priority", "_handle", "_cancelled")
+
+    def __init__(
+        self,
+        loop: "EventLoop",
+        interval: float,
+        callback: Callable[[float], None],
+        start_at: float,
+        priority: int,
+    ) -> None:
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be positive, got {interval}")
+        self._loop = loop
+        self.interval = float(interval)
+        self.callback = callback
+        self.priority = priority
+        self._cancelled = False
+        self._handle = loop.schedule_at(start_at, self._fire, priority=priority)
+
+    @property
+    def next_time(self) -> float:
+        """Time of the next scheduled occurrence."""
+        return self._handle.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def _fire(self) -> None:
+        now = self._loop.now
+        self._handle = self._loop.schedule_at(
+            now + self.interval, self._fire, priority=self.priority
+        )
+        self.callback(now)
+
+    def cancel(self) -> None:
+        """Stop the recurrence.  Idempotent."""
+        self._cancelled = True
+        self._handle.cancel()
+
+    def skip_to(self, when: float) -> None:
+        """Move the next occurrence to ``when``, dropping occurrences
+        in between (the idle fast-forward hook)."""
+        if self._cancelled:
+            raise SimulationError("cannot skip a cancelled periodic event")
+        self._handle.cancel()
+        self._handle = self._loop.schedule_at(when, self._fire, priority=self.priority)
 
 
 class EventLoop:
@@ -93,16 +170,26 @@ class EventLoop:
     ['a', 'b']
     """
 
-    def __init__(self, start_time: float = 0.0, obs: Observability | None = None) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        obs: Observability | None = None,
+        clock_scale: float = 1.0,
+    ) -> None:
         self._now = float(start_time)
         self._heap: list[_Event] = []
         self._seq = itertools.count()
         self._running = False
+        self._stop_requested = False
         # Live count of pending (scheduled, neither fired nor cancelled)
         # events, maintained on schedule/cancel/fire so ``len(loop)`` is
         # O(1) instead of an O(n) heap scan.
         self._pending = 0
         self.obs = obs or NOOP
+        #: Factor applied to event times when stamping the shared obs
+        #: clock — lets a simulator keep its native time unit while
+        #: traces/metrics stay in the package-wide milliseconds.
+        self.clock_scale = float(clock_scale)
         self._san = self.obs.sanitizer
         self._fired_total = 0
         self._m_fired = self.obs.metrics.counter(
@@ -118,16 +205,24 @@ class EventLoop:
         """Number of pending (non-cancelled) events.  O(1)."""
         return self._pending
 
-    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any, priority: int = 0
+    ) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` time units from now."""
         if delay < 0:
             if self._san is not None:
                 self._san.check_schedule(self._now, self._now + delay)
             raise SimulationError(f"cannot schedule event {delay} units in the past")
-        return self.schedule_at(self._now + delay, callback, *args)
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
 
-    def schedule_at(self, when: float, callback: Callable[..., None], *args: Any) -> EventHandle:
-        """Schedule ``callback(*args)`` to run at absolute time ``when``."""
+    def schedule_at(
+        self, when: float, callback: Callable[..., None], *args: Any, priority: int = 0
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run at absolute time ``when``.
+
+        ``priority`` orders events at the same instant: lower values
+        fire first; equal priorities fire in FIFO order.
+        """
         if when < self._now:
             if self._san is not None:
                 # Audits the breach and (by default) raises SanitizerError.
@@ -135,10 +230,33 @@ class EventLoop:
             raise SimulationError(
                 f"cannot schedule event at t={when} before current time t={self._now}"
             )
-        event = _Event(float(when), next(self._seq), callback, args)
+        event = _Event(float(when), priority, next(self._seq), callback, args)
         heapq.heappush(self._heap, event)
         self._pending += 1
         return EventHandle(event, self)
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[[float], None],
+        *,
+        start_at: float | None = None,
+        priority: int = 0,
+    ) -> RepeatingEvent:
+        """Schedule ``callback(now)`` every ``interval`` time units.
+
+        The first occurrence fires at ``start_at`` (default: one
+        interval from now).  Returns a :class:`RepeatingEvent` whose
+        :meth:`~RepeatingEvent.cancel` stops the recurrence and whose
+        :meth:`~RepeatingEvent.skip_to` jumps it forward.
+        """
+        first = self._now + interval if start_at is None else start_at
+        return RepeatingEvent(self, interval, callback, first, priority)
+
+    def stop(self) -> None:
+        """Ask the current (or next) :meth:`run` to halt after the
+        in-flight event.  Pending events stay scheduled."""
+        self._stop_requested = True
 
     def step(self) -> bool:
         """Fire the single next pending event.
@@ -162,7 +280,7 @@ class EventLoop:
                     san.check_heap(self._pending, live)
             obs = self.obs
             if obs.enabled:
-                obs.clock.now = event.time
+                obs.clock.now = event.time * self.clock_scale
                 self._m_fired.inc()
                 tracer = obs.tracer
                 if tracer.enabled:
@@ -191,14 +309,18 @@ class EventLoop:
         Returns
         -------
         int
-            The number of events fired.
+            The number of events fired.  The run also ends when a
+            callback calls :meth:`stop` (pending events stay queued).
         """
         if self._running:
             raise SimulationError("event loop is already running (re-entrant run())")
         self._running = True
+        self._stop_requested = False
         fired = 0
         try:
             while self._heap:
+                if self._stop_requested:
+                    break
                 if max_events is not None and fired >= max_events:
                     break
                 nxt = self._peek()

@@ -6,6 +6,18 @@ into the node TSDBs, the scheduler runs its passes, kubelets execute
 pods on the simulated GPUs, and energy/QoS/JCT accounting is collected
 into a :class:`SimResult` that the experiment modules turn into the
 paper's figures.
+
+The driver is event-driven: submissions, Knots heartbeats, scheduling
+passes, device faults/repairs and the execution/telemetry quantum are
+first-class events on the shared :class:`repro.sim.engine.EventLoop`,
+phase-ordered by the priorities in :mod:`repro.sim.harness`.  When the
+cluster is provably quiescent (no unfinished pods, every device asleep
+or failed, no fault plan outstanding) the per-tick chains fast-forward
+to the next arrival, accounting for the skipped span in closed form —
+same-seed outputs stay bit-identical to the reference tick loop
+(:func:`repro.sim.reference.run_tick_reference`, pinned by
+``tests/test_sim_equivalence.py``) while idle spans cost events, not
+ticks.
 """
 
 from __future__ import annotations
@@ -22,6 +34,17 @@ from repro.kube.api import EventType
 from repro.kube.kubelet import KubeletConfig
 from repro.kube.pod import Pod
 from repro.obs.context import NOOP, Observability
+from repro.sim.engine import EventLoop
+from repro.sim.harness import (
+    PHASE_HEARTBEAT,
+    PHASE_RECORD,
+    PHASE_SCHEDULE,
+    PHASE_SUBMIT,
+    PHASE_TICK_END,
+    FaultPlan,
+    TickHarness,
+    run_until_idle,
+)
 from repro.units import ms_to_s
 from repro.workloads.appmix import WorkloadItem
 from repro.workloads.base import QoSClass
@@ -49,6 +72,11 @@ class SimConfig:
     min_horizon_ms: float = 60_000.0
     prewarm_images: bool = True      # steady state: docker layers cached
     faults: tuple[DeviceFault, ...] = ()   # failure-injection plan
+    #: Jump the tick chains across provably idle spans (no unfinished
+    #: pods, all devices asleep/failed, no fault plan outstanding).
+    #: Output-equivalent to ticking through the span; turn off to force
+    #: every quantum to execute (e.g. when profiling the substrate).
+    fast_forward: bool = True
     knots: KnotsConfig = field(default_factory=KnotsConfig)
     kubelet: KubeletConfig = field(default_factory=KubeletConfig)
 
@@ -68,13 +96,24 @@ class SimResult:
     gpu_mem_series: dict[str, np.ndarray]     # gpu_id -> mem_util samples
     sample_times_ms: np.ndarray
 
+    # Derived-metric caches: every figure asks for completed()/
+    # latency_pods() repeatedly; pods never change after the run.
+    _completed: list[Pod] | None = field(default=None, init=False, repr=False, compare=False)
+    _latency: list[Pod] | None = field(default=None, init=False, repr=False, compare=False)
+
     # -- derived metrics -----------------------------------------------------
 
     def completed(self) -> list[Pod]:
-        return [p for p in self.pods if p.done]
+        if self._completed is None:
+            self._completed = [p for p in self.pods if p.done]
+        return self._completed
 
     def latency_pods(self) -> list[Pod]:
-        return [p for p in self.completed() if p.spec.qos_class is QoSClass.LATENCY_CRITICAL]
+        if self._latency is None:
+            self._latency = [
+                p for p in self.completed() if p.spec.qos_class is QoSClass.LATENCY_CRITICAL
+            ]
+        return self._latency
 
     def qos_violations(self) -> int:
         return sum(1 for p in self.latency_pods() if p.violates_qos())
@@ -97,7 +136,7 @@ class SimResult:
 
 
 class KubeKnotsSimulator:
-    """Discrete-time execution of one (cluster, scheduler, workload) run."""
+    """Event-driven execution of one (cluster, scheduler, workload) run."""
 
     def __init__(
         self,
@@ -126,6 +165,16 @@ class KubeKnotsSimulator:
         self._util_hist: dict[str, list[float]] = {g.gpu_id: [] for g in cluster.gpus()}
         self._mem_hist: dict[str, list[float]] = {g.gpu_id: [] for g in cluster.gpus()}
         self._times: list[float] = []
+        #: Run statistics (populated by :meth:`run`).
+        self.events_fired = 0
+        self.fast_forwards = 0
+        self.ticks_skipped = 0
+        self._m_ff = self.obs.metrics.counter(
+            "sim_fast_forwards_total", "Idle spans fast-forwarded by the simulator"
+        )
+        self._m_skipped = self.obs.metrics.counter(
+            "sim_ticks_skipped_total", "Tick quanta skipped by idle fast-forward"
+        )
 
     def run(self) -> SimResult:
         cfg = self.config
@@ -139,70 +188,35 @@ class KubeKnotsSimulator:
                 ts=0.0,
             )
         arrival_end = self.workload[-1][0] if self.workload else 0.0
-        horizon = max(arrival_end * cfg.horizon_factor, cfg.min_horizon_ms)
+        self._horizon = max(arrival_end * cfg.horizon_factor, cfg.min_horizon_ms)
+        self._makespan = 0.0
+        self._next_submit = 0
 
-        fail_plan = sorted(cfg.faults, key=lambda f: f.at_ms)
-        repairs: list[tuple[float, str]] = []
-        next_fault = 0
+        loop = EventLoop(obs=obs)
+        self._loop = loop
+        harness = TickHarness(loop, cfg.tick_ms, self._on_quantum)
+        self._harness = harness
+        harness.every_tick(self._on_record, priority=PHASE_RECORD)
+        harness.every_tick(self._on_tick_end, priority=PHASE_TICK_END)
+        self._hb = harness.periodic(
+            cfg.knots.heartbeat_ms, self._on_heartbeat, priority=PHASE_HEARTBEAT
+        )
+        self._sched = harness.periodic(
+            cfg.schedule_interval_ms, self._on_schedule, priority=PHASE_SCHEDULE
+        )
+        self._faults = FaultPlan(harness, cfg.faults, self._fail_gpu, self._repair_gpu)
+        for at_ms, spec in self.workload:
+            harness.at(max(at_ms, 0.0), self._on_submit, spec, priority=PHASE_SUBMIT)
 
-        next_submit = 0
-        next_schedule = 0.0
-        next_heartbeat = 0.0
-        t = 0.0
-        while True:
-            if obs.enabled:
-                obs.clock.now = t
-            # 0. failure-injection plan
-            while next_fault < len(fail_plan) and fail_plan[next_fault].at_ms <= t:
-                fault = fail_plan[next_fault]
-                next_fault += 1
-                gpu = self.cluster.find_gpu(fault.gpu_id)
-                if not gpu.failed:
-                    gpu.fail()
-                    repairs.append((fault.at_ms + fault.duration_ms, fault.gpu_id))
-            for when, gpu_id in list(repairs):
-                if when <= t:
-                    self.cluster.find_gpu(gpu_id).repair()
-                    repairs.remove((when, gpu_id))
-
-            # 1. submissions due this tick
-            while next_submit < len(self.workload) and self.workload[next_submit][0] <= t:
-                pod = api.submit(self.workload[next_submit][1], t)
-                next_submit += 1
-                if tracer.enabled:
-                    tracer.instant(
-                        "submit", cat="workload",
-                        args={"pod": pod.uid, "image": pod.spec.image}, ts=t,
-                    )
-
-            # 2. execute one quantum on every node
-            self.orchestrator.step_kubelets(t, cfg.tick_ms)
-
-            # 3. telemetry heartbeat into the node TSDBs (paced by the
-            #    Knots heartbeat interval — the scheduler only sees what
-            #    the monitoring plane actually sampled)
-            if t >= next_heartbeat:
-                self.orchestrator.heartbeat(t)
-                next_heartbeat = t + cfg.knots.heartbeat_ms
-            self._record(t, cfg.tick_ms)
-
-            # 4. scheduling pass
-            if t >= next_schedule:
-                self.orchestrator.scheduling_pass(t)
-                next_schedule = t + cfg.schedule_interval_ms
-
-            t += cfg.tick_ms
-            if next_submit >= len(self.workload) and api.all_done():
-                break
-            if t > horizon:
-                break
+        self.events_fired = run_until_idle(loop)
+        t_end = self._makespan
 
         if tracer.enabled:
-            tracer.end(args={"makespan_ms": t}, ts=t)
+            tracer.end(args={"makespan_ms": t_end}, ts=t_end)
         return SimResult(
             scheduler=self.orchestrator.scheduler.name,
             pods=api.pods(),
-            makespan_ms=t,
+            makespan_ms=t_end,
             energy_j_per_gpu={k: v for k, v in self._energy_j.items()},
             oom_kills=len(api.events_of(EventType.OOM_KILLED)),
             evictions=len(api.events_of(EventType.EVICTED)),
@@ -211,6 +225,158 @@ class KubeKnotsSimulator:
             gpu_mem_series={k: np.asarray(v) for k, v in self._mem_hist.items()},
             sample_times_ms=np.asarray(self._times),
         )
+
+    # -- event handlers ------------------------------------------------------
+
+    def _on_submit(self, spec) -> None:
+        """A workload arrival.  The harness defers the raw arrival time
+        onto the tick grid, so this fires at the tick the old loop
+        would have submitted on (the first grid tick >= the arrival)
+        with the simulated clock already stamped to that tick."""
+        t = self._loop.now
+        pod = self.orchestrator.api.submit(spec, t)
+        self._next_submit += 1
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "submit", cat="workload",
+                args={"pod": pod.uid, "image": pod.spec.image}, ts=t,
+            )
+
+    def _on_quantum(self, now: float) -> None:
+        """Execute one quantum on every node."""
+        self.orchestrator.step_kubelets(now, self.config.tick_ms)
+
+    def _on_heartbeat(self, now: float) -> None:
+        """Telemetry heartbeat into the node TSDBs (paced by the Knots
+        heartbeat interval — the scheduler only sees what the
+        monitoring plane actually sampled)."""
+        self.orchestrator.heartbeat(now)
+
+    def _on_schedule(self, now: float) -> None:
+        self.orchestrator.scheduling_pass(now)
+
+    def _fail_gpu(self, gpu_id: str) -> bool:
+        return self.orchestrator.fail_gpu(gpu_id)
+
+    def _repair_gpu(self, gpu_id: str) -> None:
+        self.orchestrator.repair_gpu(gpu_id)
+
+    def _on_tick_end(self, now: float) -> None:
+        """End-of-tick bookkeeping: termination checks (after the
+        scheduling phase, like the old loop) and the idle fast-forward
+        opportunity check."""
+        t_next = now + self.config.tick_ms
+        if self._next_submit >= len(self.workload) and self.orchestrator.api.all_done():
+            self._makespan = t_next
+            self._loop.stop()
+            return
+        if t_next > self._horizon:
+            self._makespan = t_next
+            self._loop.stop()
+            return
+        if self.config.fast_forward:
+            self._maybe_fast_forward(now, t_next)
+
+    # -- idle fast-forward ---------------------------------------------------
+
+    def _maybe_fast_forward(self, now: float, t_next: float) -> None:
+        """Jump the tick chains across a provably idle span.
+
+        Guards: every submitted pod has succeeded (so no kubelet has
+        work, no scheduler pass can act), every device is asleep or
+        failed (so the driver's auto-p-state clock has already settled
+        and arbitration is a fixed point), and no fault/repair event is
+        outstanding (a repair would wake hardware mid-span).  Under
+        those conditions each skipped tick is a no-op up to constant
+        per-device telemetry, which is accounted in closed form below —
+        bit-identical floats, because energy accumulates by the same
+        repeated addition and the tick grid is produced by the same
+        ``t + tick_ms`` chain the live path uses.
+        """
+        api = self.orchestrator.api
+        if not api.all_done():
+            return
+        a_raw = self.workload[self._next_submit][0]
+        if a_raw <= t_next:
+            return                      # next arrival lands on the very next tick
+        if self._faults.pending:
+            return
+        gpus = list(self.cluster.gpus())
+        if any(not (g.asleep or g.failed) for g in gpus):
+            return                      # a device is awake: auto-p-state still settling
+
+        cfg = self.config
+        tick = cfg.tick_ms
+        hb_ms = cfg.knots.heartbeat_ms
+        san = self.obs.sanitizer
+        slack = san.staleness_slack if san is not None else 2.0
+        # Every TSDB read is bounded to the last ``window_ms``; only
+        # heartbeats inside that window (plus staleness slack) before
+        # the resume tick are observable.  Skip the rest.
+        tail_from = a_raw - cfg.knots.window_ms - (slack + 2.0) * hb_ms - 2.0 * tick
+        next_hb = self._hb.next_due
+        next_sched = self._sched.next_due
+        times = self._times
+        horizon = self._horizon
+        stopped = False
+        skipped = 0
+        tp = t_next
+        while tp < a_raw:
+            times.append(tp)
+            skipped += 1
+            if tp >= next_hb:
+                if tp >= tail_from:
+                    self.orchestrator.heartbeat(tp)
+                next_hb = tp + hb_ms
+            if tp >= next_sched:
+                # The pass is skipped outright: with no pending pods, no
+                # residents and no awake devices, every shipped policy
+                # provably returns no actions.
+                next_sched = tp + cfg.schedule_interval_ms
+            t_after = tp + tick
+            if t_after > horizon:
+                self._makespan = t_after
+                stopped = True
+                break
+            tp = t_after
+
+        # Per-device telemetry over the span is constant: arbitration of
+        # an empty, parked device is a fixed point of the live path.
+        ms = ms_to_s(tick)
+        for gpu in gpus:
+            s = gpu.last_sample
+            power = s.power_w if s.num_containers or not gpu.asleep else gpu.power_model.sleep_watts
+            inc = power * ms
+            e = self._energy_j[gpu.gpu_id]
+            for _ in range(skipped):
+                e += inc
+            self._energy_j[gpu.gpu_id] = e
+            self._util_hist[gpu.gpu_id].extend([s.sm_util] * skipped)
+            self._mem_hist[gpu.gpu_id].extend([s.mem_util] * skipped)
+
+        if san is not None:
+            san.check_fast_forward(
+                now, tp, api.all_done(), all(g.asleep or g.failed for g in gpus)
+            )
+        self.fast_forwards += 1
+        self.ticks_skipped += skipped
+        if self.obs.enabled:
+            self._m_ff.inc()
+            self._m_skipped.inc(skipped)
+            if self.obs.tracer.enabled:
+                self.obs.tracer.instant(
+                    "fast_forward", cat="sim",
+                    args={"from_ms": now, "to_ms": tp, "ticks_skipped": skipped},
+                )
+        if stopped:
+            self._loop.stop()
+            return
+        self._harness.skip_to(tp)
+        self._hb.resync(next_hb)
+        self._sched.resync(next_sched)
+
+    # -- telemetry accounting ------------------------------------------------
 
     def _record(self, t: float, dt_ms: float) -> None:
         self._times.append(t)
@@ -241,6 +407,9 @@ class KubeKnotsSimulator:
             self.obs.tracer.counter(
                 "pending_pods", {"count": float(self.orchestrator.api.num_pending())}, ts=t
             )
+
+    def _on_record(self, now: float) -> None:
+        self._record(now, self.config.tick_ms)
 
 
 def run_appmix(

@@ -198,3 +198,152 @@ def test_len_matches_heap_survivors(plan):
     fired = loop.run()
     assert fired == live
     assert len(loop) == 0
+
+# -- same-instant priorities --------------------------------------------------
+
+
+def test_priority_orders_same_instant_events():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(1.0, fired.append, "late-phase", priority=7)
+    loop.schedule(1.0, fired.append, "early-phase", priority=0)
+    loop.schedule(1.0, fired.append, "mid-phase", priority=3)
+    loop.run()
+    assert fired == ["early-phase", "mid-phase", "late-phase"]
+
+
+def test_equal_priority_same_instant_is_fifo():
+    loop = EventLoop()
+    fired = []
+    for i in range(8):
+        loop.schedule(2.0, fired.append, i, priority=4)
+    loop.run()
+    assert fired == list(range(8))
+
+
+def test_priority_does_not_override_time():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(2.0, fired.append, "later", priority=0)
+    loop.schedule(1.0, fired.append, "earlier", priority=9)
+    loop.run()
+    assert fired == ["earlier", "later"]
+
+
+# -- stop() -------------------------------------------------------------------
+
+
+def test_stop_halts_run_and_keeps_pending_events():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(1.0, fired.append, "a")
+    loop.schedule(2.0, lambda: (fired.append("b"), loop.stop()))
+    loop.schedule(3.0, fired.append, "c")
+    n = loop.run()
+    assert n == 2
+    assert fired == ["a", "b"]
+    assert len(loop) == 1           # "c" stays queued
+    assert loop.run() == 1          # a fresh run drains it
+    assert fired == ["a", "b", "c"]
+
+
+def test_stop_request_cleared_on_run_entry():
+    loop = EventLoop()
+    loop.stop()                     # stale request before run()
+    fired = []
+    loop.schedule(1.0, fired.append, "x")
+    assert loop.run() == 1
+    assert fired == ["x"]
+
+
+# -- every() / RepeatingEvent -------------------------------------------------
+
+
+def test_every_fires_on_interval_grid():
+    loop = EventLoop()
+    ticks = []
+    rep = loop.every(10.0, ticks.append, start_at=0.0)
+    loop.schedule(35.0, loop.stop)
+    loop.run()
+    assert ticks == [0.0, 10.0, 20.0, 30.0]
+    assert rep.next_time == 40.0
+
+
+def test_every_default_start_is_one_interval_out():
+    loop = EventLoop()
+    ticks = []
+    loop.every(5.0, ticks.append)
+    loop.schedule(11.0, loop.stop)
+    loop.run()
+    assert ticks == [5.0, 10.0]
+
+
+def test_repeating_cancel_stops_recurrence():
+    loop = EventLoop()
+    ticks = []
+    rep = loop.every(1.0, ticks.append, start_at=1.0)
+    loop.schedule(3.5, rep.cancel)
+    loop.run()
+    assert ticks == [1.0, 2.0, 3.0]
+    assert rep.cancelled
+    assert len(loop) == 0
+
+
+def test_repeating_skip_to_from_within_callback():
+    """skip_to must be callable from inside the callback: the next
+    occurrence is pre-scheduled before the callback runs, and skip_to
+    replaces it."""
+    loop = EventLoop()
+    ticks = []
+
+    def tick(now: float) -> None:
+        ticks.append(now)
+        if now == 2.0:
+            rep.skip_to(10.0)
+        if now >= 11.0:
+            loop.stop()
+
+    rep = loop.every(1.0, tick, start_at=1.0)
+    loop.run()
+    assert ticks == [1.0, 2.0, 10.0, 11.0]
+
+
+def test_repeating_skip_to_after_cancel_rejected():
+    loop = EventLoop()
+    rep = loop.every(1.0, lambda now: None)
+    rep.cancel()
+    with pytest.raises(SimulationError):
+        rep.skip_to(5.0)
+
+
+def test_every_rejects_non_positive_interval():
+    loop = EventLoop()
+    with pytest.raises(SimulationError):
+        loop.every(0.0, lambda now: None)
+    with pytest.raises(SimulationError):
+        loop.every(-1.0, lambda now: None)
+
+
+# -- obs clock scaling --------------------------------------------------------
+
+
+def test_clock_scale_stamps_obs_clock_in_ms():
+    from repro.obs.context import Observability
+
+    obs = Observability(trace=True)
+    loop = EventLoop(obs=obs, clock_scale=1000.0)   # loop runs in seconds
+    stamped = []
+    loop.schedule(2.5, lambda: stamped.append(obs.clock.now))
+    loop.run()
+    assert stamped == [2500.0]
+
+
+def test_events_fired_counter_increments():
+    from repro.obs.context import Observability
+
+    obs = Observability(trace=True)
+    loop = EventLoop(obs=obs)
+    for i in range(4):
+        loop.schedule(float(i), lambda: None)
+    loop.run()
+    assert obs.metrics.get("engine_events_fired_total").value() == 4.0

@@ -107,3 +107,66 @@ class TestEndToEndFailover:
         cluster = make_paper_cluster(num_nodes=3)
         sim = KubeKnotsSimulator(cluster, make_scheduler("cbp"), self._workload())
         assert sim.run().evictions == 0
+
+
+class TestManyFaults:
+    """Regression for the old per-tick repair scan: with hundreds of
+    outstanding repairs the old loop re-scanned (and list.remove()d
+    from) the repair list every tick — O(n^2) across a fault storm.
+    Repairs are now cancellable scheduled events, so a storm costs one
+    event per fault plus one per repair."""
+
+    def test_fault_storm_completes_and_repairs_everything(self):
+        cluster = make_paper_cluster(num_nodes=8)
+        gpu_ids = [g.gpu_id for node in cluster for g in node.gpus]
+        # Several waves of faults across every device, overlapping and
+        # including duplicate faults on already-failed devices.
+        faults = []
+        for wave in range(4):
+            for i, gpu_id in enumerate(gpu_ids):
+                faults.append(DeviceFault(
+                    at_ms=100.0 * wave + 7.0 * i,
+                    gpu_id=gpu_id,
+                    duration_ms=350.0 + 13.0 * (i % 5),
+                ))
+        workload = [
+            (i * 50.0, make_spec(f"storm{i}", image=f"img/{i % 3}",
+                                 duration_ms=600.0, mem_mb=1_500.0))
+            for i in range(10)
+        ]
+        sim = KubeKnotsSimulator(
+            cluster, make_scheduler("cbp"), workload,
+            SimConfig(min_horizon_ms=60_000.0, faults=faults),
+        )
+        result = sim.run()
+        assert len(result.completed()) == len(result.pods)
+        # Every device came back: faults either repaired or swallowed.
+        assert sim._faults.pending == 0
+        assert all(not cluster.find_gpu(g).failed for g in gpu_ids)
+
+    def test_storm_event_count_is_linear_in_faults(self):
+        """Event count grows by at most a few events per fault (fault +
+        deferred hop + repair), not by faults x ticks."""
+        def run_with(n_faults: int) -> tuple[int, float]:
+            cluster = make_paper_cluster(num_nodes=8)
+            gpu_ids = [g.gpu_id for node in cluster for g in node.gpus]
+            faults = [
+                DeviceFault(at_ms=5.0 * i, gpu_id=gpu_ids[i % len(gpu_ids)],
+                            duration_ms=100.0)
+                for i in range(n_faults)
+            ]
+            sim = KubeKnotsSimulator(
+                cluster, make_scheduler("cbp"),
+                [(0.0, make_spec("one", duration_ms=300.0, mem_mb=1_000.0))],
+                SimConfig(min_horizon_ms=3_000.0, fast_forward=False, faults=faults),
+            )
+            result = sim.run()
+            return sim.events_fired, result.makespan_ms
+
+        base_events, base_makespan = run_with(0)
+        storm_events, storm_makespan = run_with(200)
+        assert storm_makespan >= base_makespan
+        # 200 faults add at most ~4 events each on top of the base run
+        # (plus the ticks added by a longer makespan).
+        ticks_delta = (storm_makespan - base_makespan) / 10.0
+        assert storm_events - base_events <= 4 * 200 + 8 * ticks_delta

@@ -154,3 +154,65 @@ class TestSimulationInvariants:
             for gpu in cluster.gpus():
                 assert not gpu.containers
                 assert gpu.allocated_mem_mb == 0.0
+
+
+# -- DL pool: take_compact ---------------------------------------------------
+
+
+class TestTakeCompactProperties:
+    """Contracts of :meth:`repro.sim.dlsim._Pool.take_compact`: the
+    gang-placement primitive every DL policy leans on."""
+
+    @staticmethod
+    def _pool(n_gpus, gpus_per_node, busy):
+        from repro.sim.dlsim import _Pool
+
+        pool = _Pool(n_gpus, gpus_per_node=gpus_per_node)
+        pool.take(g for g in busy if g < n_gpus)
+        return pool
+
+    @given(
+        n_nodes=st.integers(min_value=1, max_value=6),
+        gpus_per_node=st.integers(min_value=1, max_value=8),
+        busy=st.sets(st.integers(min_value=0, max_value=47), max_size=48),
+        k=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_take_compact_contract(self, n_nodes, gpus_per_node, busy, k):
+        n_gpus = n_nodes * gpus_per_node
+        pool = self._pool(n_gpus, gpus_per_node, busy)
+        free_before = set(int(g) for g in pool.free_ids())
+        load_before = pool.load.copy()
+
+        chosen = pool.take_compact(k)
+
+        # None exactly when there aren't k free devices.
+        if len(free_before) < k:
+            assert chosen is None
+            return
+        assert chosen is not None
+        # Exactly k distinct devices, all free.
+        assert len(chosen) == k
+        assert len(set(chosen)) == k
+        assert set(chosen) <= free_before
+        # Node-compactness: no placement over fewer nodes exists.  The
+        # greedy most-free-first fill achieves the optimum: the minimal
+        # node count is reached by taking the fullest nodes first.
+        free_per_node = sorted(
+            (sum(1 for g in free_before if pool.node_of(g) == n)
+             for n in range(n_nodes)),
+            reverse=True,
+        )
+        optimal = 0
+        remaining = k
+        for capacity in free_per_node:
+            if remaining <= 0:
+                break
+            optimal += 1
+            remaining -= capacity
+        assert pool.nodes_spanned(chosen) == optimal
+        # take/release round-trip restores the load vector untouched.
+        pool.take(chosen)
+        assert all(pool.load[g] == load_before[g] + 1 for g in chosen)
+        pool.release(chosen)
+        assert (pool.load == load_before).all()

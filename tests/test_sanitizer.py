@@ -242,7 +242,7 @@ class TestReporting:
         assert set(INVARIANTS) == {
             "memory_conservation", "sm_shares", "schedule_in_past",
             "time_monotonicity", "heap_consistency", "telemetry_staleness",
-            "pool_accounting",
+            "pool_accounting", "fast_forward_quiescence",
         }
 
 

@@ -1,0 +1,155 @@
+"""Same-seed equivalence: event-driven simulators vs the reference loops.
+
+The PR that moved both simulators onto the shared
+:class:`repro.sim.engine.EventLoop` pins bit-identical outputs against
+verbatim copies of the old hand-rolled time loops
+(:mod:`repro.sim.reference`).  Pod UIDs come from a process-global
+counter, so comparisons are positional and UID-invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import make_paper_cluster
+from repro.core.schedulers import make_scheduler
+from repro.sim.dlsim import DLClusterSimulator, make_dl_policy
+from repro.sim.reference import run_dl_reference, run_tick_reference
+from repro.sim.simulator import DeviceFault, KubeKnotsSimulator, SimConfig
+from repro.workloads.appmix import generate_appmix_workload
+from repro.workloads.dlt import DLWorkloadConfig, generate_dl_workload
+
+KK_SCHEDULERS = ["cbp", "peak-prediction", "uniform", "res-ag"]
+DL_POLICIES = ["cbp-pp", "gandiva", "res-ag", "tiresias"]
+
+
+def pod_signature(result):
+    """UID-invariant per-pod lifecycle signature, in submission order."""
+    return [
+        (str(p.phase), p.submitted_ms, p.started_ms, p.finished_ms,
+         p.gpu_id, p.alloc_mb, p.restart_count)
+        for p in result.pods
+    ]
+
+
+def assert_kk_identical(ra, rb, tag):
+    assert ra.makespan_ms == rb.makespan_ms, tag
+    assert ra.energy_j_per_gpu == rb.energy_j_per_gpu, tag
+    assert np.array_equal(ra.sample_times_ms, rb.sample_times_ms), tag
+    assert set(ra.gpu_util_series) == set(rb.gpu_util_series), tag
+    for gpu_id in ra.gpu_util_series:
+        assert np.array_equal(ra.gpu_util_series[gpu_id], rb.gpu_util_series[gpu_id]), (tag, gpu_id)
+        assert np.array_equal(ra.gpu_mem_series[gpu_id], rb.gpu_mem_series[gpu_id]), (tag, gpu_id)
+    assert pod_signature(ra) == pod_signature(rb), tag
+    assert (ra.oom_kills, ra.evictions, ra.resizes) == (rb.oom_kills, rb.evictions, rb.resizes), tag
+
+
+class TestKubeKnotsEquivalence:
+    @pytest.mark.parametrize("sched", KK_SCHEDULERS)
+    def test_dense_appmix_bit_identical(self, sched):
+        def build():
+            return KubeKnotsSimulator(
+                make_paper_cluster(num_nodes=3),
+                make_scheduler(sched),
+                generate_appmix_workload("app-mix-1", duration_s=2.0, seed=3),
+                SimConfig(min_horizon_ms=12_000.0),
+            )
+
+        a = build()
+        ra = a.run()
+        rb = run_tick_reference(build())
+        assert_kk_identical(ra, rb, sched)
+        assert a.events_fired > 0
+
+    def test_faults_and_cancellable_repairs_bit_identical(self):
+        faults = [
+            DeviceFault(at_ms=200.0, gpu_id="node1/gpu0", duration_ms=900.0),
+            DeviceFault(at_ms=350.0, gpu_id="node2/gpu0", duration_ms=400.0),
+            # Fault on an already-failed device: swallowed, no second repair.
+            DeviceFault(at_ms=400.0, gpu_id="node1/gpu0", duration_ms=100.0),
+        ]
+
+        def build():
+            return KubeKnotsSimulator(
+                make_paper_cluster(num_nodes=3),
+                make_scheduler("cbp"),
+                generate_appmix_workload("app-mix-1", duration_s=2.0, seed=3),
+                SimConfig(min_horizon_ms=12_000.0, faults=list(faults)),
+            )
+
+        assert_kk_identical(build().run(), run_tick_reference(build()), "faults")
+
+    def test_sparse_fast_forward_bit_identical(self):
+        """Stretched arrival gaps force idle spans: fast-forward must
+        actually fire and stay bit-identical to the tick-by-tick loop."""
+
+        def build():
+            wl = generate_appmix_workload("app-mix-1", duration_s=0.6, seed=5)
+            wl = [(at * 40.0, spec) for at, spec in wl]
+            return KubeKnotsSimulator(
+                make_paper_cluster(num_nodes=2),
+                make_scheduler("cbp"),
+                wl,
+                SimConfig(min_horizon_ms=4_000.0),
+            )
+
+        a = build()
+        ra = a.run()
+        rb = run_tick_reference(build())
+        assert_kk_identical(ra, rb, "sparse")
+        assert a.fast_forwards > 0
+        assert a.ticks_skipped > 0
+
+    def test_fast_forward_off_matches_too(self):
+        def build(ff):
+            wl = generate_appmix_workload("app-mix-1", duration_s=0.6, seed=5)
+            wl = [(at * 40.0, spec) for at, spec in wl]
+            return KubeKnotsSimulator(
+                make_paper_cluster(num_nodes=2),
+                make_scheduler("cbp"),
+                wl,
+                SimConfig(min_horizon_ms=4_000.0, fast_forward=ff),
+            )
+
+        a = build(False)
+        ra = a.run()
+        assert a.fast_forwards == 0
+        assert_kk_identical(ra, run_tick_reference(build(True)), "ff-off")
+
+
+class TestDLEquivalence:
+    @pytest.mark.parametrize("policy", DL_POLICIES)
+    def test_dl_policies_bit_identical(self, policy):
+        cfg = DLWorkloadConfig(n_training=20, n_inference=40, window_s=1200.0)
+
+        def build():
+            jobs = generate_dl_workload(cfg, seed=11)
+            return DLClusterSimulator(
+                jobs, make_dl_policy(policy), n_nodes=4, gpus_per_node=4
+            )
+
+        a = build()
+        ra = a.run()
+        rb = run_dl_reference(build())
+        assert ra.horizon_s == rb.horizon_s, policy
+        assert a.events_fired > 0
+        sig_a = [(j.job_id, str(j.kind), j.arrival_s, j.start_s, j.finish_s,
+                  j.preemptions, j.migrations) for j in ra.jobs]
+        sig_b = [(j.job_id, str(j.kind), j.arrival_s, j.start_s, j.finish_s,
+                  j.preemptions, j.migrations) for j in rb.jobs]
+        assert sig_a == sig_b, policy
+
+
+class TestSimResultCaching:
+    def test_completed_and_latency_are_cached(self):
+        sim = KubeKnotsSimulator(
+            make_paper_cluster(num_nodes=2),
+            make_scheduler("cbp"),
+            generate_appmix_workload("app-mix-1", duration_s=1.0, seed=1),
+            SimConfig(min_horizon_ms=8_000.0),
+        )
+        result = sim.run()
+        assert result.completed() is result.completed()
+        assert result.latency_pods() is result.latency_pods()
+        assert all(p.done for p in result.completed())
