@@ -90,6 +90,13 @@ class SanitizerError(RuntimeError):
         super().__init__(violation.render())
         self.violation = violation
 
+    def __reduce__(self):
+        # Default exception pickling would replay __init__ with the
+        # *rendered message* instead of the Violation, so a breach
+        # raised inside a sweep worker would cross the process-pool
+        # boundary as a TypeError.  Rebuild from the Violation itself.
+        return (SanitizerError, (self.violation,))
+
 
 class Sanitizer:
     """Invariant checker threaded through the simulators via ``obs``.

@@ -50,6 +50,10 @@ GATED_BENCHMARKS = {
     "sim_dense": "ms_run",
     "sim_sparse": "ms_run",
     "dlsim_loop": "ms_run",
+    # Gated on the warm-cache read path (``BENCH_sweep.json``): stable
+    # across runner core counts, unlike the parallel speedup, which is
+    # recorded for information alongside ``host_cpus``.
+    "sweep_parallel": "ms_warm",
 }
 
 #: The scale the acceptance numbers are quoted at.
@@ -257,9 +261,10 @@ def run_benchmarks(quick: bool = False, only: list[str] | None = None) -> dict:
         bench_sim_dense,
         bench_sim_sparse,
     )
+    from repro.bench.sweep import SWEEP_BENCHMARKS, bench_sweep_parallel
 
     all_benches = ("tsdb_window_query", "correlation_matrix", "ar1_heartbeat_fit",
-                   "cbp_pass", "pp_pass", "simulate_e2e") + SIMLOOP_BENCHMARKS
+                   "cbp_pass", "pp_pass", "simulate_e2e") + SIMLOOP_BENCHMARKS + SWEEP_BENCHMARKS
     selected = set(only) if only else set(all_benches)
     unknown = selected - set(all_benches)
     if unknown:
@@ -290,6 +295,8 @@ def run_benchmarks(quick: bool = False, only: list[str] | None = None) -> dict:
         results["sim_sparse"] = bench_sim_sparse(quick)
     if "dlsim_loop" in selected:
         results["dlsim_loop"] = bench_dlsim_loop(quick)
+    if "sweep_parallel" in selected:
+        results["sweep_parallel"] = bench_sweep_parallel(quick)
     return {
         "schema": "kube-knots/bench-hotpath/v1",
         "mode": "quick" if quick else "full",
@@ -339,6 +346,12 @@ def format_report(payload: dict) -> str:
                          f"{b['speedup']:.1f}x"))
         elif "ms_per_pass" in b:
             rows.append((name, f"{b['ms_per_pass']:.3f} ms/pass", f"{b['passes']} passes", ""))
+        elif "ms_warm" in b:
+            rows.append((name,
+                         f"{b['ms_cold_serial']:.0f} ms cold serial",
+                         f"{b['ms_cold_parallel']:.0f} ms cold x{b['jobs']} / "
+                         f"{b['ms_warm']:.1f} ms warm",
+                         f"{b['warm_speedup']:.0f}x warm"))
         else:
             rows.append((name, f"{b['ms']:.0f} ms", "", ""))
     return format_table(

@@ -5,6 +5,15 @@ The subcommands cover the workflows a user reaches for first:
 ``experiment``
     Regenerate one of the paper's figures/tables (or ``all``) and print
     the ASCII rendition — the same output recorded in EXPERIMENTS.md.
+    ``--jobs N`` fans cache misses across N worker processes and
+    ``--no-cache`` bypasses the persistent result store.
+``sweep``
+    Pre-compute the full experiment grid — every (app-mix x scheduler)
+    cluster run plus the four-policy DL comparison — through the
+    parallel sweep fabric (:mod:`repro.sweep`), filling the
+    content-addressed ``.repro-cache/`` store that ``experiment``
+    then reads.  Progress lands in ``sweep_*`` metrics
+    (``--metrics PATH``); reruns are near-free cache hits.
 ``simulate``
     One cluster run: a Table-I app-mix under a chosen scheduler, with a
     summary of utilization, QoS, energy and crash counts.
@@ -163,6 +172,9 @@ def _export_observability(obs, args: argparse.Namespace, audit_path) -> None:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.sweep import configure
+
+    configure(jobs=args.jobs, cache=not args.no_cache)
     names = EXPERIMENTS if args.name == "all" else (args.name,)
     for name in names:
         if name not in EXPERIMENTS:
@@ -306,6 +318,62 @@ def _cmd_dlsim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from time import perf_counter
+
+    from repro.experiments.runner import (
+        DEFAULT_SETTINGS,
+        MIX_ORDER,
+        QUICK_SETTINGS,
+        SCHEDULER_ORDER,
+    )
+    from repro.obs import Observability
+    from repro.sweep import DLTask, MixTask, SweepError, clear, configure, last_stats, run_tasks
+    from repro.workloads.dlt import DLWorkloadConfig
+
+    if args.clear:
+        clear(disk=True)
+        print("cleared the persistent result store (.repro-cache)")
+    configure(jobs=args.jobs, cache=not args.no_cache)
+    settings = QUICK_SETTINGS if args.quick else DEFAULT_SETTINGS
+    tasks: list = [MixTask(m, s, settings) for m in MIX_ORDER for s in SCHEDULER_ORDER]
+    dl_config = None
+    if args.quick:
+        dl_config = DLWorkloadConfig(n_training=100, n_inference=300, window_s=2 * 3_600.0)
+    tasks += [
+        DLTask(policy, jobs_seed=args.seed, config=dl_config)
+        for policy in ("res-ag", "gandiva", "tiresias", "cbp-pp")
+    ]
+    obs = Observability(metrics=True)
+    print(
+        f"sweep: {len(tasks)} tasks "
+        f"({len(MIX_ORDER) * len(SCHEDULER_ORDER)} cluster grid + 4 DL policies, "
+        f"{'quick' if args.quick else 'full'} settings)"
+    )
+    start = perf_counter()
+    try:
+        run_tasks(tasks, obs=obs)
+    except SanitizerError as exc:
+        print(f"sanitizer violation: {exc}", file=sys.stderr)
+        return 3
+    except SweepError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 1
+    wall = perf_counter() - start
+    stats = last_stats()
+    total = stats["hits"] + stats["misses"]
+    hit_pct = 100.0 * stats["hits"] / total if total else 0.0
+    print(
+        f"sweep: done in {wall:.1f}s — {stats['hits']} cache hits, "
+        f"{stats['misses']} misses ({hit_pct:.0f}% hit rate, "
+        f"{stats['workers']} workers for the misses)"
+    )
+    if args.metrics:
+        written = obs.export(metrics_path=args.metrics)
+        print(f"metrics: {written['metrics']} series -> {args.metrics}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.lint import main as lint_main
 
@@ -357,7 +425,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper figure/table")
     p_exp.add_argument("name", help=f"one of: {', '.join(EXPERIMENTS)}, or 'all'")
+    p_exp.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes for simulation cache misses "
+                            "(default: os.cpu_count())")
+    p_exp.add_argument("--no-cache", action="store_true", dest="no_cache",
+                       help="bypass the persistent result store (.repro-cache)")
     p_exp.set_defaults(func=_cmd_experiment)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="pre-compute the experiment grid in parallel into .repro-cache"
+    )
+    p_sweep.add_argument("--quick", action="store_true",
+                         help="reduced workloads (the CI smoke configuration)")
+    p_sweep.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="worker processes for cache misses (default: os.cpu_count(); "
+                              "1 = serial, no pool)")
+    p_sweep.add_argument("--seed", type=int, default=1, help="DL workload seed")
+    p_sweep.add_argument("--no-cache", action="store_true", dest="no_cache",
+                         help="recompute everything; do not read or write .repro-cache")
+    p_sweep.add_argument("--clear", action="store_true",
+                         help="delete the persistent store before sweeping")
+    p_sweep.add_argument("--metrics", default=None, metavar="PATH",
+                         help="write Prometheus text-format metrics incl. "
+                              "sweep_cache_{hits,misses}_total")
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_sim = sub.add_parser("simulate", help="run one app-mix under one scheduler")
     p_sim.add_argument("--mix", default="app-mix-1", help="Table-I mix name (or just 1/2/3)")

@@ -13,11 +13,10 @@
 
 from __future__ import annotations
 
-from repro.core.schedulers import CBPScheduler, PeakPredictionScheduler, ResourceAgnosticScheduler
-from repro.kube.api import EventType
+from repro.experiments.runner import ExperimentSettings
 from repro.metrics.percentiles import cluster_percentiles
 from repro.metrics.report import format_table
-from repro.sim.simulator import run_appmix
+from repro.sweep import MixTask, run_tasks
 
 __all__ = [
     "sweep_percentile",
@@ -28,8 +27,8 @@ __all__ = [
 ]
 
 
-def _run(scheduler, mix: str = "app-mix-1", duration_s: float = 12.0, seed: int = 1):
-    return run_appmix(mix, scheduler, duration_s=duration_s, seed=seed)
+def _settings(duration_s: float, seed: int) -> ExperimentSettings:
+    return ExperimentSettings(duration_s=duration_s, seed=seed)
 
 
 def sweep_percentile(
@@ -39,9 +38,13 @@ def sweep_percentile(
     seed: int = 1,
 ) -> list[dict]:
     """Resize-target sweep for PP."""
+    tasks = [
+        MixTask(mix, "peak-prediction", _settings(duration_s, seed),
+                scheduler_kwargs=(("percentile", float(q)),))
+        for q in percentiles
+    ]
     rows = []
-    for q in percentiles:
-        result = _run(PeakPredictionScheduler(percentile=q), mix, duration_s, seed)
+    for q, result in zip(percentiles, run_tasks(tasks)):
         util = cluster_percentiles(result.gpu_util_series)
         rows.append(
             {
@@ -63,9 +66,13 @@ def sweep_correlation_threshold(
     seed: int = 1,
 ) -> list[dict]:
     """Co-location gate sweep for CBP."""
+    tasks = [
+        MixTask(mix, "cbp", _settings(duration_s, seed),
+                scheduler_kwargs=(("correlation_threshold", float(t)),))
+        for t in thresholds
+    ]
     rows = []
-    for t in thresholds:
-        result = _run(CBPScheduler(correlation_threshold=t), mix, duration_s, seed)
+    for t, result in zip(thresholds, run_tasks(tasks)):
         util = cluster_percentiles(result.gpu_util_series)
         rows.append(
             {
@@ -82,9 +89,14 @@ def sweep_resag_clipping(
     mix: str = "app-mix-1", duration_s: float = 12.0, seed: int = 1
 ) -> list[dict]:
     """Res-Ag with/without request clipping."""
+    clips = (False, True)
+    tasks = [
+        MixTask(mix, "res-ag", _settings(duration_s, seed),
+                scheduler_kwargs=(("clip_requests", clip),))
+        for clip in clips
+    ]
     rows = []
-    for clip in (False, True):
-        result = _run(ResourceAgnosticScheduler(clip_requests=clip), mix, duration_s, seed)
+    for clip, result in zip(clips, run_tasks(tasks)):
         util = cluster_percentiles(result.gpu_util_series)
         rows.append(
             {
@@ -110,15 +122,12 @@ def sweep_heartbeat(
     multi-second heartbeats the scheduler effectively flies blind
     between samples (Sec. VI-D's cluster-level counterpart).
     """
-    from repro.core.knots import KnotsConfig
-    from repro.sim.simulator import SimConfig
-
+    tasks = [
+        MixTask(mix, "peak-prediction", _settings(duration_s, seed), heartbeat_ms=float(hb))
+        for hb in heartbeats_ms
+    ]
     rows = []
-    for hb in heartbeats_ms:
-        config = SimConfig(knots=KnotsConfig(heartbeat_ms=hb))
-        result = run_appmix(
-            mix, PeakPredictionScheduler(), duration_s=duration_s, seed=seed, config=config
-        )
+    for hb, result in zip(heartbeats_ms, run_tasks(tasks)):
         util = cluster_percentiles(result.gpu_util_series)
         rows.append(
             {

@@ -18,13 +18,11 @@ Table IV comparison is to our parameter choices):
 
 from __future__ import annotations
 
-import copy
-
 import numpy as np
 
 from repro.metrics.report import format_table
-from repro.sim.dlsim import DLClusterSimulator, make_dl_policy
-from repro.workloads.dlt import DLJobKind, DLWorkloadConfig, generate_dl_workload
+from repro.sweep import DLTask, run_tasks
+from repro.workloads.dlt import DLJobKind, DLWorkloadConfig
 
 __all__ = [
     "ABLATION_CONFIG",
@@ -40,19 +38,24 @@ ABLATION_CONFIG = DLWorkloadConfig(
 )
 
 
-def _run(policy, jobs):
-    jobs = copy.deepcopy(jobs)
-    return DLClusterSimulator(jobs, policy).run()
+def _sweep(policy: str, knob: str, values, seed: int) -> list:
+    """One DL run per knob value, fanned out through the sweep fabric."""
+    tasks = [
+        DLTask(policy, jobs_seed=seed, config=ABLATION_CONFIG,
+               policy_kwargs=((knob, value),))
+        for value in values
+    ]
+    return run_tasks(tasks)
 
 
 def sweep_gandiva_migration(
     intervals_s: tuple[float, ...] = (120.0, 600.0, 3_600.0),
     seed: int = 2,
 ) -> list[dict]:
-    jobs = generate_dl_workload(ABLATION_CONFIG, seed=seed)
     rows = []
-    for interval in intervals_s:
-        result = _run(make_dl_policy("gandiva", migration_interval_s=interval), jobs)
+    for interval, result in zip(
+        intervals_s, _sweep("gandiva", "migration_interval_s", intervals_s, seed)
+    ):
         dlt = result.jcts_s(DLJobKind.TRAINING)
         rows.append(
             {
@@ -69,10 +72,10 @@ def sweep_tiresias_threshold(
     thresholds_gpu_s: tuple[float, ...] = (1_000.0, 10_000.0, 100_000.0),
     seed: int = 2,
 ) -> list[dict]:
-    jobs = generate_dl_workload(ABLATION_CONFIG, seed=seed)
     rows = []
-    for threshold in thresholds_gpu_s:
-        result = _run(make_dl_policy("tiresias", queue_threshold_gpu_s=threshold), jobs)
+    for threshold, result in zip(
+        thresholds_gpu_s, _sweep("tiresias", "queue_threshold_gpu_s", thresholds_gpu_s, seed)
+    ):
         jct = result.jcts_s()
         rows.append(
             {
@@ -90,10 +93,8 @@ def sweep_cbp_pp_colocation(
     caps: tuple[int, ...] = (1, 4, 16),
     seed: int = 2,
 ) -> list[dict]:
-    jobs = generate_dl_workload(ABLATION_CONFIG, seed=seed)
     rows = []
-    for cap in caps:
-        result = _run(make_dl_policy("cbp-pp", max_dli_per_gpu=cap), jobs)
+    for cap, result in zip(caps, _sweep("cbp-pp", "max_dli_per_gpu", caps, seed)):
         dli = result.jcts_s(DLJobKind.INFERENCE)
         rows.append(
             {

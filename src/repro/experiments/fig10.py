@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.runner import DEFAULT_SETTINGS, ExperimentSettings, mix_run
+from repro.experiments.runner import DEFAULT_SETTINGS, MIX_ORDER, ExperimentSettings, mix_grid
 from repro.forecast.regressors import FORECASTERS
 from repro.forecast.window import evaluate_peak_predictor
 from repro.metrics.report import format_table
@@ -36,13 +36,11 @@ NOISE_SCALE = 0.008
 
 def run_fig10a(settings: ExperimentSettings = DEFAULT_SETTINGS) -> dict[str, dict[str, float]]:
     """``{mix: {scheduler: violations per kilo-inference}}``."""
-    out: dict[str, dict[str, float]] = {}
-    for mix in ("app-mix-1", "app-mix-2", "app-mix-3"):
-        out[mix] = {}
-        for sched in SCHEDULERS:
-            result = mix_run(mix, sched, settings)
-            out[mix][sched] = result.qos_violations_per_kilo()
-    return out
+    grid = mix_grid(schedulers=SCHEDULERS, settings=settings)
+    return {
+        mix: {sched: grid[(mix, sched)].qos_violations_per_kilo() for sched in SCHEDULERS}
+        for mix in MIX_ORDER
+    }
 
 
 def ground_truth_utilization(

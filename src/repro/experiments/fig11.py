@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.runner import DEFAULT_SETTINGS, ExperimentSettings, mix_run
+from repro.experiments.runner import DEFAULT_SETTINGS, MIX_ORDER, ExperimentSettings, mix_grid, mix_run
 from repro.metrics.cov import pairwise_load_cov
 from repro.metrics.energy import normalize_energy
 from repro.metrics.report import format_table
@@ -29,12 +29,14 @@ SCHEDULERS = ("res-ag", "cbp", "peak-prediction", "uniform")
 
 def run_fig11a(settings: ExperimentSettings = DEFAULT_SETTINGS) -> dict[str, dict[str, float]]:
     """``{mix: {scheduler: normalized mean cluster power}}``."""
+    grid = mix_grid(schedulers=SCHEDULERS, settings=settings)
     out: dict[str, dict[str, float]] = {}
-    for mix in ("app-mix-1", "app-mix-2", "app-mix-3"):
-        powers = {}
-        for sched in SCHEDULERS:
-            result = mix_run(mix, sched, settings)
-            powers[sched] = result.total_energy_j() / (result.makespan_ms / 1_000.0)
+    for mix in MIX_ORDER:
+        powers = {
+            sched: grid[(mix, sched)].total_energy_j()
+            / (grid[(mix, sched)].makespan_ms / 1_000.0)
+            for sched in SCHEDULERS
+        }
         out[mix] = normalize_energy(powers)
     return out
 

@@ -14,24 +14,30 @@ CBP+PP near zero.
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 import numpy as np
 
 from repro.metrics.jct import jct_cdf
 from repro.metrics.report import format_table
-from repro.sim.dlsim import DLSimResult, run_dl_comparison
+from repro.sim.dlsim import DLSimResult
+from repro.sweep import DLTask, run_tasks
 from repro.workloads.dlt import DLWorkloadConfig
 
 __all__ = ["dl_results", "run_fig12a", "run_fig12b", "main"]
 
 POLICY_ORDER = ("tiresias", "res-ag", "gandiva", "cbp-pp")
 
+#: Result-dict order of the four-policy comparison (the order
+#: ``run_dl_comparison`` historically produced).
+COMPARISON_ORDER = ("res-ag", "gandiva", "tiresias", "cbp-pp")
 
-@lru_cache(maxsize=8)
+
 def dl_results(seed: int = 1, config: DLWorkloadConfig | None = None) -> dict[str, DLSimResult]:
-    """Cached four-policy comparison on one paired workload."""
-    return run_dl_comparison(jobs_seed=seed, config=config)
+    """The four-policy comparison on one paired workload, via the sweep
+    fabric: each policy's run is cached independently in
+    ``.repro-cache/`` and cache misses fan out across the process
+    pool."""
+    tasks = [DLTask(policy=p, jobs_seed=seed, config=config) for p in COMPARISON_ORDER]
+    return dict(zip(COMPARISON_ORDER, run_tasks(tasks)))
 
 
 def run_fig12a(seed: int = 1, config: DLWorkloadConfig | None = None) -> dict[str, tuple[np.ndarray, np.ndarray]]:

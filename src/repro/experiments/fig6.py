@@ -12,7 +12,7 @@ by the GPU-agnostic sharing baseline.  The shapes the paper reads:
 
 from __future__ import annotations
 
-from repro.experiments.runner import DEFAULT_SETTINGS, ExperimentSettings, mix_run
+from repro.experiments.runner import DEFAULT_SETTINGS, MIX_ORDER, ExperimentSettings, mix_grid
 from repro.metrics.percentiles import node_percentiles
 from repro.metrics.report import format_table
 
@@ -28,9 +28,10 @@ def run_fig6(
     Returns ``{mix: {gpu_id: UtilPercentiles}}``.  ``scheduler`` is a
     parameter so Fig. 8 (same plot under PP) can share the code path.
     """
+    grid = mix_grid(schedulers=(scheduler,), settings=settings)
     out: dict[str, dict] = {}
-    for mix in ("app-mix-1", "app-mix-2", "app-mix-3"):
-        result = mix_run(mix, scheduler, settings)
+    for mix in MIX_ORDER:
+        result = grid[(mix, scheduler)]
         out[mix] = {
             gpu_id: node_percentiles(series)
             for gpu_id, series in sorted(result.gpu_util_series.items())

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.runner import DEFAULT_SETTINGS, ExperimentSettings, mix_run
+from repro.experiments.runner import DEFAULT_SETTINGS, MIX_ORDER, ExperimentSettings, mix_grid
 from repro.metrics.cov import node_covs_sorted
 from repro.metrics.report import format_table
 
@@ -23,11 +23,8 @@ def run_fig7(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
 ) -> dict[str, np.ndarray]:
     """Sorted per-node COV arrays, one per app-mix."""
-    out = {}
-    for mix in ("app-mix-1", "app-mix-2", "app-mix-3"):
-        result = mix_run(mix, scheduler, settings)
-        out[mix] = node_covs_sorted(result.gpu_util_series)
-    return out
+    grid = mix_grid(schedulers=(scheduler,), settings=settings)
+    return {mix: node_covs_sorted(grid[(mix, scheduler)].gpu_util_series) for mix in MIX_ORDER}
 
 
 def main() -> str:

@@ -14,7 +14,7 @@ fewer, hotter devices.
 
 from __future__ import annotations
 
-from repro.experiments.runner import DEFAULT_SETTINGS, ExperimentSettings, mix_run
+from repro.experiments.runner import DEFAULT_SETTINGS, MIX_ORDER, ExperimentSettings, mix_grid
 from repro.metrics.percentiles import UtilPercentiles, cluster_percentiles
 from repro.metrics.report import format_table
 
@@ -25,13 +25,14 @@ SCHEDULERS = ("peak-prediction", "cbp", "res-ag", "uniform")
 
 def run_fig9(settings: ExperimentSettings = DEFAULT_SETTINGS) -> dict[str, dict[str, UtilPercentiles]]:
     """``{mix: {scheduler: UtilPercentiles}}`` for the three-way comparison."""
-    out: dict[str, dict[str, UtilPercentiles]] = {}
-    for mix in ("app-mix-1", "app-mix-2", "app-mix-3"):
-        out[mix] = {}
-        for sched in SCHEDULERS:
-            result = mix_run(mix, sched, settings)
-            out[mix][sched] = cluster_percentiles(result.gpu_util_series)
-    return out
+    grid = mix_grid(schedulers=SCHEDULERS, settings=settings)
+    return {
+        mix: {
+            sched: cluster_percentiles(grid[(mix, sched)].gpu_util_series)
+            for sched in SCHEDULERS
+        }
+        for mix in MIX_ORDER
+    }
 
 
 def improvement(data: dict, mix: str, which: str = "p50", baseline: str = "res-ag") -> float:

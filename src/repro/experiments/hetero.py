@@ -18,11 +18,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.cluster.cluster import make_heterogeneous_cluster
-from repro.core.schedulers import make_scheduler
 from repro.kube.pod import PodSpec
 from repro.metrics.report import format_table
-from repro.sim.simulator import KubeKnotsSimulator, SimResult
+from repro.sim.simulator import SimResult
 from repro.workloads.base import Phase, QoSClass, ResourceDemand, WorkloadTrace
 from repro.workloads.djinn_tonic import QOS_THRESHOLD_MS, make_inference_trace
 
@@ -92,12 +90,10 @@ def build_hetero_workload(seed: int = 0, n_small: int = 12, n_big_wave: int = 4,
 
 def run_hetero(seed: int = 0) -> dict[str, SimResult]:
     """Paired comparison: plain PP vs hetero-PP on the Fig. 5 cluster."""
-    out = {}
-    for name in ("peak-prediction", "hetero-pp"):
-        cluster = make_heterogeneous_cluster(FIG5_MODELS)
-        sim = KubeKnotsSimulator(cluster, make_scheduler(name), build_hetero_workload(seed))
-        out[name] = sim.run()
-    return out
+    from repro.sweep import HeteroTask, run_tasks
+
+    names = ("peak-prediction", "hetero-pp")
+    return dict(zip(names, run_tasks([HeteroTask(name, seed) for name in names])))
 
 
 def main() -> str:

@@ -1,22 +1,37 @@
-"""Shared experiment driver with in-process result caching.
+"""Shared experiment driver over the sweep fabric.
 
 Figures 6-11 all consume the same grid of (app-mix x scheduler) cluster
 runs; running each figure's module independently must not re-simulate
-what another figure already produced, so results are memoised on the
-full parameter tuple.  The cache is per-process (no files), which keeps
-benchmark runs honest — each pytest-benchmark process pays for its own
-simulations once.
+what another figure already produced.  :func:`mix_run` and
+:func:`mix_grid` are thin views over :func:`repro.sweep.run_tasks`,
+which resolves each (mix, scheduler, settings) triple through an
+in-process memo, then the persistent content-addressed store in
+``.repro-cache/``, and only then a simulation — fanned across a
+process pool when more than one worker is configured (``python -m
+repro sweep --jobs N`` / ``repro.sweep.configure``).
+
+Cached, pooled and freshly simulated results are bit-identical; the
+cache invalidates itself on ``repro.__version__`` or schema-tag bumps
+and can be dropped explicitly with :func:`clear`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 
-from repro.core.schedulers import make_scheduler
-from repro.sim.simulator import SimConfig, SimResult, run_appmix
+from repro.sim.simulator import SimResult
+from repro.sweep import MixTask, run_tasks
 
-__all__ = ["ExperimentSettings", "DEFAULT_SETTINGS", "QUICK_SETTINGS", "mix_run", "mix_grid"]
+__all__ = [
+    "ExperimentSettings",
+    "DEFAULT_SETTINGS",
+    "QUICK_SETTINGS",
+    "SCHEDULER_ORDER",
+    "MIX_ORDER",
+    "mix_run",
+    "mix_grid",
+    "clear",
+]
 
 #: Scheduler names in the order the paper's figures list them.
 SCHEDULER_ORDER = ("res-ag", "cbp", "peak-prediction", "uniform")
@@ -43,24 +58,39 @@ DEFAULT_SETTINGS = ExperimentSettings()
 QUICK_SETTINGS = ExperimentSettings(duration_s=8.0)
 
 
-@lru_cache(maxsize=64)
-def mix_run(mix: str, scheduler: str, settings: ExperimentSettings = DEFAULT_SETTINGS) -> SimResult:
-    """One cached (mix, scheduler) cluster simulation."""
-    return run_appmix(
-        mix,
-        make_scheduler(scheduler),
-        duration_s=settings.duration_s,
-        seed=settings.seed,
-        num_nodes=settings.num_nodes,
-        config=SimConfig(fast_forward=settings.fast_forward),
-        load_factor=settings.load_factor,
-    )
+def mix_run(
+    mix: str, scheduler: str, settings: ExperimentSettings = DEFAULT_SETTINGS
+) -> SimResult:
+    """One (mix, scheduler) cluster simulation via the sweep fabric."""
+    return run_tasks([MixTask(mix, scheduler, settings)])[0]
 
 
 def mix_grid(
     schedulers: tuple[str, ...] = SCHEDULER_ORDER,
     mixes: tuple[str, ...] = MIX_ORDER,
     settings: ExperimentSettings = DEFAULT_SETTINGS,
+    jobs: int | None = None,
 ) -> dict[tuple[str, str], SimResult]:
-    """The full (mix, scheduler) result grid, cached per entry."""
-    return {(m, s): mix_run(m, s, settings) for m in mixes for s in schedulers}
+    """The full (mix, scheduler) result grid in one sweep.
+
+    All cache misses of the grid fan out across the process pool
+    together, so a cold ``mix_grid`` costs one batch of parallel
+    simulations rather than ``len(mixes) * len(schedulers)`` serial
+    ones.
+    """
+    pairs = [(m, s) for m in mixes for s in schedulers]
+    results = run_tasks([MixTask(m, s, settings) for m, s in pairs], jobs=jobs)
+    return dict(zip(pairs, results))
+
+
+def clear(disk: bool = False) -> None:
+    """Invalidate cached experiment results.
+
+    Drops the in-process memo; ``disk=True`` also deletes the
+    persistent ``.repro-cache/`` store.  This is the supported
+    invalidation API — reach for it after editing simulator code in a
+    live session, or to reclaim the cache directory.
+    """
+    from repro.sweep import clear as _sweep_clear
+
+    _sweep_clear(disk=disk)

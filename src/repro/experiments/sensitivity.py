@@ -15,10 +15,10 @@ a deployer would ask before adopting Kube-Knots:
 
 from __future__ import annotations
 
-from repro.core.schedulers import make_scheduler
+from repro.experiments.runner import ExperimentSettings
 from repro.metrics.percentiles import cluster_percentiles
 from repro.metrics.report import format_table
-from repro.sim.simulator import run_appmix
+from repro.sweep import MixTask, run_tasks
 
 __all__ = ["LOAD_FACTORS", "run_sensitivity", "main"]
 
@@ -33,28 +33,28 @@ def run_sensitivity(
     duration_s: float = 15.0,
     seed: int = 1,
 ) -> list[dict]:
-    """One row per (load factor, scheduler)."""
+    """One row per (load factor, scheduler); the whole grid is one sweep."""
+    points = [(load, name) for load in load_factors for name in schedulers]
+    tasks = [
+        MixTask(
+            mix, name,
+            ExperimentSettings(duration_s=duration_s, seed=seed, load_factor=load),
+        )
+        for load, name in points
+    ]
     rows = []
-    for load in load_factors:
-        for name in schedulers:
-            result = run_appmix(
-                mix,
-                make_scheduler(name),
-                duration_s=duration_s,
-                seed=seed,
-                load_factor=load,
-            )
-            util = cluster_percentiles(result.gpu_util_series)
-            rows.append(
-                {
-                    "load_factor": load,
-                    "scheduler": name,
-                    "util_p50": util.p50,
-                    "qos_per_kilo": result.qos_violations_per_kilo(),
-                    "oom_kills": result.oom_kills,
-                    "mean_power_w": result.total_energy_j() / (result.makespan_ms / 1_000.0),
-                }
-            )
+    for (load, name), result in zip(points, run_tasks(tasks)):
+        util = cluster_percentiles(result.gpu_util_series)
+        rows.append(
+            {
+                "load_factor": load,
+                "scheduler": name,
+                "util_p50": util.p50,
+                "qos_per_kilo": result.qos_violations_per_kilo(),
+                "oom_kills": result.oom_kills,
+                "mean_power_w": result.total_energy_j() / (result.makespan_ms / 1_000.0),
+            }
+        )
     return rows
 
 

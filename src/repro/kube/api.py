@@ -44,6 +44,10 @@ class APIServer:
         self._pods: dict[str, Pod] = {}
         self._pending: deque[str] = deque()
         self.events: list[PodEvent] = []
+        # Pods not yet SUCCEEDED, maintained on submit/succeed so the
+        # per-tick ``all_done`` termination check is O(1) instead of a
+        # scan over every pod ever submitted.
+        self._n_unfinished = 0
 
     # -- submission ---------------------------------------------------------
 
@@ -52,6 +56,7 @@ class APIServer:
         pod = Pod(spec=spec)
         pod.mark_submitted(now)
         self._pods[pod.uid] = pod
+        self._n_unfinished += 1
         self._pending.append(pod.uid)
         self._log(now, EventType.SUBMITTED, pod.uid)
         return pod
@@ -83,7 +88,7 @@ class APIServer:
         return [p for p in self._pods.values() if p.phase is not PodPhase.SUCCEEDED]
 
     def all_done(self) -> bool:
-        return all(p.phase is PodPhase.SUCCEEDED for p in self._pods.values())
+        return self._n_unfinished == 0
 
     # -- binding (scheduler -> node) -----------------------------------------
 
@@ -105,6 +110,8 @@ class APIServer:
         self._log(now, EventType.STARTED, pod.uid)
 
     def notify_succeeded(self, pod: Pod, now: float) -> None:
+        if pod.phase is not PodPhase.SUCCEEDED:
+            self._n_unfinished -= 1
         pod.mark_succeeded(now)
         self._log(now, EventType.SUCCEEDED, pod.uid)
 

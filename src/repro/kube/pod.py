@@ -16,9 +16,22 @@ from enum import Enum
 
 from repro.workloads.base import QoSClass, WorkloadTrace
 
-__all__ = ["PodPhase", "PodSpec", "Pod"]
+__all__ = ["PodPhase", "PodSpec", "Pod", "reset_uid_counter"]
 
 _uid_counter = itertools.count(1)
+
+
+def reset_uid_counter() -> None:
+    """Restart pod UIDs at ``pod-1``.
+
+    Each simulator run calls this before creating pods so a run's UIDs
+    are a function of the run alone, not of how many simulations the
+    process happened to execute earlier — which is what lets the sweep
+    fabric pin serial, pooled and cached results bit-identical.  UIDs
+    are therefore unique within one run, not across runs.
+    """
+    global _uid_counter
+    _uid_counter = itertools.count(1)
 
 
 class PodPhase(Enum):

@@ -41,6 +41,7 @@ pinned bit-identical to the original advance-and-recompute loop
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -568,14 +569,12 @@ class DLClusterSimulator:
         self._now = 0.0
         self._next_arrival = 0
         self._wake_handle = None
-        self._finalize_pending = False
-        for idx, job in enumerate(self.jobs):
-            loop.schedule_at(
-                max(job.arrival_s, 0.0), self._on_arrival, idx, priority=_P_ARRIVAL
-            )
-        # The initial finalize mirrors the old loop's first iteration:
-        # recompute rates/candidates at t=0 and aim the first wakeup.
-        self._finalize_pending = True
+        # Arrivals are *not* scheduled as events: the next arrival time
+        # is always in the drive cycle's candidate set, so every step
+        # lands at (or within the batching slop before) every arrival
+        # instant and submits due jobs inline — the old loop's
+        # ``while`` check, minus one heap event per job.  The single
+        # bootstrap finalize then drives the whole cycle inline.
         loop.schedule_at(0.0, self._on_finalize, priority=_P_FINALIZE)
         self.events_fired = run_until_idle(loop)
         return DLSimResult(
@@ -594,18 +593,10 @@ class DLClusterSimulator:
                     state.remaining_s -= dt * state.rate
         self._now = t
 
-    def _queue_finalize(self) -> None:
-        """Ensure exactly one finalize event closes the current instant."""
-        if not self._finalize_pending:
-            self._finalize_pending = True
-            self._loop.schedule_at(self._now, self._on_finalize, priority=_P_FINALIZE)
-
-    def _on_wake(self) -> None:
-        """The next completion / pause-expiry / timer candidate is due:
-        advance progress and retire finished jobs (in job-id order, like
-        the old loop's same-instant completion batch)."""
+    def _retire_done(self) -> None:
+        """Retire finished jobs in job-id order, like the old loop's
+        same-instant completion batch."""
         policy = self.policy
-        self._advance_to(self._loop.now)
         now = self._now
         done = [s for s in policy.running.values() if s.remaining_s <= 1e-6]
         for state in sorted(done, key=lambda s: s.job.job_id):
@@ -619,80 +610,158 @@ class DLClusterSimulator:
                         f"dljob:{state.job.kind.value}", f"{policy.name}/{state.job.job_id}",
                         cat=policy.name, ts=s_to_ms(now),
                     )
-        self._queue_finalize()
 
-    def _on_arrival(self, idx: int) -> None:
-        """One job submission.  A wakeup always lands at or before each
-        arrival instant (arrivals are candidates), so progress is
-        already advanced; the defensive advance covers arrivals inside
-        the old loop's ``_EPS`` batching slop, which were submitted at
-        the batch time without advancing."""
-        job = self.jobs[idx]
-        if job.arrival_s > self._now + _EPS:
-            self._advance_to(job.arrival_s)
-        now = self._now
+    def _submit_due(self) -> None:
+        """Submit every arrival inside the batching slop — the old
+        loop's completions-then-arrivals order, as a ``while`` check
+        instead of one heap event per job (a wake always lands at or
+        within ``_EPS`` before each arrival, because the next arrival
+        is in every finalize's candidate set)."""
         policy = self.policy
-        self._next_arrival = idx + 1
-        policy.submit(_RunState(job=job, gpus=[], remaining_s=job.service_s), now)
-        if self.obs.enabled:
-            self._m_submitted.inc(policy=policy.name, kind=job.kind.value)
-            tracer = self.obs.tracer
-            if tracer.enabled:
-                tracer.async_begin(
-                    f"dljob:{job.kind.value}", f"{policy.name}/{job.job_id}",
-                    cat=policy.name,
-                    args={"num_gpus": job.num_gpus, "service_s": job.service_s},
-                    ts=s_to_ms(now),
-                )
-        self._queue_finalize()
+        now = self._now
+        jobs = self.jobs
+        n = len(jobs)
+        idx = self._next_arrival
+        while idx < n and jobs[idx].arrival_s <= now + _EPS:
+            job = jobs[idx]
+            idx += 1
+            policy.submit(_RunState(job=job, gpus=[], remaining_s=job.service_s), now)
+            if self.obs.enabled:
+                self._m_submitted.inc(policy=policy.name, kind=job.kind.value)
+                tracer = self.obs.tracer
+                if tracer.enabled:
+                    tracer.async_begin(
+                        f"dljob:{job.kind.value}", f"{policy.name}/{job.job_id}",
+                        cat=policy.name,
+                        args={"num_gpus": job.num_gpus, "service_s": job.service_s},
+                        ts=s_to_ms(now),
+                    )
+        self._next_arrival = idx
+
+    def _on_wake(self) -> None:
+        """A scheduled wake (only aimed when a foreign event could fire
+        before the next candidate instant): advance progress to the
+        wake time, close the instant, and re-enter the drive cycle."""
+        self._advance_to(self._loop.now)
+        self._retire_done()
+        self._submit_due()
+        self._drive()
 
     def _on_finalize(self) -> None:
-        """Close the current instant: fire a due policy timer, check
-        the drain condition, recompute rates and candidate times, and
-        aim the single wakeup event at the earliest candidate."""
-        self._finalize_pending = False
+        """The single bootstrap event: mirrors the old loop's first
+        iteration by recomputing rates/candidates at t=0, then drives
+        the whole advance-and-recompute cycle inline."""
+        self._drive()
+
+    def _drive(self) -> None:
+        """The advance-and-recompute cycle, run inline.
+
+        Each step closes the current instant — fire a due policy
+        timer, check the drain condition, recompute rates and
+        candidate times — then jumps the clock straight to the
+        earliest candidate and repeats.  This simulator is normally
+        the only producer of events on its loop, so the heap
+        round-trip (one wake event per instant, plus the cancel churn
+        of re-aiming it) is pure overhead; a wake is scheduled only
+        when a *foreign* live event would fire at or before the next
+        candidate, which preserves exact heap interleaving for any
+        future co-hosted event source."""
+        loop = self._loop
+        obs = self.obs
         policy = self.policy
-        now = self._now
-        n = len(self.jobs)
-
-        # Policy timer (checked after completions/arrivals, as before —
-        # a timer that came due while the cluster slept fires late, at
-        # the next event, matching Gandiva's original migration cadence).
-        timer = policy.next_timer(now)
-        if timer is not None and timer <= now + _EPS:
-            policy.on_timer(now)
-            policy.reschedule(now)
-
-        if self._next_arrival >= n and not policy.running and not policy.pending:
-            self._loop.stop()           # drained
-            return
-
-        policy.rates(now)
-        t_candidates: list[float] = []
-        if self._next_arrival < n:
-            t_candidates.append(self.jobs[self._next_arrival].arrival_s)
-        for state in policy.running.values():
-            if state.rate > _EPS:
-                t_candidates.append(now + state.remaining_s / state.rate)
-            elif state.paused_until is not None:
-                t_candidates.append(state.paused_until)
-        timer = policy.next_timer(now)
-        if timer is not None and (policy.running or policy.pending):
-            t_candidates.append(timer)
-        if not t_candidates:
-            self._loop.stop()           # nothing can ever happen again
-            return
-        t_next = min(t_candidates)
+        jobs = self.jobs
+        n = len(jobs)
         san = self._san
-        if san is not None:
-            san.check_dl_time(now, t_next)
-            san.check_dl_pool(self.pool.load, self.pool.dli)
-        if t_next > self.max_horizon_s:
-            self._loop.stop()
-            return
-        if self._wake_handle is not None:
-            self._wake_handle.cancel()
-        self._wake_handle = self._loop.schedule_at(t_next, self._on_wake, priority=_P_WAKE)
+        heap = loop._heap
+        running = policy.running
+        clock_scale = loop.clock_scale
+        max_horizon = self.max_horizon_s
+        while True:
+            now = self._now
+            # Policy timer (checked after completions/arrivals, as
+            # before — a timer that came due while the cluster slept
+            # fires late, at the next event, matching Gandiva's
+            # original migration cadence).
+            timer = policy.next_timer(now)
+            if timer is not None and timer <= now + _EPS:
+                policy.on_timer(now)
+                policy.reschedule(now)
+
+            if self._next_arrival >= n and not running and not policy.pending:
+                loop.stop()             # drained
+                return
+
+            policy.rates(now)
+            t_candidates: list[float] = []
+            if self._next_arrival < n:
+                t_candidates.append(jobs[self._next_arrival].arrival_s)
+            for state in running.values():
+                if state.rate > _EPS:
+                    t_candidates.append(now + state.remaining_s / state.rate)
+                elif state.paused_until is not None:
+                    t_candidates.append(state.paused_until)
+            timer = policy.next_timer(now)
+            if timer is not None and (running or policy.pending):
+                t_candidates.append(timer)
+            if not t_candidates:
+                loop.stop()             # nothing can ever happen again
+                return
+            t_next = min(t_candidates)
+            if san is not None:
+                san.check_dl_time(now, t_next)
+                san.check_dl_pool(self.pool.load, self.pool.dli)
+            if t_next > max_horizon:
+                loop.stop()
+                return
+
+            while heap and heap[0][3].cancelled:
+                heapq.heappop(heap)
+            if heap and heap[0][0] <= t_next:
+                # A foreign event fires first (or shares the instant):
+                # fall back to the heap so ordering is decided there.
+                wake = self._wake_handle
+                if wake is not None:
+                    if not wake.fired and not wake.cancelled and wake.time == t_next:
+                        return          # already aimed at this instant: keep it
+                    wake.cancel()
+                # t_next >= now is guaranteed (check_dl_time validates
+                # the candidate set), so the fast schedule path applies.
+                self._wake_handle = loop._schedule_fast(t_next, self._on_wake, _P_WAKE)
+                return
+
+            # Inline jump: nothing else can fire before t_next.  The
+            # clock moves exactly as the engine would move it, and the
+            # obs clock is stamped the same way the engine stamps it.
+            loop._now = t_next
+            if obs.enabled:
+                obs.clock.now = t_next * clock_scale
+            # Advance progress at the rates fixed above, then close the
+            # new instant: completions, then arrivals, as in the old
+            # loop (:meth:`_retire_done` / :meth:`_submit_due`, inlined
+            # on this hot path).
+            dt = t_next - now
+            if dt > 0.0:
+                for state in running.values():
+                    if state.rate > _EPS:
+                        state.remaining_s -= dt * state.rate
+            self._now = now = t_next
+            done = [s for s in running.values() if s.remaining_s <= 1e-6]
+            if done:
+                for state in sorted(done, key=lambda s: s.job.job_id):
+                    state.job.finish_s = now
+                    policy.complete(state, now)
+                    if obs.enabled:
+                        self._m_completed.inc(policy=policy.name, kind=state.job.kind.value)
+                        tracer = obs.tracer
+                        if tracer.enabled:
+                            tracer.async_end(
+                                f"dljob:{state.job.kind.value}",
+                                f"{policy.name}/{state.job.job_id}",
+                                cat=policy.name, ts=s_to_ms(now),
+                            )
+            idx = self._next_arrival
+            if idx < n and jobs[idx].arrival_s <= now + _EPS:
+                self._submit_due()
 
 
 def run_dl_comparison(

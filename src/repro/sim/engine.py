@@ -41,7 +41,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.obs.context import NOOP, Observability
@@ -53,49 +52,45 @@ class SimulationError(RuntimeError):
     """Raised on invalid use of the event loop (e.g. scheduling in the past)."""
 
 
-@dataclass(order=True, slots=True)
-class _Event:
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
-    fired: bool = field(compare=False, default=False)
-
-
 class EventHandle:
-    """Opaque handle returned by :meth:`EventLoop.schedule`.
+    """One scheduled event, doubling as the caller's cancellation handle.
 
-    Holding the handle allows the caller to :meth:`cancel` the event
-    before it fires.  Cancelling an already-fired or already-cancelled
-    event is a no-op.
+    Returned by :meth:`EventLoop.schedule`; holding it allows the caller
+    to :meth:`cancel` the event before it fires.  Cancelling an
+    already-fired or already-cancelled event is a no-op.
+
+    The heap itself stores plain ``(time, priority, seq, handle)``
+    tuples so event ordering is decided by C tuple comparison — ``seq``
+    is unique, so two entries never tie into comparing handles.  Merging
+    the event record and the handle into one object (instead of the old
+    ``_Event`` + wrapper pair) halves the per-schedule allocations on
+    the dense dispatch path.
     """
 
-    __slots__ = ("_event", "_loop")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "fired", "_loop")
 
-    def __init__(self, event: _Event, loop: "EventLoop") -> None:
-        self._event = event
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple,
+        loop: "EventLoop",
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
         self._loop = loop
-
-    @property
-    def time(self) -> float:
-        """Scheduled firing time of the event."""
-        return self._event.time
-
-    @property
-    def cancelled(self) -> bool:
-        return self._event.cancelled
-
-    @property
-    def fired(self) -> bool:
-        return self._event.fired
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        event = self._event
-        if not event.cancelled and not event.fired:
-            event.cancelled = True
+        if not self.cancelled and not self.fired:
+            self.cancelled = True
             self._loop._pending -= 1
 
 
@@ -137,10 +132,9 @@ class RepeatingEvent:
         return self._cancelled
 
     def _fire(self) -> None:
-        now = self._loop.now
-        self._handle = self._loop.schedule_at(
-            now + self.interval, self._fire, priority=self.priority
-        )
+        loop = self._loop
+        now = loop._now
+        self._handle = loop._schedule_fast(now + self.interval, self._fire, self.priority)
         self.callback(now)
 
     def cancel(self) -> None:
@@ -177,7 +171,7 @@ class EventLoop:
         clock_scale: float = 1.0,
     ) -> None:
         self._now = float(start_time)
-        self._heap: list[_Event] = []
+        self._heap: list[tuple[float, int, int, EventHandle]] = []
         self._seq = itertools.count()
         self._running = False
         self._stop_requested = False
@@ -230,10 +224,29 @@ class EventLoop:
             raise SimulationError(
                 f"cannot schedule event at t={when} before current time t={self._now}"
             )
-        event = _Event(float(when), priority, next(self._seq), callback, args)
-        heapq.heappush(self._heap, event)
+        when = float(when)
+        seq = next(self._seq)
+        event = EventHandle(when, priority, seq, callback, args, self)
+        heapq.heappush(self._heap, (when, priority, seq, event))
         self._pending += 1
-        return EventHandle(event, self)
+        return event
+
+    def _schedule_fast(
+        self, when: float, callback: Callable[[], None], priority: int
+    ) -> EventHandle:
+        """Internal re-scheduling path for the periodic chains.
+
+        Callers guarantee ``when >= now`` (it is always ``now`` plus a
+        positive interval, or an already-validated future grid tick),
+        so the past-time guard and float coercion of
+        :meth:`schedule_at` are skipped — this runs once per fired
+        chain event on the dense dispatch path.
+        """
+        seq = next(self._seq)
+        event = EventHandle(when, priority, seq, callback, (), self)
+        heapq.heappush(self._heap, (when, priority, seq, event))
+        self._pending += 1
+        return event
 
     def every(
         self,
@@ -263,24 +276,25 @@ class EventLoop:
 
         Returns ``True`` if an event fired, ``False`` if the loop is empty.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            when, _priority, _seq, event = heapq.heappop(heap)
             if event.cancelled:
                 continue          # already uncounted at cancel time
             san = self._san
             if san is not None:
-                san.check_event_time(self._now, event.time)
-            self._now = event.time
+                san.check_event_time(self._now, when)
+            self._now = when
             event.fired = True
             self._pending -= 1
             if san is not None:
                 self._fired_total += 1
                 if self._fired_total % san.heap_audit_interval == 0:
-                    live = sum(1 for e in self._heap if not e.cancelled)
+                    live = sum(1 for entry in heap if not entry[3].cancelled)
                     san.check_heap(self._pending, live)
             obs = self.obs
             if obs.enabled:
-                obs.clock.now = event.time * self.clock_scale
+                obs.clock.now = when * self.clock_scale
                 self._m_fired.inc()
                 tracer = obs.tracer
                 if tracer.enabled:
@@ -317,18 +331,49 @@ class EventLoop:
         self._running = True
         self._stop_requested = False
         fired = 0
+        heap = self._heap
+        pop = heapq.heappop
+        # The plain path — no sanitizer, observability disabled — is the
+        # dense-dispatch hot loop: pop and fire inline, no step() call,
+        # no per-event instrumentation checks.
+        plain = self._san is None and not self.obs.enabled
         try:
-            while self._heap:
+            if plain and until is None and max_events is None:
+                # run_until_idle's shape: no bound checks at all, pop
+                # directly instead of peek-then-pop.
+                while heap:
+                    if self._stop_requested:
+                        break
+                    entry = pop(heap)
+                    event = entry[3]
+                    if event.cancelled:
+                        continue
+                    self._now = entry[0]
+                    event.fired = True
+                    self._pending -= 1
+                    event.callback(*event.args)
+                    fired += 1
+                return fired
+            while heap:
                 if self._stop_requested:
                     break
                 if max_events is not None and fired >= max_events:
                     break
-                nxt = self._peek()
-                if nxt is None:
+                head = heap[0]
+                if head[3].cancelled:
+                    pop(heap)
+                    continue
+                if until is not None and head[0] > until:
                     break
-                if until is not None and nxt.time > until:
-                    break
-                self.step()
+                if plain:
+                    pop(heap)
+                    event = head[3]
+                    self._now = head[0]
+                    event.fired = True
+                    self._pending -= 1
+                    event.callback(*event.args)
+                else:
+                    self.step()
                 fired += 1
             if until is not None and self._now < until:
                 self._now = until
@@ -336,7 +381,8 @@ class EventLoop:
             self._running = False
         return fired
 
-    def _peek(self) -> _Event | None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0] if self._heap else None
+    def _peek(self) -> EventHandle | None:
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        return heap[0][3] if heap else None

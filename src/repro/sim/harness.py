@@ -48,6 +48,7 @@ __all__ = [
     "PHASE_TICK_END",
     "TickHarness",
     "GridPeriodic",
+    "PhaseGate",
     "GridOneShot",
     "FaultPlan",
     "run_until_idle",
@@ -181,10 +182,10 @@ class GridPeriodic:
         if not harness.on_grid(now):
             # Between ticks: the old loop would only notice at the next
             # tick — land there, same phase slot.
-            self._handle = loop.schedule_at(harness.next_tick, self._fire, priority=self.priority)
+            self._handle = loop._schedule_fast(harness.next_tick, self._fire, self.priority)
             return
         self.next_due = now + self.interval
-        self._handle = loop.schedule_at(self.next_due, self._fire, priority=self.priority)
+        self._handle = loop._schedule_fast(self.next_due, self._fire, self.priority)
         self.callback(now)
 
     def cancel(self) -> None:
@@ -200,6 +201,42 @@ class GridPeriodic:
         self.next_due = float(next_due)
         when = max(self.next_due, self.harness.loop.now)
         self._handle = self.harness.loop.schedule_at(when, self._fire, priority=self.priority)
+
+
+class PhaseGate:
+    """Cadence bookkeeping for a periodic phase *fused into* a tick
+    callback, instead of carrying its own event chain.
+
+    When every same-instant event outside the tick callback uses a
+    phase priority below the callback's (as the cluster simulator
+    guarantees: faults/repairs/submissions are phases 0–2, the fused
+    quantum..tick-end run is phases 3–7), the phases inside the tick
+    are contiguous — no event can interleave between them — so a
+    :class:`GridPeriodic` chain degenerates to the reference loop's
+    plain ``if t >= next_due: ...; next_due = t + interval`` check.
+    This class is that check, with the same :attr:`next_due` /
+    :meth:`resync` surface the fast-forward path drives.
+    """
+
+    __slots__ = ("interval", "next_due")
+
+    def __init__(self, interval: float, start_due: float) -> None:
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be positive, got {interval}")
+        self.interval = float(interval)
+        self.next_due = float(start_due)
+
+    def due(self, now: float) -> bool:
+        """True (advancing the cadence) when the phase runs this tick."""
+        if now >= self.next_due:
+            self.next_due = now + self.interval
+            return True
+        return False
+
+    def resync(self, next_due: float) -> None:
+        """Re-aim the cadence after a fast-forward advanced its due
+        bookkeeping past the skipped span."""
+        self.next_due = float(next_due)
 
 
 class GridOneShot:

@@ -36,12 +36,8 @@ from repro.kube.pod import Pod
 from repro.obs.context import NOOP, Observability
 from repro.sim.engine import EventLoop
 from repro.sim.harness import (
-    PHASE_HEARTBEAT,
-    PHASE_RECORD,
-    PHASE_SCHEDULE,
-    PHASE_SUBMIT,
-    PHASE_TICK_END,
     FaultPlan,
+    PhaseGate,
     TickHarness,
     run_until_idle,
 )
@@ -177,6 +173,12 @@ class KubeKnotsSimulator:
         )
 
     def run(self) -> SimResult:
+        from repro.kube.pod import reset_uid_counter
+
+        # UIDs restart at pod-1 for every run so results are a function
+        # of (workload, scheduler, config) alone — the sweep fabric's
+        # cross-process bit-identity depends on it.
+        reset_uid_counter()
         cfg = self.config
         api = self.orchestrator.api
         obs = self.obs
@@ -194,19 +196,19 @@ class KubeKnotsSimulator:
 
         loop = EventLoop(obs=obs)
         self._loop = loop
-        harness = TickHarness(loop, cfg.tick_ms, self._on_quantum)
+        # Phases 3–7 (execution quantum … end-of-tick bookkeeping) run
+        # *fused* inside the one quantum chain: every one-shot event
+        # (fault, repair, submission) carries a phase priority below
+        # PHASE_QUANTUM, so at any instant those phases are contiguous
+        # and fusing them is order-preserving — one heap event per tick
+        # instead of five.  Heartbeat/scheduling cadences keep the
+        # reference loop's ``if t >= next_due`` bookkeeping via
+        # :class:`PhaseGate`.
+        harness = TickHarness(loop, cfg.tick_ms, self._on_tick)
         self._harness = harness
-        harness.every_tick(self._on_record, priority=PHASE_RECORD)
-        harness.every_tick(self._on_tick_end, priority=PHASE_TICK_END)
-        self._hb = harness.periodic(
-            cfg.knots.heartbeat_ms, self._on_heartbeat, priority=PHASE_HEARTBEAT
-        )
-        self._sched = harness.periodic(
-            cfg.schedule_interval_ms, self._on_schedule, priority=PHASE_SCHEDULE
-        )
+        self._hb = PhaseGate(cfg.knots.heartbeat_ms, start_due=loop.now)
+        self._sched = PhaseGate(cfg.schedule_interval_ms, start_due=loop.now)
         self._faults = FaultPlan(harness, cfg.faults, self._fail_gpu, self._repair_gpu)
-        for at_ms, spec in self.workload:
-            harness.at(max(at_ms, 0.0), self._on_submit, spec, priority=PHASE_SUBMIT)
 
         self.events_fired = run_until_idle(loop)
         t_end = self._makespan
@@ -228,33 +230,45 @@ class KubeKnotsSimulator:
 
     # -- event handlers ------------------------------------------------------
 
-    def _on_submit(self, spec) -> None:
-        """A workload arrival.  The harness defers the raw arrival time
-        onto the tick grid, so this fires at the tick the old loop
-        would have submitted on (the first grid tick >= the arrival)
-        with the simulated clock already stamped to that tick."""
-        t = self._loop.now
-        pod = self.orchestrator.api.submit(spec, t)
-        self._next_submit += 1
+    def _submit_due(self, now: float) -> None:
+        """Submit every arrival at or before this tick, in arrival
+        order — the reference loop's ``while`` check.  An arrival
+        between ticks therefore lands at the first grid tick >= its
+        raw time, the same instant the old per-tick polling loop (and
+        the previous one-event-per-arrival scheme) submitted it."""
+        api = self.orchestrator.api
         tracer = self.obs.tracer
-        if tracer.enabled:
-            tracer.instant(
-                "submit", cat="workload",
-                args={"pod": pod.uid, "image": pod.spec.image}, ts=t,
-            )
+        workload = self.workload
+        i = self._next_submit
+        n = len(workload)
+        while i < n and workload[i][0] <= now:
+            pod = api.submit(workload[i][1], now)
+            i += 1
+            if tracer.enabled:
+                tracer.instant(
+                    "submit", cat="workload",
+                    args={"pod": pod.uid, "image": pod.spec.image}, ts=now,
+                )
+        self._next_submit = i
 
-    def _on_quantum(self, now: float) -> None:
-        """Execute one quantum on every node."""
-        self.orchestrator.step_kubelets(now, self.config.tick_ms)
-
-    def _on_heartbeat(self, now: float) -> None:
-        """Telemetry heartbeat into the node TSDBs (paced by the Knots
-        heartbeat interval — the scheduler only sees what the
-        monitoring plane actually sampled)."""
-        self.orchestrator.heartbeat(now)
-
-    def _on_schedule(self, now: float) -> None:
-        self.orchestrator.scheduling_pass(now)
+    def _on_tick(self, now: float) -> None:
+        """One fused tick: due submissions, execution quantum, then the
+        heartbeat, telemetry-record, scheduling and end-of-tick phases
+        in the reference loop's order.  The heartbeat is paced by the
+        Knots heartbeat interval (the scheduler only sees what the
+        monitoring plane actually sampled); the scheduling pass by its
+        own interval."""
+        orch = self.orchestrator
+        tick_ms = self.config.tick_ms
+        if self._next_submit < len(self.workload):
+            self._submit_due(now)
+        orch.step_kubelets(now, tick_ms)
+        if self._hb.due(now):
+            orch.heartbeat(now)
+        self._record(now, tick_ms)
+        if self._sched.due(now):
+            orch.scheduling_pass(now)
+        self._on_tick_end(now)
 
     def _fail_gpu(self, gpu_id: str) -> bool:
         return self.orchestrator.fail_gpu(gpu_id)
@@ -267,7 +281,8 @@ class KubeKnotsSimulator:
         scheduling phase, like the old loop) and the idle fast-forward
         opportunity check."""
         t_next = now + self.config.tick_ms
-        if self._next_submit >= len(self.workload) and self.orchestrator.api.all_done():
+        all_submitted = self._next_submit >= len(self.workload)
+        if all_submitted and self.orchestrator.api.all_done():
             self._makespan = t_next
             self._loop.stop()
             return
@@ -275,7 +290,9 @@ class KubeKnotsSimulator:
             self._makespan = t_next
             self._loop.stop()
             return
-        if self.config.fast_forward:
+        # With every arrival submitted, a quiescent span can only end at
+        # the stop check above — there is no future arrival to jump to.
+        if self.config.fast_forward and not all_submitted:
             self._maybe_fast_forward(now, t_next)
 
     # -- idle fast-forward ---------------------------------------------------
@@ -407,9 +424,6 @@ class KubeKnotsSimulator:
             self.obs.tracer.counter(
                 "pending_pods", {"count": float(self.orchestrator.api.num_pending())}, ts=t
             )
-
-    def _on_record(self, now: float) -> None:
-        self._record(now, self.config.tick_ms)
 
 
 def run_appmix(

@@ -1,0 +1,43 @@
+"""Parallel experiment fabric with a persistent content-addressed cache.
+
+Every figure/table in :mod:`repro.experiments` reduces to a grid of
+independent simulations — (app-mix x scheduler x settings) cluster runs
+and (policy x workload) DL runs.  This package turns that grid into
+*tasks*: frozen, picklable descriptions of one simulation whose
+``repr`` doubles as the cache identity.
+
+* :mod:`repro.sweep.tasks` — the task vocabulary (:class:`MixTask`,
+  :class:`DLTask`, :class:`HeteroTask`) and :func:`execute_task`, the
+  module-level entry point a worker process runs.
+* :mod:`repro.sweep.store` — :class:`ResultStore`, a content-addressed
+  pickle store under ``.repro-cache/`` keyed by
+  ``sha256(schema tag | repro version | task repr)``; hits are shared
+  across processes and across invocations.
+* :mod:`repro.sweep.fabric` — :func:`run_tasks`, which resolves each
+  task through in-process memo -> store -> simulate, fanning cache
+  misses across a ``ProcessPoolExecutor`` (``--jobs``-controlled; a
+  single worker degrades to plain in-process execution so serial runs
+  stay deterministic and debuggable).
+
+Results are pinned bit-identical across the serial path, the process
+pool and a warm cache — see ``tests/test_sweep.py``.
+"""
+
+from repro.sweep.fabric import SweepError, clear, configure, last_stats, run_tasks
+from repro.sweep.store import SCHEMA_TAG, ResultStore, task_key
+from repro.sweep.tasks import DLTask, HeteroTask, MixTask, execute_task
+
+__all__ = [
+    "MixTask",
+    "DLTask",
+    "HeteroTask",
+    "execute_task",
+    "ResultStore",
+    "task_key",
+    "SCHEMA_TAG",
+    "run_tasks",
+    "configure",
+    "clear",
+    "last_stats",
+    "SweepError",
+]
