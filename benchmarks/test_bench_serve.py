@@ -1,0 +1,31 @@
+"""Serve-loop benchmarks under pytest-benchmark.
+
+``python -m repro bench --only serve_loop`` is the tracked suite (it
+emits ``BENCH_serve.json``, the CI gate); this module puts the same
+injected-arrival serving loop under pytest-benchmark and doubles as a
+shape assertion on the harness output.
+"""
+
+from __future__ import annotations
+
+from repro.bench.serve import bench_serve_loop
+
+
+def test_serve_loop_bench(benchmark):
+    report = benchmark.pedantic(
+        lambda: bench_serve_loop(quick=True), iterations=1, rounds=3
+    )
+    assert report["submissions"] > 0
+    assert report["placed"] > 0
+    assert report["ms_per_submission"] > 0.0
+
+
+def test_serve_loop_harness_shape():
+    report = bench_serve_loop(quick=True)
+    # The bench itself raises on dropped or unsubmitted pods; re-assert
+    # the headline shape here so the invariant is pinned in two places.
+    assert report["submissions"] == report["placed"] or report["placed"] > 0
+    assert report["events_fired"] > 0
+    assert report["sim_ms"] > 0.0
+    assert report["sustained_qps"] > 0.0
+    assert report["p99_decision_sim_ms"] >= report["p50_decision_sim_ms"]

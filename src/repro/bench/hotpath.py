@@ -54,6 +54,9 @@ GATED_BENCHMARKS = {
     # across runner core counts, unlike the parallel speedup, which is
     # recorded for information alongside ``host_cpus``.
     "sweep_parallel": "ms_warm",
+    # Gated per submission (``BENCH_serve.json``): stable across the
+    # benchmark's window length, unlike total wall.
+    "serve_loop": "ms_per_submission",
 }
 
 #: The scale the acceptance numbers are quoted at.
@@ -261,10 +264,12 @@ def run_benchmarks(quick: bool = False, only: list[str] | None = None) -> dict:
         bench_sim_dense,
         bench_sim_sparse,
     )
+    from repro.bench.serve import SERVE_BENCHMARKS, bench_serve_loop
     from repro.bench.sweep import SWEEP_BENCHMARKS, bench_sweep_parallel
 
     all_benches = ("tsdb_window_query", "correlation_matrix", "ar1_heartbeat_fit",
-                   "cbp_pass", "pp_pass", "simulate_e2e") + SIMLOOP_BENCHMARKS + SWEEP_BENCHMARKS
+                   "cbp_pass", "pp_pass", "simulate_e2e") \
+        + SIMLOOP_BENCHMARKS + SWEEP_BENCHMARKS + SERVE_BENCHMARKS
     selected = set(only) if only else set(all_benches)
     unknown = selected - set(all_benches)
     if unknown:
@@ -297,6 +302,8 @@ def run_benchmarks(quick: bool = False, only: list[str] | None = None) -> dict:
         results["dlsim_loop"] = bench_dlsim_loop(quick)
     if "sweep_parallel" in selected:
         results["sweep_parallel"] = bench_sweep_parallel(quick)
+    if "serve_loop" in selected:
+        results["serve_loop"] = bench_serve_loop(quick)
     return {
         "schema": "kube-knots/bench-hotpath/v1",
         "mode": "quick" if quick else "full",
@@ -352,6 +359,12 @@ def format_report(payload: dict) -> str:
                          f"{b['ms_cold_parallel']:.0f} ms cold x{b['jobs']} / "
                          f"{b['ms_warm']:.1f} ms warm",
                          f"{b['warm_speedup']:.0f}x warm"))
+        elif "ms_per_submission" in b:
+            rows.append((name,
+                         f"{b['ms_per_submission']:.3f} ms/submission",
+                         f"{b['submissions']} pods / {b['sustained_qps']:.0f} qps / "
+                         f"p99 {b['p99_decision_sim_ms']:.0f} ms sim",
+                         ""))
         else:
             rows.append((name, f"{b['ms']:.0f} ms", "", ""))
     return format_table(

@@ -21,6 +21,12 @@ The subcommands cover the workflows a user reaches for first:
     The DL-cluster comparison (Sec. V-C) for a chosen policy set.
 ``replay``
     Drive the simulator from a real Alibaba ``batch_task.csv``.
+``serve``
+    Run Kube-Knots as a long-running service (:mod:`repro.serve`): an
+    asyncio HTTP front door and/or the built-in trace-driven load
+    generator feed a bounded admission queue (backpressure = 429 +
+    Retry-After) drained into the event loop at wall clock, with
+    p50/p95/p99 decision-latency SLO metrics live on ``/metrics``.
 ``lint``
     Run the Kube-Knots static lint rules (KK001–KK004) over source
     paths; the CI gate is ``python -m repro lint src``.
@@ -374,6 +380,56 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.metrics.report import format_table
+    from repro.serve import KnotsService, ServeConfig, run_serve
+
+    args.mix = MIX_ALIASES.get(args.mix, args.mix)
+    args.scheduler = SCHEDULER_ALIASES.get(args.scheduler, args.scheduler)
+    config = ServeConfig(
+        scheduler=args.scheduler,
+        mix=args.mix,
+        nodes=args.nodes,
+        gpus_per_node=args.gpus_per_node,
+        queue_capacity=args.queue_capacity,
+        duration_s=None if args.duration <= 0 else args.duration,
+        qps=args.qps,
+        mode=args.mode,
+        concurrency=args.concurrency,
+        speed=args.speed,
+        paced=not args.unpaced,
+        drain_grace_ms=args.drain_grace * 1_000.0,
+        status_interval_s=args.status_interval,
+        host=args.host,
+        port=args.port,
+        http=not args.no_http,
+        sanitize=args.sanitize,
+        seed=args.seed,
+    )
+    service = KnotsService(config)
+    try:
+        report = run_serve(config, service=service)
+    except SanitizerError as exc:
+        print(f"sanitizer violation: {exc}", file=sys.stderr)
+        return 3
+    print(
+        format_table(
+            ["metric", "value"],
+            report.rows(),
+            title=f"serve: {args.mix} under {args.scheduler} "
+                  f"({args.nodes}x{args.gpus_per_node} GPUs, seed {args.seed})",
+        )
+    )
+    if args.metrics:
+        service.obs.metrics.write(args.metrics)
+        print(f"metrics: {len(service.obs.metrics.names())} series -> {args.metrics}")
+    if service.obs.sanitizer is not None:
+        san = service.obs.sanitizer
+        print(f"sanitizer: {san.checks} checks, {len(san.violations)} violations")
+    # A graceful run never loses an accepted pod; surface it if one did.
+    return 0 if report.counts["dropped"] == 0 else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.lint import main as lint_main
 
@@ -498,6 +554,45 @@ def build_parser() -> argparse.ArgumentParser:
                       help="run under the runtime sanitizer; invariant breaches "
                            "abort with exit code 3")
     p_dl.set_defaults(func=_cmd_dlsim)
+
+    p_srv = sub.add_parser(
+        "serve", help="run Kube-Knots as a live service (HTTP front door + load generator)"
+    )
+    p_srv.add_argument("--qps", type=float, default=0.0,
+                       help="in-process load generator rate (0 = external traffic only)")
+    p_srv.add_argument("--duration", type=float, default=10.0,
+                       help="arrival window in seconds; 0 = run until SIGINT")
+    p_srv.add_argument("--mix", default="app-mix-1", help="Table-I mix name (or just 1/2/3)")
+    p_srv.add_argument("--scheduler", default="peak-prediction",
+                       help="uniform | res-ag | cbp | peak-prediction (alias: pp)")
+    p_srv.add_argument("--nodes", type=int, default=32, help="paper scale: 32 nodes")
+    p_srv.add_argument("--gpus-per-node", type=int, default=8, dest="gpus_per_node")
+    p_srv.add_argument("--queue-capacity", type=int, default=1024, dest="queue_capacity",
+                       help="admission queue bound; overflow answers 429 + Retry-After")
+    p_srv.add_argument("--mode", choices=("open", "closed"), default="open",
+                       help="load-generator driving mode")
+    p_srv.add_argument("--concurrency", type=int, default=64,
+                       help="closed-loop outstanding-submission limit")
+    p_srv.add_argument("--speed", type=float, default=1.0,
+                       help="sim ms advanced per wall ms (1.0 = real time)")
+    p_srv.add_argument("--unpaced", action="store_true",
+                       help="run the event loop flat out (benchmarks, CI)")
+    p_srv.add_argument("--drain-grace", type=float, default=30.0, dest="drain_grace",
+                       help="sim seconds allowed for pending decisions at shutdown")
+    p_srv.add_argument("--status-interval", type=float, default=1.0, dest="status_interval",
+                       help="status-line cadence in sim seconds (0 = quiet)")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+    p_srv.add_argument("--no-http", action="store_true", dest="no_http",
+                       help="do not start the HTTP front door")
+    p_srv.add_argument("--seed", type=int, default=1, help="load-generator seed")
+    p_srv.add_argument("--metrics", default=None, metavar="PATH",
+                       help="write final Prometheus text-format metrics "
+                            "(also scrapeable live at /metrics)")
+    p_srv.add_argument("--sanitize", action="store_true",
+                       help="run under the runtime sanitizer; invariant breaches "
+                            "abort with exit code 3")
+    p_srv.set_defaults(func=_cmd_serve)
 
     p_lint = sub.add_parser("lint", help="run the KK static lint rules (KK001-KK004)")
     p_lint.add_argument("paths", nargs="*", default=["src"],

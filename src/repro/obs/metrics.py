@@ -43,8 +43,20 @@ def _label_key(labelnames: tuple[str, ...], labels: dict[str, str]) -> tuple[str
     return tuple(str(labels[n]) for n in labelnames)
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus text-format label-value escaping: backslash, double
+    quote and newline must be escaped or the exposition is corrupt (a
+    raw quote ends the value early, a raw newline ends the sample)."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """HELP-line escaping: backslash and newline (quotes are legal)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _fmt_labels(labelnames: tuple[str, ...], values: tuple[str, ...], extra: str = "") -> str:
-    pairs = [f'{n}="{v}"' for n, v in zip(labelnames, values)]
+    pairs = [f'{n}="{_escape_label_value(v)}"' for n, v in zip(labelnames, values)]
     if extra:
         pairs.append(extra)
     return "{" + ",".join(pairs) + "}" if pairs else ""
@@ -82,7 +94,7 @@ class Counter(_Instrument):
         return self._values.get(_label_key(self.labelnames, labels), 0.0)
 
     def render(self) -> list[str]:
-        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} counter"]
+        lines = [f"# HELP {self.name} {_escape_help(self.help)}", f"# TYPE {self.name} counter"]
         if not self._values:
             lines.append(f"{self.name} 0")
             return lines
@@ -111,7 +123,7 @@ class Gauge(_Instrument):
         return self._values.get(_label_key(self.labelnames, labels), 0.0)
 
     def render(self) -> list[str]:
-        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} gauge"]
+        lines = [f"# HELP {self.name} {_escape_help(self.help)}", f"# TYPE {self.name} gauge"]
         if not self._values:
             lines.append(f"{self.name} 0")
             return lines
@@ -172,7 +184,7 @@ class Histogram(_Instrument):
         return out
 
     def render(self) -> list[str]:
-        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} histogram"]
+        lines = [f"# HELP {self.name} {_escape_help(self.help)}", f"# TYPE {self.name} histogram"]
         if self._counts:
             keys = sorted(self._counts)
         else:

@@ -1,0 +1,47 @@
+"""Kube-Knots as a long-running service.
+
+The serving layer puts the orchestration stack behind an asyncio HTTP
+front door: pod submissions arrive over the wire (or from the built-in
+trace-driven load generator), pass a bounded admission queue with
+explicit backpressure, and land as events on the same
+:class:`~repro.sim.engine.EventLoop` the offline simulators use —
+driven at wall clock instead of virtual time.  See ``docs/serving.md``.
+"""
+
+from repro.serve.loadgen import LoadGenerator, LoadGenStats, synthesize_workload
+from repro.serve.queue import (
+    OFFER_ACCEPTED,
+    OFFER_CLOSED,
+    OFFER_FULL,
+    AdmissionQueue,
+)
+from repro.serve.server import (
+    FrontDoor,
+    KnotsService,
+    ServeConfig,
+    ServeReport,
+    WallClockPacer,
+    run_serve,
+    spec_from_json,
+)
+from repro.serve.slo import DECISION_BUCKETS_MS, RingHistogram, SLOTracker
+
+__all__ = [
+    "AdmissionQueue",
+    "OFFER_ACCEPTED",
+    "OFFER_FULL",
+    "OFFER_CLOSED",
+    "LoadGenerator",
+    "LoadGenStats",
+    "synthesize_workload",
+    "RingHistogram",
+    "SLOTracker",
+    "DECISION_BUCKETS_MS",
+    "ServeConfig",
+    "ServeReport",
+    "KnotsService",
+    "FrontDoor",
+    "WallClockPacer",
+    "spec_from_json",
+    "run_serve",
+]

@@ -1,0 +1,152 @@
+"""Trace-driven load generator for the serving mode.
+
+Arrivals are synthesized by the exact machinery the offline experiments
+use — the Alibaba-style doubly-stochastic
+:class:`~repro.workloads.alibaba.ArrivalProcess`, the 80/20 Pareto
+short/long split, and the Table-I app-mix pod population — rescaled so
+the mix's base arrival rate hits a configurable target QPS.  A fixed
+seed produces a byte-identical arrival sequence (times, names, images),
+which is what lets the serve benchmark and the smoke tests pin their
+numbers.
+
+Two driving modes:
+
+* **open loop** — arrivals fire on their wall-clock schedule no matter
+  what the service answers; the offered load is independent of service
+  state, so a saturated admission queue sheds the excess as 429s.  This
+  is how production traffic behaves and the default.
+* **closed loop** — at most ``concurrency`` submissions are undecided
+  at once; the next arrival is held until a decision (placement or
+  rejection) frees a slot.  Offered load adapts to service capacity —
+  the classic load-testing mode for measuring latency without
+  coordinated omission from a backlog.
+
+The generator only *submits*; admission verdicts and SLO accounting
+live with the service (:mod:`repro.serve.server`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.workloads.appmix import APP_MIXES, WorkloadItem, generate_appmix_workload
+
+__all__ = ["synthesize_workload", "LoadGenerator", "LoadGenStats"]
+
+
+def synthesize_workload(
+    qps: float,
+    duration_s: float,
+    seed: int = 1,
+    mix: str = "app-mix-1",
+) -> list[WorkloadItem]:
+    """Deterministic serving workload: ``(arrival_ms, PodSpec)`` items.
+
+    The app-mix's base arrival rate is rescaled by ``load_factor`` so
+    the long-run arrival rate equals ``qps`` (the diurnal modulation
+    and burstiness of the mix are preserved — a "500 QPS" stream still
+    has the trace's bursts, which is exactly what exercises the
+    admission queue).
+    """
+    if qps <= 0:
+        raise ValueError(f"qps must be positive, got {qps}")
+    if duration_s <= 0:
+        raise ValueError(f"duration must be positive, got {duration_s}")
+    base = APP_MIXES[mix].arrival_rate_per_s
+    return generate_appmix_workload(
+        mix, duration_s=duration_s, seed=seed, load_factor=qps / base
+    )
+
+
+@dataclass
+class LoadGenStats:
+    """What the generator actually offered."""
+
+    submitted: int = 0
+    behind_schedule: int = 0   # open loop: arrivals fired late (catch-up)
+
+
+class LoadGenerator:
+    """Drive ``submit(spec)`` from a precomputed arrival schedule.
+
+    ``submit`` is called from the generator's own thread and must be
+    thread-safe (the service's admission path is).  In closed-loop mode
+    the service must call :meth:`on_decision` once per resolved
+    submission — placements *and* rejections both free a slot.
+    """
+
+    def __init__(
+        self,
+        items: list[WorkloadItem],
+        submit: Callable[[object], str],
+        mode: str = "open",
+        concurrency: int = 64,
+        clock: Callable[[], float] = time.monotonic,
+        stop_event: threading.Event | None = None,
+    ) -> None:
+        if mode not in ("open", "closed"):
+            raise ValueError(f"mode must be 'open' or 'closed', got {mode!r}")
+        if concurrency <= 0:
+            raise ValueError(f"concurrency must be positive, got {concurrency}")
+        self.items = items
+        self.submit = submit
+        self.mode = mode
+        self.clock = clock
+        self.stop_event = stop_event or threading.Event()
+        self.stats = LoadGenStats()
+        self._slots = threading.Semaphore(concurrency)
+        self._thread: threading.Thread | None = None
+
+    # -- service callback (closed loop) -------------------------------------
+
+    def on_decision(self) -> None:
+        """A submission was resolved; free a closed-loop slot."""
+        if self.mode == "closed":
+            self._slots.release()
+
+    # -- driving -------------------------------------------------------------
+
+    def run(self) -> LoadGenStats:
+        """Walk the schedule until exhausted or stopped (blocking)."""
+        start = self.clock()
+        stop = self.stop_event
+        for arrival_ms, spec in self.items:
+            if stop.is_set():
+                break
+            if self.mode == "closed":
+                # Wait for a slot, staying responsive to stop.
+                while not self._slots.acquire(timeout=0.05):
+                    if stop.is_set():
+                        return self.stats
+            due = start + arrival_ms / 1_000.0
+            while True:
+                delay = due - self.clock()
+                if delay <= 0.0:
+                    break
+                if stop.wait(min(delay, 0.5)):
+                    return self.stats
+            if delay < -0.05:
+                self.stats.behind_schedule += 1
+            self.submit(spec)
+            self.stats.submitted += 1
+        return self.stats
+
+    def start(self) -> threading.Thread:
+        """Run the schedule on a daemon thread; returns the thread."""
+        if self._thread is not None:
+            raise RuntimeError("load generator already started")
+        self._thread = threading.Thread(
+            target=self.run, name="repro-serve-loadgen", daemon=True
+        )
+        self._thread.start()
+        return self._thread
+
+    def stop(self) -> None:
+        self.stop_event.set()
+
+    def join(self, timeout: float | None = None) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout)

@@ -1,0 +1,215 @@
+"""SLO instrumentation for the serving layer.
+
+Two complementary views of the same signal:
+
+* a Prometheus :class:`~repro.obs.metrics.Histogram`
+  (``serve_decision_latency_ms``) with fixed buckets — what a scraper
+  aggregates across restarts;
+* a :class:`RingHistogram` of the most recent samples, from which exact
+  p50/p95/p99 are computed and exported as gauges
+  (``serve_decision_latency_p50_ms`` …) plus surfaced in the periodic
+  status line.  Fixed buckets quantize tail quantiles badly at serving
+  latencies (sub-millisecond to tens of milliseconds); the ring keeps
+  the raw values, bounded in memory, and a quantile over "the last N
+  decisions" is exactly the sliding-window SLO a pager would watch.
+
+Decision latency is recorded twice per placement: **wall** latency
+(admission at the front door → the scheduler binding the pod, host
+clock) is the service-level number; **sim** latency (submission tick →
+bind tick, sim clock) is deterministic for a fixed seed and is what the
+serve benchmark gates on.
+
+The tracker also owns the cluster-side serving gauges: queue depth,
+harvested GPU utilization (mean SM utilization over the fleet — the
+quantity Kube-Knots exists to raise), and the accepted / rejected /
+submitted / placed counters the smoke tests assert on.
+
+Thread-safety: front-door threads record admissions while the tick
+chain records decisions; every mutation of shared state happens under
+one small lock.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["RingHistogram", "SLOTracker", "DECISION_BUCKETS_MS"]
+
+#: Decision-latency buckets (ms): serving decisions run sub-ms to
+#: seconds once the admission queue backs up.
+DECISION_BUCKETS_MS: tuple[float, ...] = (
+    0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+    250.0, 500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0,
+)
+
+
+class RingHistogram:
+    """Fixed-capacity ring of raw samples with exact quantiles.
+
+    O(1) insert; quantiles sort a snapshot copy (capacity is a few
+    thousand floats — microseconds, and only on the status/export
+    cadence, never per decision).
+    """
+
+    __slots__ = ("_ring", "_capacity", "_next", "_filled", "count", "total")
+
+    def __init__(self, capacity: int = 8_192) -> None:
+        if capacity <= 0:
+            raise ValueError(f"ring capacity must be positive, got {capacity}")
+        self._capacity = int(capacity)
+        self._ring: list[float] = [0.0] * self._capacity
+        self._next = 0
+        self._filled = 0
+        #: Lifetime observations (not capped by capacity).
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self._ring[self._next] = float(value)
+        self._next = (self._next + 1) % self._capacity
+        if self._filled < self._capacity:
+            self._filled += 1
+        self.count += 1
+        self.total += value
+
+    def __len__(self) -> int:
+        """Samples currently held (≤ capacity)."""
+        return self._filled
+
+    def snapshot(self) -> list[float]:
+        return self._ring[: self._filled]
+
+    def percentile(self, q: float) -> float:
+        """Exact q-quantile (0–100) of the retained window; NaN when empty."""
+        return self.percentiles((q,))[0]
+
+    def percentiles(self, qs: tuple[float, ...] = (50.0, 95.0, 99.0)) -> list[float]:
+        """One sort, many quantiles (nearest-rank)."""
+        if not self._filled:
+            return [math.nan] * len(qs)
+        data = sorted(self._ring[: self._filled])
+        n = self._filled
+        out = []
+        for q in qs:
+            if not (0.0 <= q <= 100.0):
+                raise ValueError(f"percentile must be in [0, 100], got {q}")
+            rank = max(int(math.ceil(q / 100.0 * n)), 1) - 1
+            out.append(data[min(rank, n - 1)])
+        return out
+
+
+class SLOTracker:
+    """Serving SLO metrics: admission counters, decision latency, gauges."""
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        ring_capacity: int = 8_192,
+    ) -> None:
+        self._lock = threading.Lock()
+        self.wall_ms = RingHistogram(ring_capacity)
+        self.sim_ms = RingHistogram(ring_capacity)
+        self._m_requests = metrics.counter(
+            "serve_requests_total",
+            "Pod-submission requests at the front door, by outcome",
+            labelnames=("outcome",),
+        )
+        self._m_decision = metrics.histogram(
+            "serve_decision_latency_ms",
+            "Wall-clock admission-to-placement decision latency",
+            buckets=DECISION_BUCKETS_MS,
+        )
+        self._m_p50 = metrics.gauge(
+            "serve_decision_latency_p50_ms",
+            "p50 wall decision latency over the recent-decision window",
+        )
+        self._m_p95 = metrics.gauge(
+            "serve_decision_latency_p95_ms",
+            "p95 wall decision latency over the recent-decision window",
+        )
+        self._m_p99 = metrics.gauge(
+            "serve_decision_latency_p99_ms",
+            "p99 wall decision latency over the recent-decision window",
+        )
+        self._m_depth = metrics.gauge(
+            "serve_queue_depth", "Admission-queue depth at last status update"
+        )
+        self._m_util = metrics.gauge(
+            "serve_cluster_gpu_util",
+            "Mean GPU SM utilization (%) — the harvested capacity signal",
+        )
+        self._m_submitted = metrics.counter(
+            "serve_submitted_total", "Accepted requests handed to the API server"
+        )
+        self._m_placed = metrics.counter(
+            "serve_placed_total", "Accepted requests that received a bind decision"
+        )
+        self._m_dropped = metrics.counter(
+            "serve_dropped_total",
+            "Accepted requests lost before submission (must stay 0)",
+        )
+
+    # -- admission outcomes (front-door threads) ----------------------------
+
+    def accepted(self) -> None:
+        with self._lock:
+            self._m_requests.inc(outcome="accepted")
+
+    def rejected(self) -> None:
+        with self._lock:
+            self._m_requests.inc(outcome="rejected")
+
+    def refused_closed(self) -> None:
+        with self._lock:
+            self._m_requests.inc(outcome="draining")
+
+    def invalid(self) -> None:
+        with self._lock:
+            self._m_requests.inc(outcome="invalid")
+
+    # -- service-side events (tick chain) -----------------------------------
+
+    def submitted(self, n: int = 1) -> None:
+        with self._lock:
+            self._m_submitted.inc(n)
+
+    def dropped(self, n: int = 1) -> None:
+        with self._lock:
+            self._m_dropped.inc(n)
+
+    def decision(self, wall_latency_ms: float, sim_latency_ms: float) -> None:
+        with self._lock:
+            self.wall_ms.observe(wall_latency_ms)
+            self.sim_ms.observe(sim_latency_ms)
+            self._m_decision.observe(wall_latency_ms)
+            self._m_placed.inc()
+
+    # -- gauges / quantile export -------------------------------------------
+
+    def update_gauges(self, queue_depth: int, gpu_util_pct: float) -> None:
+        """Refresh depth/utilization gauges and the quantile gauges —
+        called on the status cadence and once at shutdown, so exported
+        quantiles are never staler than one status interval."""
+        with self._lock:
+            self._m_depth.set(float(queue_depth))
+            self._m_util.set(float(gpu_util_pct))
+            p50, p95, p99 = self.wall_ms.percentiles((50.0, 95.0, 99.0))
+            if not math.isnan(p50):
+                self._m_p50.set(p50)
+                self._m_p95.set(p95)
+                self._m_p99.set(p99)
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "accepted": int(self._m_requests.value(outcome="accepted")),
+                "rejected": int(self._m_requests.value(outcome="rejected")),
+                "draining": int(self._m_requests.value(outcome="draining")),
+                "invalid": int(self._m_requests.value(outcome="invalid")),
+                "submitted": int(self._m_submitted.value()),
+                "placed": int(self._m_placed.value()),
+                "dropped": int(self._m_dropped.value()),
+            }

@@ -175,6 +175,7 @@ class EventLoop:
         self._seq = itertools.count()
         self._running = False
         self._stop_requested = False
+        self._stop_hooks: list[Callable[[], None]] = []
         # Live count of pending (scheduled, neither fired nor cancelled)
         # events, maintained on schedule/cancel/fire so ``len(loop)`` is
         # O(1) instead of an O(n) heap scan.
@@ -268,8 +269,31 @@ class EventLoop:
 
     def stop(self) -> None:
         """Ask the current (or next) :meth:`run` to halt after the
-        in-flight event.  Pending events stay scheduled."""
+        in-flight event.  Pending events stay scheduled.
+
+        Idempotent and safe to call from any thread (and from signal
+        handlers): it only sets a flag and notifies the registered stop
+        hooks.  A hook that blocks a paced run's sleep (see
+        :meth:`run_paced`) is woken so a cross-thread stop cannot hang
+        behind the pacer.
+        """
         self._stop_requested = True
+        for hook in self._stop_hooks:
+            hook()
+
+    @property
+    def stop_requested(self) -> bool:
+        """True once :meth:`stop` has been called and not yet consumed
+        by a plain :meth:`run`."""
+        return self._stop_requested
+
+    def add_stop_hook(self, hook: Callable[[], None]) -> None:
+        """Register ``hook()`` to run on every :meth:`stop` call.
+
+        Hooks must be idempotent and thread-safe — the serving layer
+        uses one to wake its wall-clock pacer out of a sleep.
+        """
+        self._stop_hooks.append(hook)
 
     def step(self) -> bool:
         """Fire the single next pending event.
@@ -377,6 +401,47 @@ class EventLoop:
                 fired += 1
             if until is not None and self._now < until:
                 self._now = until
+        finally:
+            self._running = False
+        return fired
+
+    def run_paced(self, pacer: Callable[[float], None], max_events: int | None = None) -> int:
+        """Run events in time order, pacing each against a wall clock.
+
+        ``pacer(when)`` is called with the absolute sim time of the next
+        pending event *before* it fires; the pacer blocks until that sim
+        instant is due in wall-clock terms (the engine itself never
+        reads a host clock — determinism-critical packages ban it, so
+        the clock lives with the injected pacer, e.g.
+        :class:`repro.serve.server.WallClockPacer`).  A pacer must
+        return promptly once :meth:`stop` is called — register a wakeup
+        via :meth:`add_stop_hook`.
+
+        Unlike :meth:`run`, a stop requested *before* entry is honoured
+        (a signal may land between constructing the loop and pacing it),
+        so the stop flag is not reset here.  Returns the number of
+        events fired.
+        """
+        if self._running:
+            raise SimulationError("event loop is already running (re-entrant run_paced())")
+        self._running = True
+        fired = 0
+        heap = self._heap
+        try:
+            while heap:
+                if self._stop_requested:
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+                head = heap[0]
+                if head[3].cancelled:
+                    heapq.heappop(heap)
+                    continue
+                pacer(head[0])
+                if self._stop_requested:
+                    break
+                if self.step():
+                    fired += 1
         finally:
             self._running = False
         return fired

@@ -52,6 +52,7 @@ __all__ = [
     "GridOneShot",
     "FaultPlan",
     "run_until_idle",
+    "run_paced",
 ]
 
 # Phase order of the original tick loop, as same-instant priorities.
@@ -364,3 +365,18 @@ def run_until_idle(loop: EventLoop, max_events: int | None = None) -> int:
     Returns the number of events fired.
     """
     return loop.run(max_events=max_events)
+
+
+def run_paced(
+    loop: EventLoop, pacer: Callable[[float], None], max_events: int | None = None
+) -> int:
+    """Run ``loop`` at wall clock: ``pacer(when)`` blocks before each
+    event until its sim time is due in wall terms.
+
+    The serving layer (:mod:`repro.serve`) drives its tick harness this
+    way — the same event chains as the offline simulators, paced
+    against a host clock injected from outside the sim-critical
+    packages.  Returns the number of events fired (the run ends on
+    :meth:`~repro.sim.engine.EventLoop.stop` or a drained heap).
+    """
+    return loop.run_paced(pacer, max_events=max_events)

@@ -347,3 +347,76 @@ def test_events_fired_counter_increments():
         loop.schedule(float(i), lambda: None)
     loop.run()
     assert obs.metrics.get("engine_events_fired_total").value() == 4.0
+
+
+# -- stop hooks / paced running ----------------------------------------------
+
+
+def test_stop_is_idempotent_and_runs_hooks_each_time():
+    loop = EventLoop()
+    calls = []
+    loop.add_stop_hook(lambda: calls.append("hook"))
+    loop.stop()
+    loop.stop()   # double-stop must not raise
+    assert loop.stop_requested
+    assert calls == ["hook", "hook"]
+
+
+def test_stop_before_run_paced_halts_immediately():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(1.0, fired.append, "never")
+    loop.stop()
+    # A stop requested before pacing begins is honoured (unlike run(),
+    # which resets the flag so pre-existing tests keep their semantics).
+    assert loop.run_paced(lambda when: None) == 0
+    assert fired == []
+
+
+def test_run_paced_fires_in_order_and_reports_times_to_pacer():
+    loop = EventLoop()
+    fired, paced = [], []
+    loop.schedule(2.0, fired.append, "b")
+    loop.schedule(1.0, fired.append, "a")
+    n = loop.run_paced(paced.append)
+    assert n == 2
+    assert fired == ["a", "b"]
+    assert paced == [1.0, 2.0]
+
+
+def test_run_paced_rejects_reentrancy():
+    loop = EventLoop()
+
+    def reenter():
+        with pytest.raises(SimulationError):
+            loop.run_paced(lambda when: None)
+
+    loop.schedule(1.0, reenter)
+    loop.run_paced(lambda when: None)
+
+
+def test_cross_thread_stop_wakes_a_sleeping_pacer():
+    """The serving shutdown path: SIGINT lands on another thread while
+    the pacer is blocked waiting for the next event's wall time."""
+    import threading
+
+    loop = EventLoop()
+    woken = threading.Event()
+    entered = threading.Event()
+
+    def pacer(when: float) -> None:
+        entered.set()
+        # Block until stop() (from the other thread) sets the event;
+        # a hung test here means the stop hook never fired.
+        assert woken.wait(timeout=30.0)
+
+    loop.add_stop_hook(woken.set)
+    loop.schedule(1.0, lambda: None)
+    stopper = threading.Thread(target=lambda: (entered.wait(30.0), loop.stop()))
+    stopper.start()
+    fired = loop.run_paced(pacer)
+    stopper.join(timeout=30.0)
+    assert not stopper.is_alive()
+    # The head event was paced, then the stop was observed before firing.
+    assert fired == 0
+    assert loop.stop_requested

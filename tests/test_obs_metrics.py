@@ -166,3 +166,61 @@ class TestNullRegistry:
         reg.histogram("h").observe(1.0)
         assert reg.render() == ""
         assert reg.enabled is False
+
+
+class TestLabelEscaping:
+    def test_backslash_quote_and_newline_escaped_in_label_values(self):
+        c = Counter("weird_total", labelnames=("path",))
+        c.inc(path='C:\\pods\n"quoted"')
+        line = c.render()[-1]
+        assert line == 'weird_total{path="C:\\\\pods\\n\\"quoted\\""} 1'
+        # The rendered line must stay one physical line.
+        assert "\n" not in line
+
+    def test_help_text_newline_and_backslash_escaped(self):
+        g = Gauge("g", help="line one\nline two \\ slash")
+        help_line = g.render()[0]
+        assert help_line == "# HELP g line one\\nline two \\\\ slash"
+        assert "\n" not in help_line
+
+    def test_plain_values_unchanged(self):
+        c = Counter("plain_total", labelnames=("kind",))
+        c.inc(kind="bind")
+        assert c.render()[-1] == 'plain_total{kind="bind"} 1'
+
+
+GOLDEN = "tests/fixtures/metrics.prom"
+
+
+def _golden_registry() -> MetricsRegistry:
+    """A registry covering every instrument kind, label escaping and
+    insertion order != sort order; pinned byte-for-byte by the golden
+    file so /metrics stays deterministic across refactors."""
+    reg = MetricsRegistry()
+    # Registered out of name order: render() must sort.
+    g = reg.gauge("zz_queue_depth", "Admission-queue depth")
+    g.set(7)
+    c = reg.counter(
+        "serve_requests_total",
+        "Requests by outcome",
+        labelnames=("outcome", "route"),
+    )
+    # Insertion order differs from sorted label-key order.
+    c.inc(outcome="rejected", route="/v1/pods")
+    c.inc(3, outcome="accepted", route="/v1/pods")
+    c.inc(outcome="accepted", route='odd\\"name\n')
+    h = reg.histogram("decision_ms", "Decision latency", buckets=(1.0, 10.0))
+    for v in (0.5, 0.5, 5.0, 50.0):
+        h.observe(v)
+    reg.counter("empty_total", "Never incremented")
+    return reg
+
+
+def test_render_matches_golden_file():
+    rendered = _golden_registry().render()
+    with open(GOLDEN, encoding="utf-8") as fh:
+        assert rendered == fh.read()
+
+
+def test_render_is_byte_stable_across_construction_orders():
+    assert _golden_registry().render() == _golden_registry().render()
