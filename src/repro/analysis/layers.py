@@ -1,0 +1,366 @@
+"""Import-graph layer contract checker (``python -m repro lint --layers``).
+
+The repo's architecture is layered: the deterministic simulation stack
+at the bottom, the drivers on top.
+
+::
+
+    cli ──▶ serve ──▶ sim/core/kube/...        (drivers import down)
+     │        │
+     └─▶ sweep ─▶ experiments ─▶ core ─▶ ...
+                      ▲
+              never the other way
+
+Concretely the contract is:
+
+* ``sim``, ``core``, ``forecast`` and ``cluster`` never import from
+  ``serve``, ``sweep`` or ``cli`` — the simulation stack must stay
+  runnable (and testable) without any driver;
+* ``experiments`` never imports ``serve`` — figure modules go through
+  the sweep fabric, not the live service;
+* the module-scope import graph is acyclic — a cycle means two modules
+  can't be reasoned about (or reloaded) independently.
+
+Only module-scope imports build the DAG: imports inside function
+bodies are deliberate lazy edges (cost or optional-dependency gating),
+and ``if TYPE_CHECKING:`` blocks never execute.  A genuinely intended
+exception is exempted in place by putting ``# kk: disable=layers`` on
+the import line.
+
+The checker is pure stdlib ``ast`` over ``src/repro`` — no imports are
+executed — and the report is deterministic (sorted modules, sorted
+edges) like every other artifact in the repo.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+__all__ = [
+    "FORBIDDEN_LAYER_IMPORTS",
+    "ImportEdge",
+    "LayerReport",
+    "build_import_graph",
+    "check_layers",
+    "layer_of",
+    "main",
+]
+
+#: Layer -> layers it must never import.  Keys/values are the second
+#: dotted component of a module name (``repro.sim.engine`` -> ``sim``).
+FORBIDDEN_LAYER_IMPORTS: dict[str, frozenset[str]] = {
+    "sim": frozenset({"serve", "sweep", "cli"}),
+    "core": frozenset({"serve", "sweep", "cli"}),
+    "forecast": frozenset({"serve", "sweep", "cli"}),
+    "cluster": frozenset({"serve", "sweep", "cli"}),
+    "experiments": frozenset({"serve"}),
+}
+
+#: ``# kk: disable=layers`` (or ``=all``) on the import line.
+_PRAGMA = re.compile(r"#\s*kk:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+def _exempted(line: str) -> bool:
+    m = _PRAGMA.search(line)
+    if not m:
+        return False
+    tokens = {tok.strip().lower() for tok in m.group(1).split(",")}
+    return "layers" in tokens or "all" in tokens
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One module-scope import: ``src`` imports ``dst`` at ``line``."""
+
+    src: str
+    dst: str
+    line: int
+
+
+def layer_of(module: str) -> str:
+    """The layer (top-level subpackage) of a dotted module name.
+
+    ``repro.sim.engine`` -> ``sim``; top-level modules (``repro.cli``,
+    ``repro.units``) are their own layer; the root package is ``""``.
+    """
+    parts = module.split(".")
+    return parts[1] if len(parts) > 1 else ""
+
+
+def _module_name(py: Path, root: Path, package: str) -> str:
+    rel = py.relative_to(root).with_suffix("")
+    parts = list(rel.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join([package, *parts]) if parts else package
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _module_scope_imports(tree: ast.Module) -> Iterator[ast.Import | ast.ImportFrom]:
+    """Imports executed at import time: module body plus module-level
+    ``if``/``try``/``with`` blocks — but not function/class bodies and
+    not ``if TYPE_CHECKING:``."""
+    stack: list[ast.stmt] = list(tree.body)
+    while stack:
+        stmt = stack.pop()
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            yield stmt
+        elif isinstance(stmt, ast.If):
+            if not _is_type_checking_test(stmt.test):
+                stack.extend(stmt.body)
+            stack.extend(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            stack.extend(stmt.body)
+            stack.extend(stmt.orelse)
+            stack.extend(stmt.finalbody)
+            for handler in stmt.handlers:
+                stack.extend(handler.body)
+        elif isinstance(stmt, ast.With):
+            stack.extend(stmt.body)
+
+
+def _resolve_targets(
+    node: ast.Import | ast.ImportFrom, current: str, package: str, modules: set[str]
+) -> Iterator[str]:
+    """Internal modules referenced by one import statement."""
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            name = alias.name
+            if name == package or name.startswith(package + "."):
+                yield _closest_module(name, modules)
+        return
+    # ImportFrom: resolve relative levels against the current module.
+    if node.level:
+        base_parts = current.split(".")
+        # Importing from inside ``repro.a.b`` (a module): level 1 is the
+        # containing package ``repro.a``.
+        if current in modules and not _is_package(current, modules):
+            base_parts = base_parts[:-1]
+        cut = len(base_parts) - (node.level - 1)
+        if cut <= 0:
+            return
+        prefix = ".".join(base_parts[:cut])
+        base = f"{prefix}.{node.module}" if node.module else prefix
+    else:
+        base = node.module or ""
+    if not (base == package or base.startswith(package + ".")):
+        return
+    for alias in node.names:
+        candidate = f"{base}.{alias.name}"
+        yield _closest_module(candidate if candidate in modules else base, modules)
+
+
+def _is_package(module: str, modules: set[str]) -> bool:
+    prefix = module + "."
+    return any(m.startswith(prefix) for m in modules)
+
+
+def _closest_module(name: str, modules: set[str]) -> str:
+    """Trim dotted components until ``name`` is a known module."""
+    while name and name not in modules:
+        if "." not in name:
+            return name
+        name = name.rsplit(".", 1)[0]
+    return name
+
+
+def build_import_graph(
+    root: str | Path, package: str = "repro"
+) -> tuple[dict[str, list[ImportEdge]], dict[str, list[ImportEdge]]]:
+    """Parse every ``.py`` under ``root`` (the ``repro`` package dir).
+
+    Returns ``(static, lazy)``: module-scope edges (these build the
+    DAG) and function-body edges (checked against the layer contract
+    but allowed to form cycles — lazy imports exist to break them).
+    Edges carrying a ``# kk: disable=layers`` pragma are dropped here,
+    so every downstream check sees the exempted graph.
+    """
+    root = Path(root)
+    files = {py: _module_name(py, root, package) for py in sorted(root.rglob("*.py"))}
+    modules = set(files.values())
+    static: dict[str, list[ImportEdge]] = {m: [] for m in sorted(modules)}
+    lazy: dict[str, list[ImportEdge]] = {m: [] for m in sorted(modules)}
+
+    for py, module in files.items():
+        source = py.read_text()
+        lines = source.splitlines()
+        tree = ast.parse(source, filename=str(py))
+        scoped = set(_module_scope_imports(tree))
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            line_text = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
+            if _exempted(line_text):
+                continue
+            bucket = static if node in scoped else lazy
+            for target in _resolve_targets(node, module, package, modules):
+                if target in modules and target != module:
+                    bucket[module].append(ImportEdge(module, target, node.lineno))
+    return static, lazy
+
+
+@dataclass
+class LayerReport:
+    """Everything the CLI / CI gate needs from one check."""
+
+    modules: int
+    edges: int
+    layer_violations: list[dict] = field(default_factory=list)
+    cycles: list[list[str]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.layer_violations and not self.cycles
+
+    def to_dict(self) -> dict:
+        return {
+            "modules": self.modules,
+            "edges": self.edges,
+            "layer_violations": self.layer_violations,
+            "cycles": self.cycles,
+            "clean": self.clean,
+        }
+
+    def render(self) -> str:
+        out = []
+        for v in self.layer_violations:
+            out.append(
+                f"{v['src']}:{v['line']}: layer `{v['src_layer']}` must not import "
+                f"layer `{v['dst_layer']}` (imports {v['dst']}) "
+                "[docs/static-analysis.md#layer-contract]"
+            )
+        for cycle in self.cycles:
+            out.append(
+                "import cycle: " + " -> ".join([*cycle, cycle[0]])
+                + " [docs/static-analysis.md#layer-contract]"
+            )
+        status = "clean" if self.clean else (
+            f"{len(self.layer_violations)} layer violation(s), {len(self.cycles)} cycle(s)"
+        )
+        out.append(f"repro lint --layers: {self.modules} modules, {self.edges} edges, {status}")
+        return "\n".join(out)
+
+
+def _strongly_connected(graph: dict[str, list[str]]) -> list[list[str]]:
+    """Tarjan SCCs (iterative); returns components of size > 1, plus
+    self-loops, each sorted — the cycle report."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = [0]
+
+    for start in sorted(graph):
+        if start in index:
+            continue
+        work: list[tuple[str, int]] = [(start, 0)]
+        while work:
+            node, pi = work[-1]
+            if pi == 0:
+                index[node] = low[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            targets = sorted(set(graph.get(node, [])))
+            while pi < len(targets):
+                succ = targets[pi]
+                pi += 1
+                if succ not in index:
+                    work[-1] = (node, pi)
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                comp = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    comp.append(member)
+                    if member == node:
+                        break
+                if len(comp) > 1 or node in graph.get(node, []):
+                    sccs.append(sorted(comp))
+    return sorted(sccs)
+
+
+def check_layers(root: str | Path | None = None, package: str = "repro") -> LayerReport:
+    """Run the full contract over the package at ``root``.
+
+    ``root`` defaults to the installed ``repro`` package directory, so
+    the CLI works from any cwd.
+    """
+    if root is None:
+        root = Path(__file__).resolve().parent.parent
+    static, lazy = build_import_graph(root, package)
+
+    violations: list[dict] = []
+    for src in sorted(static):
+        src_layer = layer_of(src)
+        forbidden = FORBIDDEN_LAYER_IMPORTS.get(src_layer)
+        if not forbidden:
+            continue
+        for edge in sorted(
+            static[src] + lazy[src], key=lambda e: (e.line, e.dst)
+        ):
+            dst_layer = layer_of(edge.dst)
+            if dst_layer in forbidden:
+                violations.append(
+                    {
+                        "kind": "layer",
+                        "src": edge.src,
+                        "dst": edge.dst,
+                        "src_layer": src_layer,
+                        "dst_layer": dst_layer,
+                        "line": edge.line,
+                    }
+                )
+
+    adjacency = {m: [e.dst for e in edges] for m, edges in static.items()}
+    cycles = _strongly_connected(adjacency)
+    n_edges = sum(len(set((e.src, e.dst) for e in edges)) for edges in static.values())
+    return LayerReport(
+        modules=len(static),
+        edges=n_edges,
+        layer_violations=violations,
+        cycles=cycles,
+    )
+
+
+def main(root: str | None = None, fmt: str = "text", out=None) -> int:
+    """CLI entry: print the report, return 0 (clean) / 1 (violations)."""
+    out = out or sys.stdout
+    if fmt not in ("text", "json"):
+        print(
+            f"repro lint --layers: unknown format {fmt!r} (expected text or json)",
+            file=sys.stderr,
+        )
+        return 2
+    report = check_layers(root)
+    if fmt == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True), file=out)
+    else:
+        print(report.render(), file=out)
+    return 0 if report.clean else 1

@@ -7,6 +7,7 @@ catalog via :func:`all_rules`.
 
 from __future__ import annotations
 
+import json
 import sys
 from typing import Sequence
 
@@ -21,6 +22,7 @@ from repro.analysis.lint.framework import (
     lint_source,
 )
 from repro.analysis.lint import rules as _rules  # noqa: F401  (registers KK001-KK004)
+from repro.analysis.lint import concurrency as _concurrency  # noqa: F401  (KK005-KK008)
 
 __all__ = [
     "DOCS_URL",
@@ -46,14 +48,19 @@ def main(
     paths: Sequence[str],
     select: Sequence[str] | None = None,
     list_rules: bool = False,
+    fmt: str = "text",
     out=None,
 ) -> int:
     """Lint ``paths``; print findings; return a shell exit code.
 
     0 = clean, 1 = findings, 2 = usage error (nothing to lint / bad
-    rule selection).
+    rule selection / unknown format).  ``fmt="json"`` emits one
+    machine-readable document instead of the line-per-finding text.
     """
     out = out or sys.stdout
+    if fmt not in ("text", "json"):
+        print(f"repro lint: unknown format {fmt!r} (expected text or json)", file=sys.stderr)
+        return 2
     if list_rules:
         print(render_catalog(), file=out)
         return 0
@@ -69,6 +76,14 @@ def main(
     except KeyError as exc:
         print(f"repro lint: {exc.args[0]}", file=sys.stderr)
         return 2
+    if fmt == "json":
+        doc = {
+            "files": len(files),
+            "findings": [f.to_dict() for f in findings],
+            "clean": not findings,
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True), file=out)
+        return 1 if findings else 0
     for finding in findings:
         print(finding.render(), file=out)
     tally = f"{len(findings)} finding{'s' if len(findings) != 1 else ''}"

@@ -1,0 +1,417 @@
+"""Thread-safety lint rules (``KK005``–``KK008``).
+
+The serving layer gave the repo real threads: an HTTP front door and a
+load generator at wall clock on one side, the simulation tick chain on
+the other.  These rules encode the resulting concurrency conventions
+the same way KK001–KK004 encode the determinism ones — conservative,
+AST-provable patterns, suppressible in place with ``# kk: disable``.
+
+The analysis is *class-scoped*: a method is "thread-side" when the
+class hands it to a thread (``threading.Thread(target=self.m)`` /
+``Timer``), registers it as a cross-thread callback
+(``call_soon_threadsafe(self.m)``, ``add_stop_hook(self.m)``), or is
+reachable from such a method through ``self.m()`` calls.  Everything
+else in the class is "loop-side" (the constructing/driving thread).
+A ``with`` block whose context expression mentions ``lock`` (e.g.
+``with self._lock:``, ``with _state_lock:``) counts as holding a lock.
+
+The runtime complement to these static rules is
+:mod:`repro.analysis.racedetect` (``--race-detect``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.framework import FileContext, Finding, Rule, register
+from repro.analysis.lint.rules import _module_aliases
+
+__all__ = [
+    "UnlockedSharedWriteRule",
+    "BlockingUnderLockRule",
+    "BareAcquireRule",
+    "CrossThreadLoopMutationRule",
+]
+
+#: Constructors that put a ``self.<m>`` target on another thread.
+_THREAD_FACTORIES = frozenset({"Thread", "Timer"})
+#: Registrars whose ``self.<m>`` arguments run on a foreign thread.
+_CALLBACK_REGISTRARS = frozenset({"call_soon_threadsafe", "add_stop_hook"})
+#: Methods whose construction-time writes happen-before any thread start.
+_CONSTRUCTORS = frozenset({"__init__", "__new__", "__post_init__"})
+
+
+def _is_self_attr(node: ast.AST) -> bool:
+    """``self.<attr>`` exactly (not ``self.a.b``)."""
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def _call_name(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _is_lock_with(node: ast.With) -> bool:
+    """Does any ``with`` item look like a lock (name mentions "lock")?"""
+    return any("lock" in ast.unparse(item.context_expr).lower() for item in node.items)
+
+
+def _class_methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef | ast.AsyncFunctionDef]:
+    return {
+        stmt.name: stmt
+        for stmt in cls.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _thread_side_methods(cls: ast.ClassDef) -> set[str]:
+    """Method names that run on a foreign thread, with transitive closure
+    over ``self.m()`` calls (a helper called from a thread target is
+    thread-side too)."""
+    entries: set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        if name in _THREAD_FACTORIES:
+            for kw in node.keywords:
+                if kw.arg == "target" and _is_self_attr(kw.value):
+                    entries.add(kw.value.attr)  # type: ignore[attr-defined]
+        elif name in _CALLBACK_REGISTRARS:
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if _is_self_attr(arg):
+                    entries.add(arg.attr)  # type: ignore[attr-defined]
+    if not entries:
+        return entries
+
+    methods = _class_methods(cls)
+    calls: dict[str, set[str]] = {}
+    for name, fn in methods.items():
+        out: set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call) and _is_self_attr(node.func):
+                out.add(node.func.attr)  # type: ignore[attr-defined]
+        calls[name] = out
+
+    frontier = [m for m in entries if m in methods]
+    closed = set(entries)
+    while frontier:
+        current = frontier.pop()
+        for callee in calls.get(current, ()):
+            if callee in methods and callee not in closed:
+                closed.add(callee)
+                frontier.append(callee)
+    return closed
+
+
+def _self_attr_writes(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[tuple[str, bool, ast.stmt]]:
+    """Every ``self.<attr> = ...`` in ``fn`` as (attr, under_lock, stmt)."""
+    writes: list[tuple[str, bool, ast.stmt]] = []
+
+    def visit(node: ast.AST, locked: bool) -> None:
+        if isinstance(node, ast.With):
+            inner = locked or _is_lock_with(node)
+            for item in node.items:
+                visit(item.context_expr, locked)
+            for child in node.body:
+                visit(child, inner)
+            return
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if _is_self_attr(target):
+                    writes.append((target.attr, locked, node))  # type: ignore[attr-defined]
+        for child in ast.iter_child_nodes(node):
+            visit(child, locked)
+
+    for stmt in fn.body:
+        visit(stmt, False)
+    return writes
+
+
+# -- KK005 ------------------------------------------------------------------
+
+
+@register
+class UnlockedSharedWriteRule(Rule):
+    """KK005 — attribute written from both sides of a thread boundary
+    without a lock.
+
+    When a class both runs methods on a foreign thread and writes the
+    same ``self.<attr>`` from its loop-side methods, every one of those
+    writes must happen under a lock — a lock on only one side protects
+    nothing.  Construction (``__init__``) is exempt: ``Thread.start()``
+    establishes a happens-before edge for everything written earlier.
+    """
+
+    id = "KK005"
+    name = "unlocked-shared-write"
+    summary = "attribute written from both a thread target and loop code without a lock"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            thread_side = _thread_side_methods(cls)
+            if not thread_side:
+                continue
+            methods = _class_methods(cls)
+            thread_writes: dict[str, list[tuple[bool, ast.stmt]]] = {}
+            loop_writes: dict[str, list[tuple[bool, ast.stmt]]] = {}
+            for name, fn in methods.items():
+                if name in _CONSTRUCTORS:
+                    continue
+                bucket = thread_writes if name in thread_side else loop_writes
+                for attr, locked, stmt in _self_attr_writes(fn):
+                    bucket.setdefault(attr, []).append((locked, stmt))
+            for attr in sorted(set(thread_writes) & set(loop_writes)):
+                all_writes = thread_writes[attr] + loop_writes[attr]
+                unlocked = [stmt for locked, stmt in all_writes if not locked]
+                if not unlocked:
+                    continue
+                node = min(unlocked, key=lambda s: (s.lineno, s.col_offset))
+                yield self.finding(
+                    ctx, node,
+                    f"`self.{attr}` of `{cls.name}` is written from both a "
+                    "thread-side method and loop-side code; guard every write "
+                    "with one shared lock",
+                )
+
+
+# -- KK006 ------------------------------------------------------------------
+
+#: Attribute calls that block on the network regardless of receiver.
+_SOCKET_BLOCKERS = frozenset({"accept", "recv", "recvfrom", "recv_into"})
+
+
+@register
+class BlockingUnderLockRule(Rule):
+    """KK006 — blocking call while holding a lock.
+
+    Sleeping or waiting on I/O inside ``with <lock>:`` serializes every
+    other thread behind a wait that has nothing to do with the guarded
+    state — the admission queue's contract is that its lock is held for
+    dict/deque touches only.  Flags ``time.sleep``, socket
+    ``accept``/``recv``, untimed ``queue.get()`` and ``select.select``
+    inside a lock-holding ``with`` block.
+    """
+
+    id = "KK006"
+    name = "blocking-under-lock"
+    summary = "sleep / socket wait / untimed queue.get while holding a lock"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        tree = ctx.tree
+        time_aliases = _module_aliases(tree, "time")
+        select_aliases = _module_aliases(tree, "select")
+        bare: set[str] = set()   # `from time import sleep`, `from select import select`
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module in {"time", "select"}:
+                for alias in node.names:
+                    if alias.name in {"sleep", "select"}:
+                        bare.add(alias.asname or alias.name)
+
+        findings: list[Finding] = []
+
+        def blocking_reason(node: ast.Call) -> str | None:
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in bare:
+                    return f"`{func.id}(...)` blocks"
+                return None
+            if not isinstance(func, ast.Attribute):
+                return None
+            base = func.value
+            if func.attr == "sleep" and isinstance(base, ast.Name) and base.id in time_aliases:
+                return f"`{base.id}.sleep(...)` blocks"
+            if func.attr == "select" and isinstance(base, ast.Name) and base.id in select_aliases:
+                return f"`{base.id}.select(...)` blocks"
+            if func.attr in _SOCKET_BLOCKERS:
+                return f"`.{func.attr}()` waits on the network"
+            if (
+                func.attr == "get"
+                and not node.args
+                and not node.keywords
+                and "queue" in ast.unparse(base).lower()
+            ):
+                return "untimed `.get()` blocks until an item arrives"
+            return None
+
+        def visit(node: ast.AST, locked: bool) -> None:
+            if isinstance(node, ast.With):
+                inner = locked or _is_lock_with(node)
+                for item in node.items:
+                    visit(item.context_expr, locked)
+                for child in node.body:
+                    visit(child, inner)
+                return
+            if locked and isinstance(node, ast.Call):
+                reason = blocking_reason(node)
+                if reason is not None:
+                    findings.append(
+                        self.finding(
+                            ctx, node,
+                            f"{reason} while a lock is held; move the wait outside "
+                            "the critical section",
+                        )
+                    )
+            for child in ast.iter_child_nodes(node):
+                visit(child, locked)
+
+        visit(tree, False)
+        yield from findings
+
+
+# -- KK007 ------------------------------------------------------------------
+
+
+def _releases(stmts: list[ast.stmt], receiver: str) -> bool:
+    """Does any statement call ``<receiver>.release()``?"""
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "release"
+                and ast.unparse(node.func.value) == receiver
+            ):
+                return True
+    return False
+
+
+@register
+class BareAcquireRule(Rule):
+    """KK007 — ``lock.acquire()`` without ``with`` or ``try/finally``.
+
+    A bare acquire leaks the lock on any exception between acquire and
+    release, deadlocking every later waiter.  Statement-level
+    ``<lock>.acquire()`` must either be immediately followed by a
+    ``try`` whose ``finally`` releases the same lock, or sit inside
+    one.  (Non-statement acquires — ``while not lock.acquire(timeout=..)``
+    — manage the result explicitly and are not flagged; use ``with``
+    where possible.)
+    """
+
+    id = "KK007"
+    name = "bare-acquire"
+    summary = "Lock.acquire() outside `with` and without a try/finally release"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        findings: list[Finding] = []
+
+        def bare_acquire(stmt: ast.stmt) -> str | None:
+            """The receiver source if ``stmt`` is ``<lock>.acquire(...)``."""
+            if not (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call)):
+                return None
+            func = stmt.value.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "acquire"):
+                return None
+            receiver = ast.unparse(func.value)
+            return receiver if "lock" in receiver.lower() else None
+
+        def visit(stmts: list[ast.stmt], protected: frozenset[str]) -> None:
+            for i, stmt in enumerate(stmts):
+                receiver = bare_acquire(stmt)
+                if receiver is not None and receiver not in protected:
+                    nxt = stmts[i + 1] if i + 1 < len(stmts) else None
+                    if not (isinstance(nxt, ast.Try) and _releases(nxt.finalbody, receiver)):
+                        findings.append(
+                            self.finding(
+                                ctx, stmt,
+                                f"bare `{receiver}.acquire()` leaks the lock on any "
+                                "exception before release; use `with` or follow "
+                                "immediately with try/finally release",
+                            )
+                        )
+                if isinstance(stmt, ast.Try):
+                    inner = protected
+                    for node in ast.walk(ast.Module(body=stmt.finalbody, type_ignores=[])):
+                        if (
+                            isinstance(node, ast.Call)
+                            and isinstance(node.func, ast.Attribute)
+                            and node.func.attr == "release"
+                        ):
+                            inner = inner | {ast.unparse(node.func.value)}
+                    visit(stmt.body, inner)
+                    for handler in stmt.handlers:
+                        visit(handler.body, protected)
+                    visit(stmt.orelse, protected)
+                    visit(stmt.finalbody, protected)
+                    continue
+                for field in ("body", "orelse", "finalbody"):
+                    child = getattr(stmt, field, None)
+                    if isinstance(child, list) and child and isinstance(child[0], ast.stmt):
+                        visit(child, protected)
+                for handler in getattr(stmt, "handlers", []):
+                    visit(handler.body, protected)
+
+        module = ctx.tree
+        if isinstance(module, ast.Module):
+            visit(module.body, frozenset())
+        yield from findings
+
+
+# -- KK008 ------------------------------------------------------------------
+
+#: EventLoop methods that mutate loop state and are owner-thread-only.
+_LOOP_MUTATORS = frozenset(
+    {"schedule", "schedule_at", "every", "run", "run_paced", "run_until_idle", "step"}
+)
+
+
+@register
+class CrossThreadLoopMutationRule(Rule):
+    """KK008 — EventLoop mutated from a foreign thread.
+
+    The event loop is single-owner: exactly one thread runs it and
+    schedules onto it.  The sanctioned cross-thread surface is
+    ``stop()`` / ``add_stop_hook()`` / ``stop_requested()`` / ``now``;
+    anything else (``schedule``, ``schedule_at``, ``every``, ``run*``,
+    ``step``) from a thread-side method corrupts the heap mid-pop.
+    Hand work across via the admission queue, then schedule from the
+    tick chain.
+    """
+
+    id = "KK008"
+    name = "cross-thread-loop-mutation"
+    summary = "EventLoop schedule/run call from a thread-side method"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            thread_side = _thread_side_methods(cls)
+            if not thread_side:
+                continue
+            methods = _class_methods(cls)
+            for name in sorted(thread_side):
+                fn = methods.get(name)
+                if fn is None:
+                    continue
+                for node in ast.walk(fn):
+                    if not (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _LOOP_MUTATORS
+                    ):
+                        continue
+                    receiver = ast.unparse(node.func.value).lower()
+                    if "loop" in receiver or "engine" in receiver:
+                        yield self.finding(
+                            ctx, node,
+                            f"`.{node.func.attr}()` on the event loop from "
+                            f"thread-side method `{name}`; only stop()/"
+                            "add_stop_hook() may be called cross-thread — hand "
+                            "work over via the admission queue",
+                        )

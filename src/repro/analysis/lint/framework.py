@@ -67,6 +67,17 @@ class Finding:
             f"[{self.docs_url}]"
         )
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (``--format=json`` and editor integrations)."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "docs": self.docs_url,
+        }
+
     def sort_key(self) -> tuple:
         return (self.path, self.line, self.col, self.rule_id)
 

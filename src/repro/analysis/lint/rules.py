@@ -22,8 +22,14 @@ __all__ = [
 ]
 
 #: Directory components marking the simulation-critical packages: code
-#: under any of these must be bit-deterministic (KK001's scope).
-SIM_CRITICAL_PACKAGES = frozenset({"sim", "core", "kube", "telemetry"})
+#: under any of these must be bit-deterministic (KK001's scope).  The
+#: set covers everything the seeded replay path executes: the event
+#: loop and harness (``sim``), the simulators and schedulers
+#: (``core``), the control plane (``kube``), telemetry, forecasting,
+#: cluster topology, and workload synthesis.
+SIM_CRITICAL_PACKAGES = frozenset(
+    {"sim", "core", "kube", "telemetry", "forecast", "cluster", "workloads"}
+)
 
 # -- import-alias helpers ---------------------------------------------------
 

@@ -28,8 +28,12 @@ The subcommands cover the workflows a user reaches for first:
     Retry-After) drained into the event loop at wall clock, with
     p50/p95/p99 decision-latency SLO metrics live on ``/metrics``.
 ``lint``
-    Run the Kube-Knots static lint rules (KK001–KK004) over source
-    paths; the CI gate is ``python -m repro lint src``.
+    Run the Kube-Knots static lint rules — determinism/hygiene
+    (KK001–KK004) and thread-safety (KK005–KK008) — over source paths;
+    the CI gate is ``python -m repro lint src``.  ``--layers`` runs the
+    import-graph layer contract checker instead (simulation stack never
+    imports drivers, no module cycles), and ``--format json`` makes
+    either mode machine-readable.
 ``bench``
     Run the benchmark suite: hot-path kernels (TSDB windowed queries,
     the correlation matrix, AR(1) fits, CBP/PP scheduler passes — the
@@ -43,6 +47,10 @@ The subcommands cover the workflows a user reaches for first:
 ``simulate`` and ``dlsim`` accept ``--sanitize`` to run under the
 runtime sanitizer (:mod:`repro.analysis.sanitizer`): invariant breaches
 abort the run with exit code 3 and land in the decision audit log.
+``serve`` additionally accepts ``--race-detect`` to run under the
+lock-order / owner-thread race detector
+(:mod:`repro.analysis.racedetect`): the run completes, violations are
+printed and recorded in the audit log, and the command exits 5.
 """
 
 from __future__ import annotations
@@ -404,6 +412,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         http=not args.no_http,
         sanitize=args.sanitize,
+        race_detect=args.race_detect,
         seed=args.seed,
     )
     service = KnotsService(config)
@@ -426,14 +435,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if service.obs.sanitizer is not None:
         san = service.obs.sanitizer
         print(f"sanitizer: {san.checks} checks, {len(san.violations)} violations")
+    race = service.obs.race
+    if race is not None:
+        print(
+            f"race detector: {race.acquisitions} lock acquisitions, "
+            f"{len(race.violations)} violations"
+        )
+        if race.violations:
+            for violation in race.iter_violations():
+                print(violation.render(), file=sys.stderr)
+            return 5
     # A graceful run never loses an accepted pod; surface it if one did.
     return 0 if report.counts["dropped"] == 0 else 1
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
+    if args.layers:
+        from repro.analysis.layers import main as layers_main
+
+        return layers_main(fmt=args.format)
     from repro.analysis.lint import main as lint_main
 
-    return lint_main(args.paths, select=args.select, list_rules=args.list_rules)
+    return lint_main(
+        args.paths, select=args.select, list_rules=args.list_rules, fmt=args.format
+    )
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -592,15 +617,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--sanitize", action="store_true",
                        help="run under the runtime sanitizer; invariant breaches "
                             "abort with exit code 3")
+    p_srv.add_argument("--race-detect", action="store_true", dest="race_detect",
+                       help="run under the lock-order/owner-thread race detector; "
+                            "violations are reported at exit with exit code 5")
     p_srv.set_defaults(func=_cmd_serve)
 
-    p_lint = sub.add_parser("lint", help="run the KK static lint rules (KK001-KK004)")
+    p_lint = sub.add_parser("lint", help="run the KK static lint rules (KK001-KK008)")
     p_lint.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
     p_lint.add_argument("--select", nargs="+", default=None, metavar="KKnnn",
                         help="run only these rule ids")
     p_lint.add_argument("--list-rules", action="store_true", dest="list_rules",
                         help="print the rule catalog and exit")
+    p_lint.add_argument("--layers", action="store_true",
+                        help="check the import-graph layer contract instead of "
+                             "the per-file rules")
+    p_lint.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (default: text)")
     p_lint.set_defaults(func=_cmd_lint)
 
     p_bench = sub.add_parser("bench", help="run the hot-path benchmark suite")

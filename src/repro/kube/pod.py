@@ -11,6 +11,7 @@ delay, QoS violations) is derived from.
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -18,20 +19,34 @@ from repro.workloads.base import QoSClass, WorkloadTrace
 
 __all__ = ["PodPhase", "PodSpec", "Pod", "reset_uid_counter"]
 
-_uid_counter = itertools.count(1)
+
+class _UidState(threading.local):
+    """Per-thread UID sequence.
+
+    A process-global counter would interleave when two simulations run
+    on different threads of one process (e.g. concurrent ``run_tasks``
+    callers with in-process execution), making pod UIDs — and thus the
+    results — depend on thread timing.
+    """
+
+    def __init__(self) -> None:
+        self.counter = itertools.count(1)
+
+
+_uids = _UidState()
 
 
 def reset_uid_counter() -> None:
-    """Restart pod UIDs at ``pod-1``.
+    """Restart pod UIDs at ``pod-1`` for the calling thread.
 
     Each simulator run calls this before creating pods so a run's UIDs
     are a function of the run alone, not of how many simulations the
-    process happened to execute earlier — which is what lets the sweep
-    fabric pin serial, pooled and cached results bit-identical.  UIDs
-    are therefore unique within one run, not across runs.
+    process (or thread) happened to execute earlier — which is what
+    lets the sweep fabric pin serial, pooled and cached results
+    bit-identical.  UIDs are therefore unique within one run, not
+    across runs.
     """
-    global _uid_counter
-    _uid_counter = itertools.count(1)
+    _uids.counter = itertools.count(1)
 
 
 class PodPhase(Enum):
@@ -68,7 +83,7 @@ class Pod:
     """A tracked pod instance."""
 
     spec: PodSpec
-    uid: str = field(default_factory=lambda: f"pod-{next(_uid_counter)}")
+    uid: str = field(default_factory=lambda: f"pod-{next(_uids.counter)}")
     phase: PodPhase = PodPhase.PENDING
 
     # placement

@@ -21,9 +21,10 @@ __all__ = ["Observability", "NOOP"]
 
 
 class Observability:
-    """Tracer + metrics + audit log (+ sanitizer) sharing one sim clock."""
+    """Tracer + metrics + audit log (+ sanitizer, + race detector)
+    sharing one sim clock."""
 
-    __slots__ = ("clock", "tracer", "metrics", "audit", "sanitizer", "enabled")
+    __slots__ = ("clock", "tracer", "metrics", "audit", "sanitizer", "race", "enabled")
 
     def __init__(
         self,
@@ -33,13 +34,15 @@ class Observability:
         clock: SimClock | None = None,
         sanitize: bool = False,
         halt_on_violation: bool = True,
+        race_detect: bool = False,
+        halt_on_race: bool = False,
     ) -> None:
         self.clock = clock or SimClock()
         self.tracer = Tracer(self.clock) if trace else NullTracer(self.clock)
         self.metrics = MetricsRegistry() if metrics else NullMetricsRegistry()
-        # Sanitizer violations must land somewhere visible, so sanitizing
-        # always brings a real audit log along.
-        use_audit = bool(audit or sanitize)
+        # Sanitizer and race-detector violations must land somewhere
+        # visible, so either checker brings a real audit log along.
+        use_audit = bool(audit or sanitize or race_detect)
         self.audit = DecisionAuditLog(self.clock) if use_audit else NullAuditLog(self.clock)
         if sanitize:
             from repro.analysis.sanitizer import Sanitizer
@@ -49,6 +52,14 @@ class Observability:
             )
         else:
             self.sanitizer = None
+        if race_detect:
+            from repro.analysis.racedetect import RaceDetector
+
+            self.race: "RaceDetector | None" = RaceDetector(
+                audit=self.audit, clock=self.clock, halt=halt_on_race
+            )
+        else:
+            self.race = None
         self.enabled = bool(trace or metrics or use_audit)
 
     @classmethod

@@ -62,6 +62,12 @@ class Tracer:
         self.process = process
         self.events: list[dict[str, Any]] = []
         self._stack: list[str] = []    # open B/E span names, for nesting checks
+        #: Optional owner-thread guard
+        #: (:class:`repro.analysis.racedetect.ThreadAffinity`).  The
+        #: span stack and event list are single-threaded by contract;
+        #: with a guard installed, a foreign-thread emit reports an
+        #: ``owner_thread`` violation instead of corrupting the stack.
+        self.guard = None
 
     # -- core emitters ------------------------------------------------------
 
@@ -81,6 +87,8 @@ class Tracer:
         self, name: str, cat: str = "sim", args: dict | None = None, ts: float | None = None
     ) -> None:
         """Open a nested duration span (``ph: B``)."""
+        if self.guard is not None:
+            self.guard.check("begin")
         ev: dict[str, Any] = {"name": name, "cat": cat, "ph": "B", "ts": self._ts(ts)}
         if args:
             ev["args"] = args
@@ -89,6 +97,8 @@ class Tracer:
 
     def end(self, args: dict | None = None, ts: float | None = None) -> None:
         """Close the innermost open span (``ph: E``)."""
+        if self.guard is not None:
+            self.guard.check("end")
         if not self._stack:
             raise TraceError("end() with no open span")
         name = self._stack.pop()

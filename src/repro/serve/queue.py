@@ -44,12 +44,16 @@ class AdmissionQueue:
         self,
         capacity: int,
         clock: Callable[[], float] = time.monotonic,
+        lock: Any | None = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"queue capacity must be positive, got {capacity}")
         self.capacity = int(capacity)
         self._clock = clock
-        self._lock = threading.Lock()
+        # ``lock`` is injectable so ``--race-detect`` can substitute a
+        # repro.analysis.racedetect.TrackedLock and fold this queue into
+        # the lock-order graph.
+        self._lock = lock if lock is not None else threading.Lock()
         self._items: deque[Any] = deque()
         self._closed = False
         self.accepted_total = 0

@@ -98,6 +98,10 @@ class ServeConfig:
     port: int = 0                     # 0 = ephemeral
     http: bool = True
     sanitize: bool = False
+    #: Run under the lock-order/owner-thread race detector
+    #: (:mod:`repro.analysis.racedetect`); violations are collected and
+    #: reported at end of run (CLI exit code 5).
+    race_detect: bool = False
     seed: int = 1
 
 
@@ -214,7 +218,8 @@ class KnotsService:
         # Serving always exports metrics; tracing stays off (unbounded
         # growth over a long-running service).
         self.obs = obs or Observability(
-            trace=False, metrics=True, audit=True, sanitize=cfg.sanitize
+            trace=False, metrics=True, audit=True, sanitize=cfg.sanitize,
+            race_detect=cfg.race_detect,
         )
         self.clock = clock
         self.cluster = make_paper_cluster(
@@ -223,8 +228,23 @@ class KnotsService:
         self.orchestrator = KubeKnots(
             self.cluster, make_scheduler(cfg.scheduler), obs=self.obs
         )
-        self.queue = AdmissionQueue(cfg.queue_capacity, clock=clock)
-        self.slo = SLOTracker(self.obs.metrics)
+        race = self.obs.race
+        self.queue = AdmissionQueue(
+            cfg.queue_capacity,
+            clock=clock,
+            lock=race.tracked("AdmissionQueue._lock") if race is not None else None,
+        )
+        self.slo = SLOTracker(
+            self.obs.metrics,
+            lock=race.tracked("SLOTracker._lock") if race is not None else None,
+        )
+        if race is not None:
+            # Single-threaded-by-contract structures get owner-thread
+            # guards: every node-local TSDB plus the tracer's span stack.
+            guard = race.affinity("TSDB")
+            for monitor in self.orchestrator.knots.monitors.values():
+                monitor.tsdb.guard = guard
+            self.obs.tracer.guard = race.affinity("Tracer")
         self.pacer = WallClockPacer(cfg.speed, clock) if cfg.paced else None
         #: Called once per resolved submission (bind or shed) — the
         #: closed-loop load generator's slot release.
@@ -527,6 +547,11 @@ class FrontDoor:
         self.service = service
         self.host = host
         self.port = port          # resolved to the bound port on start()
+        # Lifecycle state (_aio/_server/_thread) is written by the
+        # serve thread during startup and by the caller's thread during
+        # stop(); one small lock makes the hand-off explicit (lint rule
+        # KK005 — cross-thread writes without a lock).
+        self._state_lock = threading.Lock()
         self._thread: threading.Thread | None = None
         self._aio: asyncio.AbstractEventLoop | None = None
         self._server: asyncio.AbstractServer | None = None
@@ -538,10 +563,12 @@ class FrontDoor:
     def start(self) -> "FrontDoor":
         if self._thread is not None:
             raise RuntimeError("front door already started")
-        self._thread = threading.Thread(
+        thread = threading.Thread(
             target=self._serve_thread, name="repro-serve-http", daemon=True
         )
-        self._thread.start()
+        with self._state_lock:
+            self._thread = thread
+        thread.start()
         if not self._ready.wait(timeout=10.0):
             raise RuntimeError("front door failed to start within 10s")
         if self._startup_error is not None:
@@ -549,14 +576,17 @@ class FrontDoor:
         return self
 
     def stop(self) -> None:
-        aio = self._aio
+        with self._state_lock:
+            aio = self._aio
+            thread = self._thread
         if aio is None:
             return
         aio.call_soon_threadsafe(self._shutdown)
-        if self._thread is not None:
-            self._thread.join(timeout=10.0)
-        self._aio = None
-        self._thread = None
+        if thread is not None:
+            thread.join(timeout=10.0)
+        with self._state_lock:
+            self._aio = None
+            self._thread = None
 
     def _shutdown(self) -> None:
         if self._server is not None:
@@ -566,13 +596,16 @@ class FrontDoor:
 
     def _serve_thread(self) -> None:
         aio = asyncio.new_event_loop()
-        self._aio = aio
+        with self._state_lock:
+            self._aio = aio
         asyncio.set_event_loop(aio)
         try:
-            self._server = aio.run_until_complete(
+            server = aio.run_until_complete(
                 asyncio.start_server(self._handle, self.host, self.port)
             )
-            self.port = self._server.sockets[0].getsockname()[1]
+            with self._state_lock:
+                self._server = server
+            self.port = server.sockets[0].getsockname()[1]
         except BaseException as exc:   # bind failure -> surface in start()
             self._startup_error = exc
             self._ready.set()

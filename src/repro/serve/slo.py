@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import math
 import threading
+from typing import Any
 
 from repro.obs.metrics import MetricsRegistry
 
@@ -108,8 +109,12 @@ class SLOTracker:
         self,
         metrics: MetricsRegistry,
         ring_capacity: int = 8_192,
+        lock: Any | None = None,
     ) -> None:
-        self._lock = threading.Lock()
+        # ``lock`` is injectable so ``--race-detect`` can substitute a
+        # repro.analysis.racedetect.TrackedLock and fold the tracker
+        # into the lock-order graph.
+        self._lock = lock if lock is not None else threading.Lock()
         self.wall_ms = RingHistogram(ring_capacity)
         self.sim_ms = RingHistogram(ring_capacity)
         self._m_requests = metrics.counter(

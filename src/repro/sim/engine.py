@@ -186,6 +186,13 @@ class EventLoop:
         #: traces/metrics stay in the package-wide milliseconds.
         self.clock_scale = float(clock_scale)
         self._san = self.obs.sanitizer
+        # Owner-thread affinity guard (only when a race detector rides
+        # on the bundle): the loop is single-threaded by contract —
+        # cross-thread interaction goes through stop()/add_stop_hook()
+        # exclusively — and the guard turns a silent heap race into a
+        # reported "owner_thread" violation.
+        race = getattr(self.obs, "race", None)
+        self._affinity = race.affinity("EventLoop") if race is not None else None
         self._fired_total = 0
         self._m_fired = self.obs.metrics.counter(
             "engine_events_fired_total", "Events fired by the discrete-event loop"
@@ -218,6 +225,10 @@ class EventLoop:
         ``priority`` orders events at the same instant: lower values
         fire first; equal priorities fire in FIFO order.
         """
+        if self._affinity is not None and self._running:
+            # Mutating a running loop is only legal from the thread
+            # driving it; other threads must go through stop().
+            self._affinity.check("schedule_at")
         if when < self._now:
             if self._san is not None:
                 # Audits the breach and (by default) raises SanitizerError.
@@ -352,6 +363,8 @@ class EventLoop:
         """
         if self._running:
             raise SimulationError("event loop is already running (re-entrant run())")
+        if self._affinity is not None:
+            self._affinity.rebind()   # sanctioned hand-off: the runner owns the loop
         self._running = True
         self._stop_requested = False
         fired = 0
@@ -424,6 +437,8 @@ class EventLoop:
         """
         if self._running:
             raise SimulationError("event loop is already running (re-entrant run_paced())")
+        if self._affinity is not None:
+            self._affinity.rebind()   # sanctioned hand-off: the runner owns the loop
         self._running = True
         fired = 0
         heap = self._heap

@@ -29,6 +29,7 @@ hanging the sweep.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Iterable
 
@@ -56,20 +57,29 @@ _memo: OrderedDict[str, Any] = OrderedDict()
 
 _last_stats: dict[str, int] = {"tasks": 0, "hits": 0, "misses": 0, "workers": 0}
 
+#: Guards every mutation of the module-level state above (``_config``,
+#: ``_memo``, ``_last_stats``).  ``run_tasks`` may be driven from
+#: several threads (e.g. a notebook kernel plus a background sweep);
+#: the lock is held only around dict/OrderedDict touches — never across
+#: store I/O or a simulation — so contention stays negligible.
+_state_lock = threading.Lock()
+
 
 def configure(jobs: int | None = None, cache: bool | None = None) -> None:
     """Set session defaults for :func:`run_tasks` (the CLI hook)."""
-    if jobs is not None:
-        if jobs < 1:
-            raise ValueError(f"jobs must be >= 1, got {jobs}")
-        _config["jobs"] = jobs
-    if cache is not None:
-        _config["cache"] = bool(cache)
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    with _state_lock:
+        if jobs is not None:
+            _config["jobs"] = jobs
+        if cache is not None:
+            _config["cache"] = bool(cache)
 
 
 def clear_memo() -> None:
     """Drop the in-process memo (results on disk are untouched)."""
-    _memo.clear()
+    with _state_lock:
+        _memo.clear()
 
 
 def clear(disk: bool = False, store: ResultStore | None = None) -> None:
@@ -86,21 +96,24 @@ def clear(disk: bool = False, store: ResultStore | None = None) -> None:
 
 def last_stats() -> dict[str, int]:
     """Counters from the most recent :func:`run_tasks` call."""
-    return dict(_last_stats)
+    with _state_lock:
+        return dict(_last_stats)
 
 
 def _memo_put(key: str, result: Any) -> None:
-    _memo[key] = result
-    _memo.move_to_end(key)
-    while len(_memo) > _MEMO_MAX:
-        _memo.popitem(last=False)
+    with _state_lock:
+        _memo[key] = result
+        _memo.move_to_end(key)
+        while len(_memo) > _MEMO_MAX:
+            _memo.popitem(last=False)
 
 
 def _resolve_jobs(jobs: int | None) -> int:
     import os
 
     if jobs is None:
-        jobs = _config["jobs"]
+        with _state_lock:
+            jobs = _config["jobs"]
     if jobs is None:
         jobs = os.cpu_count() or 1
     if jobs < 1:
@@ -146,7 +159,11 @@ def run_tasks(
     task_list = list(tasks)
     if not task_list:
         return []
-    use_cache = _config["cache"] if cache is None else cache
+    if cache is None:
+        with _state_lock:
+            use_cache = _config["cache"]
+    else:
+        use_cache = cache
     n_jobs = _resolve_jobs(jobs)
     store_obj = (store if store is not None else ResultStore()) if use_cache else None
 
@@ -160,11 +177,15 @@ def run_tasks(
     miss_keys: list[str] = []
     hits = 0
     for key in unique:
-        if memo and key in _memo:
-            resolved[key] = _memo[key]
-            _memo.move_to_end(key)
-            hits += 1
-            continue
+        if memo:
+            with _state_lock:
+                memoized = key in _memo
+                if memoized:
+                    resolved[key] = _memo[key]
+                    _memo.move_to_end(key)
+            if memoized:
+                hits += 1
+                continue
         if store_obj is not None:
             result = store_obj.get(key)
             if result is not None:
@@ -191,10 +212,11 @@ def run_tasks(
             resolved[key] = result
 
     results = [resolved[key] for key in keys]
-    _last_stats.update(
-        tasks=len(task_list), hits=hits, misses=misses,
-        workers=min(n_jobs, misses) if misses else 0,
-    )
+    with _state_lock:
+        _last_stats.update(
+            tasks=len(task_list), hits=hits, misses=misses,
+            workers=min(n_jobs, misses) if misses else 0,
+        )
     if obs is not None and getattr(obs, "enabled", False):
         metrics = obs.metrics
         metrics.counter("sweep_tasks_total", "Tasks requested from the sweep fabric").inc(

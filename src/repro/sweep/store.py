@@ -29,6 +29,7 @@ import hashlib
 import os
 import pickle
 import shutil
+import threading
 from pathlib import Path
 
 __all__ = ["SCHEMA_TAG", "DEFAULT_CACHE_DIR", "ResultStore", "task_key"]
@@ -98,7 +99,12 @@ class ResultStore:
             "task": repr(task),
             "result": result,
         }
-        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        # The temp name must be unique per writer — pid alone is not
+        # enough once run_tasks() is called from multiple threads of one
+        # process (same key -> same tmp path -> replace/unlink race).
+        tmp = path.with_name(
+            f"{path.name}.tmp.{os.getpid()}.{threading.get_ident()}"
+        )
         try:
             with open(tmp, "wb") as fh:
                 pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)

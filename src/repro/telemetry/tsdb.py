@@ -193,6 +193,13 @@ class TimeSeriesDB:
             raise ValueError("capacity must be positive")
         self._capacity = capacity
         self._series: dict[str, _RingSeries] = {}
+        #: Optional owner-thread guard
+        #: (:class:`repro.analysis.racedetect.ThreadAffinity`).  The
+        #: store is lock-free by design — one writer, same-thread
+        #: readers — and the guard makes that contract checkable: when
+        #: installed (``--race-detect``), a touch from a foreign thread
+        #: reports an ``owner_thread`` violation.
+        self.guard = None
 
     def write(self, metric: str, t: float, value: float) -> None:
         """Append one point to ``metric`` (created on first write).
@@ -201,6 +208,8 @@ class TimeSeriesDB:
         point raises ``ValueError`` instead of silently corrupting the
         binary-searched query path.
         """
+        if self.guard is not None:
+            self.guard.check("write")
         series = self._series.get(metric)
         if series is None:
             series = self._series[metric] = _RingSeries(self._capacity)
@@ -233,6 +242,8 @@ class TimeSeriesDB:
         An unknown metric yields an empty window (matching how a fresh
         node looks to the aggregator before its first heartbeat).
         """
+        if self.guard is not None:
+            self.guard.check("query")
         series = self._series.get(metric)
         if series is None:
             return _EMPTY_WINDOW
@@ -249,6 +260,8 @@ class TimeSeriesDB:
         This is the shape ``query_node_stats`` uses: all five metric
         windows of a device resolved in a single call.
         """
+        if self.guard is not None:
+            self.guard.check("query_many")
         out: dict[str, SeriesWindow] = {}
         get = self._series.get
         for metric in metrics:

@@ -1,0 +1,23 @@
+"""KK005 fixture: shared attribute written on both sides, no lock."""
+
+import threading
+
+
+class Pump:
+    def __init__(self):
+        self.running = False
+        self._thread = None
+
+    def start(self):
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self.running = True           # loop-side write, unlocked
+        self._thread.start()
+
+    def stop(self):
+        self.running = False          # loop-side write, unlocked
+
+    def _run(self):
+        while True:
+            if not self.running:
+                self.running = False  # thread-side write, unlocked
+                return

@@ -1,0 +1,11 @@
+"""KK006 fixture: blocking calls while holding a lock."""
+
+import time
+
+
+def drain(lock, conn, inbox_queue):
+    with lock:
+        time.sleep(0.5)               # sleeps under the lock
+        payload = conn.recv(4096)     # network wait under the lock
+        item = inbox_queue.get()      # untimed queue wait under the lock
+    return payload, item

@@ -1,0 +1,7 @@
+"""KK007 fixture: bare acquire leaks the lock on any exception."""
+
+
+def withdraw(lock, account, amount):
+    lock.acquire()
+    account.balance -= amount     # any exception here leaks the lock
+    lock.release()

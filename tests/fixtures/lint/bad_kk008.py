@@ -1,0 +1,14 @@
+"""KK008 fixture: a thread-side method schedules onto the event loop."""
+
+import threading
+
+
+class Heartbeat:
+    def __init__(self, loop):
+        self.loop = loop
+
+    def start(self):
+        threading.Thread(target=self._beat, daemon=True).start()
+
+    def _beat(self):
+        self.loop.schedule(1_000.0, self._beat)   # cross-thread loop mutation

@@ -1,0 +1,26 @@
+"""KK005 fixture: every cross-boundary write happens under one lock."""
+
+import threading
+
+
+class Pump:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.running = False
+        self._thread = None
+
+    def start(self):
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        with self._lock:
+            self.running = True
+        self._thread.start()
+
+    def stop(self):
+        with self._lock:
+            self.running = False
+
+    def _run(self):
+        while True:
+            with self._lock:
+                if not self.running:
+                    return

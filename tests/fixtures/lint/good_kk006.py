@@ -1,0 +1,11 @@
+"""KK006 fixture: waits happen outside the critical section."""
+
+import time
+
+
+def drain(lock, conn, inbox_queue):
+    time.sleep(0.5)
+    payload = conn.recv(4096)
+    item = inbox_queue.get(timeout=1.0)   # bounded wait, and not under the lock
+    with lock:
+        return payload, item

@@ -1,0 +1,25 @@
+"""KK007 fixture: `with` or acquire-then-try/finally both release safely."""
+
+
+def withdraw(lock, account, amount):
+    with lock:
+        account.balance -= amount
+
+
+def withdraw_legacy(lock, account, amount):
+    lock.acquire()
+    try:
+        account.balance -= amount
+    finally:
+        lock.release()
+
+
+def poll(lock, account, amount):
+    # Timed acquire whose result is handled explicitly is not a bare
+    # acquire (the statement form is what KK007 flags).
+    while not lock.acquire(timeout=0.05):
+        pass
+    try:
+        account.balance -= amount
+    finally:
+        lock.release()

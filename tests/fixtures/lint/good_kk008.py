@@ -1,0 +1,22 @@
+"""KK008 fixture: threads hand work over a queue; loop-side code schedules."""
+
+import threading
+
+
+class Heartbeat:
+    def __init__(self, loop, queue):
+        self.loop = loop
+        self.queue = queue
+
+    def start(self):
+        # Scheduling from the owning (loop-side) thread is fine.
+        self.loop.schedule(1_000.0, self._drain)
+        threading.Thread(target=self._feed, daemon=True).start()
+
+    def _feed(self):
+        self.queue.offer("tick")   # hand-off through the admission queue
+        self.loop.stop()           # sanctioned cross-thread API
+
+    def _drain(self):
+        for _ in self.queue.take_all():
+            self.loop.schedule(1_000.0, self._drain)

@@ -1,0 +1,178 @@
+"""Tests for the import-graph layer contract (repro.analysis.layers)."""
+
+from __future__ import annotations
+
+import io
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis.layers import (
+    FORBIDDEN_LAYER_IMPORTS,
+    build_import_graph,
+    check_layers,
+    layer_of,
+    main,
+)
+
+REPO_SRC = Path(__file__).parent.parent / "src" / "repro"
+
+
+def write_pkg(root: Path, files: dict[str, str]) -> Path:
+    """Materialize a synthetic ``repro`` package under ``root``."""
+    pkg = root / "repro"
+    for rel, body in files.items():
+        path = pkg / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(body))
+    for d in [pkg, *[p for p in pkg.rglob("*") if p.is_dir()]]:
+        init = d / "__init__.py"
+        if not init.exists():
+            init.write_text("")
+    return pkg
+
+
+class TestRepoSatisfiesContract:
+    def test_src_repro_is_clean(self):
+        report = check_layers(REPO_SRC)
+        assert report.clean, report.render()
+        assert report.modules > 50
+        assert report.edges > 100
+
+    def test_default_root_resolves_to_installed_package(self):
+        # check_layers() with no root must find the same package.
+        assert check_layers().modules == check_layers(REPO_SRC).modules
+
+    def test_contract_covers_the_simulation_stack(self):
+        for layer in ("sim", "core", "forecast", "cluster"):
+            assert FORBIDDEN_LAYER_IMPORTS[layer] >= {"serve", "sweep", "cli"}
+        assert "serve" in FORBIDDEN_LAYER_IMPORTS["experiments"]
+
+
+class TestLayerOf:
+    def test_layers(self):
+        assert layer_of("repro.sim.engine") == "sim"
+        assert layer_of("repro.core.schedulers.base") == "core"
+        assert layer_of("repro.cli") == "cli"
+        assert layer_of("repro") == ""
+
+
+class TestViolationsAreDetected:
+    def test_sim_importing_serve_is_a_layer_violation(self, tmp_path):
+        pkg = write_pkg(tmp_path, {
+            "sim/engine.py": "from repro.serve.queue import AdmissionQueue\n",
+            "serve/queue.py": "class AdmissionQueue: ...\n",
+        })
+        report = check_layers(pkg)
+        assert not report.clean
+        (violation,) = report.layer_violations
+        assert violation["src"] == "repro.sim.engine"
+        assert violation["dst"] == "repro.serve.queue"
+        assert violation["src_layer"] == "sim"
+        assert violation["dst_layer"] == "serve"
+        assert violation["line"] == 1
+
+    def test_lazy_function_body_import_still_violates_the_contract(self, tmp_path):
+        pkg = write_pkg(tmp_path, {
+            "core/sched.py": "def f():\n    from repro.cli import main\n    return main\n",
+            "cli.py": "def main(): ...\n",
+        })
+        report = check_layers(pkg)
+        assert [v["dst_layer"] for v in report.layer_violations] == ["cli"]
+        assert report.cycles == []
+
+    def test_import_cycle_is_detected(self, tmp_path):
+        pkg = write_pkg(tmp_path, {
+            "obs/a.py": "import repro.obs.b\n",
+            "obs/b.py": "import repro.obs.c\n",
+            "obs/c.py": "import repro.obs.a\n",
+        })
+        report = check_layers(pkg)
+        assert report.cycles == [["repro.obs.a", "repro.obs.b", "repro.obs.c"]]
+
+    def test_lazy_imports_do_not_form_cycles(self, tmp_path):
+        # Function-body imports exist to break cycles; only module-scope
+        # edges build the DAG.
+        pkg = write_pkg(tmp_path, {
+            "obs/a.py": "import repro.obs.b\n",
+            "obs/b.py": "def f():\n    import repro.obs.a\n",
+        })
+        assert check_layers(pkg).cycles == []
+
+    def test_type_checking_block_is_not_an_edge(self, tmp_path):
+        pkg = write_pkg(tmp_path, {
+            "obs/a.py": (
+                "from typing import TYPE_CHECKING\n"
+                "if TYPE_CHECKING:\n"
+                "    import repro.obs.b\n"
+            ),
+            "obs/b.py": "import repro.obs.a\n",
+        })
+        assert check_layers(pkg).cycles == []
+
+    def test_pragma_exempts_one_import(self, tmp_path):
+        pkg = write_pkg(tmp_path, {
+            "sim/engine.py": (
+                "from repro.serve.queue import AdmissionQueue  # kk: disable=layers\n"
+            ),
+            "serve/queue.py": "class AdmissionQueue: ...\n",
+        })
+        assert check_layers(pkg).clean
+
+    def test_relative_imports_resolve(self, tmp_path):
+        pkg = write_pkg(tmp_path, {
+            "sim/engine.py": "from . import harness\n",
+            "sim/harness.py": "from .engine import x\nx = 1\n",
+        })
+        report = check_layers(pkg)
+        # engine <-> harness at module scope is a real cycle.
+        assert report.cycles == [["repro.sim.engine", "repro.sim.harness"]]
+
+
+class TestGraphShape:
+    def test_static_and_lazy_edges_are_separated(self, tmp_path):
+        pkg = write_pkg(tmp_path, {
+            "a.py": "import repro.b\ndef f():\n    import repro.c\n",
+            "b.py": "",
+            "c.py": "",
+        })
+        static, lazy = build_import_graph(pkg)
+        assert [e.dst for e in static["repro.a"]] == ["repro.b"]
+        assert [e.dst for e in lazy["repro.a"]] == ["repro.c"]
+
+    def test_external_imports_are_ignored(self, tmp_path):
+        pkg = write_pkg(tmp_path, {
+            "a.py": "import numpy\nimport threading\nfrom pathlib import Path\n",
+        })
+        static, lazy = build_import_graph(pkg)
+        assert static["repro.a"] == [] and lazy["repro.a"] == []
+
+
+class TestCliEntry:
+    def test_clean_repo_exits_zero(self):
+        out = io.StringIO()
+        assert main(str(REPO_SRC), out=out) == 0
+        assert "clean" in out.getvalue()
+
+    def test_violating_package_exits_one(self, tmp_path):
+        pkg = write_pkg(tmp_path, {
+            "sim/engine.py": "from repro.cli import main\n",
+            "cli.py": "def main(): ...\n",
+        })
+        out = io.StringIO()
+        assert main(str(pkg), out=out) == 1
+        assert "must not import" in out.getvalue()
+
+    def test_json_format(self, tmp_path):
+        pkg = write_pkg(tmp_path, {
+            "sim/engine.py": "from repro.cli import main\n",
+            "cli.py": "def main(): ...\n",
+        })
+        out = io.StringIO()
+        assert main(str(pkg), fmt="json", out=out) == 1
+        doc = json.loads(out.getvalue())
+        assert doc["clean"] is False
+        assert doc["layer_violations"][0]["src"] == "repro.sim.engine"
+
+    def test_unknown_format_is_usage_error(self):
+        assert main(str(REPO_SRC), fmt="yaml", out=io.StringIO()) == 2

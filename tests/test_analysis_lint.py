@@ -9,6 +9,7 @@ path-scoped rules (KK001) see fixture files the same way they see
 from __future__ import annotations
 
 import io
+import json
 from pathlib import Path
 
 import pytest
@@ -23,13 +24,23 @@ BAD_FIXTURES = {
     "KK002": FIXTURES / "bad_kk002.py",
     "KK003": FIXTURES / "bad_kk003.py",
     "KK004": FIXTURES / "bad_kk004.py",
+    "KK005": FIXTURES / "bad_kk005.py",
+    "KK006": FIXTURES / "bad_kk006.py",
+    "KK007": FIXTURES / "bad_kk007.py",
+    "KK008": FIXTURES / "bad_kk008.py",
 }
 GOOD_FIXTURES = {
     "KK001": FIXTURES / "sim" / "good_kk001.py",
     "KK002": FIXTURES / "good_kk002.py",
     "KK003": FIXTURES / "good_kk003.py",
     "KK004": FIXTURES / "good_kk004.py",
+    "KK005": FIXTURES / "good_kk005.py",
+    "KK006": FIXTURES / "good_kk006.py",
+    "KK007": FIXTURES / "good_kk007.py",
+    "KK008": FIXTURES / "good_kk008.py",
 }
+
+ALL_RULE_IDS = [f"KK00{i}" for i in range(1, 9)]
 
 
 def lint_fixture(path: Path, select=None):
@@ -68,6 +79,30 @@ class TestFixtureCorpus:
         findings = lint_fixture(BAD_FIXTURES["KK004"])
         assert len(findings) == 3  # two mutable defaults + one unfrozen Config
 
+    def test_bad_kk005_pinpoints_the_shared_attribute(self):
+        findings = lint_fixture(BAD_FIXTURES["KK005"])
+        assert len(findings) == 1
+        assert "self.running" in findings[0].message
+        assert "lock" in findings[0].message
+
+    def test_bad_kk006_catches_all_three_blocking_shapes(self):
+        messages = [f.message for f in lint_fixture(BAD_FIXTURES["KK006"])]
+        assert len(messages) == 3  # sleep, recv, untimed queue.get
+        assert any("sleep" in m for m in messages)
+        assert any("recv" in m for m in messages)
+        assert any("get" in m for m in messages)
+
+    def test_bad_kk007_names_the_leaked_lock(self):
+        findings = lint_fixture(BAD_FIXTURES["KK007"])
+        assert len(findings) == 1
+        assert "`lock.acquire()`" in findings[0].message
+
+    def test_bad_kk008_names_the_offending_thread_method(self):
+        findings = lint_fixture(BAD_FIXTURES["KK008"])
+        assert len(findings) == 1
+        assert "_beat" in findings[0].message
+        assert "admission queue" in findings[0].message
+
     def test_suppression_pragma_silences_findings(self):
         path = FIXTURES / "suppressed.py"
         assert lint_fixture(path) == []
@@ -95,6 +130,47 @@ class TestScoping:
         ctx = FileContext.parse("x = 1\n", "src/repro/simulation_notes/a.py")
         assert not ctx.in_package({"sim"})
 
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "src/repro/sim/harness.py",            # harness rides in sim/
+            "src/repro/core/schedulers/helpers.py",  # scheduler helpers in core/
+            "src/repro/forecast/ar1.py",
+            "src/repro/cluster/gpu.py",
+            "src/repro/workloads/appmix.py",
+        ],
+    )
+    def test_extended_sim_critical_scope(self, path):
+        findings = lint_source(self.WALLCLOCK, path)
+        assert [f.rule_id for f in findings] == ["KK001"], path
+
+    def test_kk005_fires_even_when_only_one_side_locks(self):
+        source = (
+            "import threading\n"
+            "class C:\n"
+            "    def start(self):\n"
+            "        threading.Thread(target=self._run).start()\n"
+            "        with self._lock:\n"
+            "            self.state = 'started'\n"
+            "    def _run(self):\n"
+            "        self.state = 'running'\n"   # unlocked thread-side write
+        )
+        findings = lint_source(source, "x.py")
+        assert [f.rule_id for f in findings] == ["KK005"]
+
+    def test_kk005_ignores_construction_time_writes(self):
+        source = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.state = 'new'\n"       # happens-before start()
+            "    def start(self):\n"
+            "        threading.Thread(target=self._run).start()\n"
+            "    def _run(self):\n"
+            "        self.state = 'running'\n"
+        )
+        assert lint_source(source, "x.py") == []
+
 
 class TestFrameworkBehaviour:
     def test_syntax_error_becomes_kk000_finding(self):
@@ -118,8 +194,8 @@ class TestFrameworkBehaviour:
         assert f"{DOCS_URL}#kk004" in rendered
         assert f":{finding.line}:" in rendered
 
-    def test_catalog_registers_the_four_rules(self):
-        assert [r.id for r in all_rules()] == ["KK001", "KK002", "KK003", "KK004"]
+    def test_catalog_registers_all_eight_rules(self):
+        assert [r.id for r in all_rules()] == ALL_RULE_IDS
 
 
 class TestRepoIsClean:
@@ -152,5 +228,26 @@ class TestCliEntryPoint:
         out = io.StringIO()
         assert main([], list_rules=True, out=out) == 0
         text = out.getvalue()
-        for rule_id in ("KK001", "KK002", "KK003", "KK004"):
+        for rule_id in ALL_RULE_IDS:
             assert rule_id in text
+
+    def test_json_format_on_findings(self):
+        out = io.StringIO()
+        assert main([str(BAD_FIXTURES["KK007"])], fmt="json", out=out) == 1
+        doc = json.loads(out.getvalue())
+        assert doc["clean"] is False
+        assert doc["files"] == 1
+        (finding,) = doc["findings"]
+        assert finding["rule"] == "KK007"
+        assert finding["path"].endswith("bad_kk007.py")
+        assert finding["line"] == 5
+        assert finding["docs"].endswith("#kk007")
+
+    def test_json_format_on_clean_paths(self):
+        out = io.StringIO()
+        assert main([str(GOOD_FIXTURES["KK005"])], fmt="json", out=out) == 0
+        doc = json.loads(out.getvalue())
+        assert doc == {"clean": True, "files": 1, "findings": []}
+
+    def test_unknown_format_is_usage_error(self):
+        assert main([str(FIXTURES)], fmt="yaml", out=io.StringIO()) == 2

@@ -1,0 +1,239 @@
+"""Tests for the runtime lock-order / race detector (repro.analysis.racedetect)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis.racedetect import (
+    RACE_INVARIANTS,
+    RaceDetector,
+    RaceError,
+    TrackedLock,
+)
+from repro.obs import Observability
+from repro.sim.engine import EventLoop
+
+
+class TestTrackedLock:
+    def test_behaves_like_a_lock(self):
+        lock = RaceDetector().tracked("L")
+        assert not lock.locked()
+        with lock:
+            assert lock.locked()
+        assert not lock.locked()
+
+    def test_acquire_release_api(self):
+        lock = RaceDetector().tracked("L")
+        assert lock.acquire() is True
+        assert lock.acquire(blocking=False) is False   # non-reentrant, like Lock
+        lock.release()
+        assert not lock.locked()
+
+    def test_failed_acquire_is_not_counted(self):
+        d = RaceDetector()
+        lock = d.tracked("L")
+        lock.acquire()
+        lock.acquire(blocking=False)
+        assert d.acquisitions == 1
+
+    def test_mutual_exclusion_across_threads(self):
+        d = RaceDetector()
+        lock = d.tracked("L")
+        counter = {"n": 0}
+
+        def work():
+            for _ in range(1_000):
+                with lock:
+                    counter["n"] += 1
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter["n"] == 4_000
+        assert d.acquisitions == 4_000
+        assert d.violations == []
+
+
+class TestLockOrder:
+    def test_consistent_order_is_clean(self):
+        d = RaceDetector()
+        a, b = d.tracked("A"), d.tracked("B")
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        assert d.violations == []
+        assert d.edges() == {"A": ("B",)}
+
+    def test_ab_ba_cycle_is_a_potential_deadlock(self):
+        d = RaceDetector()
+        a, b = d.tracked("A"), d.tracked("B")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:          # closes B -> A -> B
+                pass
+        assert [v.invariant for v in d.violations] == ["lock_order"]
+        assert "potential deadlock" in d.violations[0].message
+        assert d.violations[0].details["cycle"] == ["B", "A", "B"]
+
+    def test_cycle_reported_once_per_edge(self):
+        d = RaceDetector()
+        a, b = d.tracked("A"), d.tracked("B")
+        for _ in range(5):
+            with a:
+                with b:
+                    pass
+            with b:
+                with a:
+                    pass
+        assert len(d.violations) == 1
+
+    def test_transitive_cycle_through_three_locks(self):
+        d = RaceDetector()
+        a, b, c = d.tracked("A"), d.tracked("B"), d.tracked("C")
+        with a:
+            with b:
+                pass
+        with b:
+            with c:
+                pass
+        with c:
+            with a:          # A -> B -> C -> A
+                pass
+        assert [v.invariant for v in d.violations] == ["lock_order"]
+        assert d.violations[0].details["cycle"] == ["C", "A", "B", "C"]
+
+    def test_held_stack_is_per_thread(self):
+        d = RaceDetector()
+        a = d.tracked("A")
+        seen = {}
+
+        def probe():
+            seen["inner"] = d.held_by_current_thread()
+
+        with a:
+            t = threading.Thread(target=probe)
+            t.start()
+            t.join()
+            assert d.held_by_current_thread() == ("A",)
+        assert seen["inner"] == ()
+
+
+class TestOwnerThread:
+    def test_first_toucher_binds_then_foreign_thread_violates(self):
+        d = RaceDetector()
+        guard = d.affinity("TSDB")
+        guard.check("write")
+        t = threading.Thread(target=lambda: guard.check("write"), name="intruder")
+        t.start()
+        t.join()
+        (v,) = d.violations
+        assert v.invariant == "owner_thread"
+        assert v.details["intruder"] == "intruder"
+        assert v.details["resource"] == "TSDB"
+
+    def test_rebind_is_a_sanctioned_handoff(self):
+        d = RaceDetector()
+        guard = d.affinity("EventLoop")
+        guard.check("schedule_at")
+
+        def handoff():
+            guard.rebind()
+            guard.check("schedule_at")
+
+        t = threading.Thread(target=handoff)
+        t.start()
+        t.join()
+        assert d.violations == []
+
+    def test_affinity_is_shared_per_resource(self):
+        d = RaceDetector()
+        assert d.affinity("TSDB") is d.affinity("TSDB")
+        assert d.affinity("TSDB") is not d.affinity("Tracer")
+
+
+class TestEventLoopAffinity:
+    def test_cross_thread_schedule_while_running_is_reported(self):
+        obs = Observability(trace=False, metrics=False, audit=False, race_detect=True)
+        loop = EventLoop(obs=obs)
+        race = obs.race
+        assert race is not None
+
+        def intrude():
+            loop.schedule_at(5.0, lambda: None)
+
+        def handler():
+            t = threading.Thread(target=intrude, name="foreign")
+            t.start()
+            t.join()
+
+        loop.schedule_at(1.0, handler)
+        loop.run()
+        assert [v.invariant for v in race.violations] == ["owner_thread"]
+        assert race.violations[0].details["resource"] == "EventLoop"
+
+    def test_owner_thread_scheduling_is_clean(self):
+        obs = Observability(trace=False, metrics=False, audit=False, race_detect=True)
+        loop = EventLoop(obs=obs)
+
+        def handler():
+            if loop.now < 5.0:
+                loop.schedule(1.0, handler)
+
+        loop.schedule(1.0, handler)
+        loop.run()
+        assert obs.race.violations == []
+
+    def test_run_rebinds_ownership_to_the_running_thread(self):
+        # Construct on one thread, run on another: the sanctioned pattern.
+        obs = Observability(trace=False, metrics=False, audit=False, race_detect=True)
+        loop = EventLoop(obs=obs)
+        loop.schedule(1.0, lambda: None)
+        t = threading.Thread(target=loop.run)
+        t.start()
+        t.join()
+        assert obs.race.violations == []
+
+
+class TestReporting:
+    def test_unknown_invariant_rejected(self):
+        with pytest.raises(ValueError, match="unknown race invariant"):
+            RaceDetector().violation("nope", "x")
+        assert RACE_INVARIANTS == ("lock_order", "owner_thread")
+
+    def test_halt_mode_raises_race_error(self):
+        d = RaceDetector(halt=True)
+        with pytest.raises(RaceError) as exc:
+            d.violation("owner_thread", "boom")
+        assert exc.value.violation.invariant == "owner_thread"
+        assert d.violations  # recorded even when raising
+
+    def test_violations_land_in_the_audit_log(self):
+        obs = Observability(trace=False, metrics=False, audit=True, race_detect=True)
+        obs.race.violation("lock_order", "synthetic", cycle=["A", "B", "A"])
+        kinds = [r.kind for r in obs.audit.records]
+        assert "violation" in kinds
+        record = [r for r in obs.audit.records if r.kind == "violation"][0]
+        assert record.evidence["invariant"] == "lock_order"
+
+    def test_summary_counts_by_invariant(self):
+        d = RaceDetector()
+        d.violation("lock_order", "a")
+        d.violation("owner_thread", "b")
+        d.violation("owner_thread", "c")
+        assert d.summary() == {"lock_order": 1, "owner_thread": 2}
+
+    def test_observability_off_means_no_detector(self):
+        obs = Observability(trace=False, metrics=False, audit=False)
+        assert obs.race is None
+
+    def test_tracked_lock_repr_and_type(self):
+        lock = RaceDetector().tracked("X")
+        assert isinstance(lock, TrackedLock)
+        assert "X" in repr(lock)

@@ -292,6 +292,66 @@ class TestKnotsService:
         assert len(svc.obs.audit.binds()) >= report.counts["placed"]
 
 
+# -- race detector integration ------------------------------------------------
+
+
+class TestRaceDetectIntegration:
+    def test_threaded_serve_stress_has_zero_violations(self):
+        # The acceptance bar for --race-detect: a paced service with
+        # concurrent submitters touches every instrumented lock and the
+        # EventLoop/TSDB/SLO affinity guards without a single violation.
+        cfg = ServeConfig(duration_s=None, paced=True, http=False,
+                          race_detect=True, seed=7, **SMALL)
+        svc = KnotsService(cfg)
+        race = svc.obs.race
+        assert race is not None
+
+        done = threading.Event()
+        report_box = []
+
+        def run():
+            report_box.append(svc.run())
+            done.set()
+
+        def feed(seed: int):
+            for _, spec in synthesize_workload(qps=40.0, duration_s=0.3, seed=seed):
+                svc.submit_spec(spec)
+
+        runner = threading.Thread(target=run)
+        runner.start()
+        feeders = [threading.Thread(target=feed, args=(s,)) for s in (1, 2, 3)]
+        for t in feeders:
+            t.start()
+        for t in feeders:
+            t.join()
+        time.sleep(0.3)                     # let the loop chew on the backlog
+        svc.request_stop()
+        assert done.wait(timeout=60.0), "service failed to drain under race-detect"
+        runner.join(timeout=10.0)
+        assert race.acquisitions > 0, "detector saw no instrumented lock traffic"
+        assert race.violations == [], "\n".join(v.render() for v in race.violations)
+        assert report_box[0].counts["dropped"] == 0
+
+    def test_front_door_lifecycle_survives_repeated_start_stop(self):
+        # Regression for the KK005 finding on FrontDoor: _thread/_aio/
+        # _server are written by two threads and must stay consistent
+        # across back-to-back start/stop cycles.
+        from repro.serve import FrontDoor
+
+        cfg = ServeConfig(duration_s=None, paced=True, http=False,
+                          race_detect=True, **SMALL)
+        svc = KnotsService(cfg)
+        for _ in range(3):
+            front = FrontDoor(svc, "127.0.0.1", 0)
+            assert isinstance(front._state_lock, type(threading.Lock()))
+            front.start()
+            assert front.port != 0          # bound before start() returned
+            front.stop()
+            assert front._thread is None and front._aio is None
+            front.stop()                    # idempotent after shutdown
+        assert svc.obs.race.violations == []
+
+
 # -- the HTTP front door (e2e smoke) ------------------------------------------
 
 

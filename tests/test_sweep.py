@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 from dataclasses import dataclass
 
 import pytest
@@ -155,3 +156,33 @@ class TestFailurePaths:
         assert isinstance(err, SanitizerError)
         assert err.violation == violation
         assert str(err) == str(SanitizerError(violation))
+
+
+class TestThreadSafety:
+    def test_concurrent_run_tasks_keep_memo_and_stats_coherent(self, tmp_path):
+        # Regression for the fabric state lock: module-level memo and
+        # stats are shared across callers, so concurrent run_tasks()
+        # calls must neither corrupt them nor diverge in results.
+        store = ResultStore(tmp_path)
+        task = MixTask("app-mix-1", "uniform", SMALL)
+        results: dict[int, list] = {}
+        errors: list[BaseException] = []
+
+        def work(idx: int):
+            try:
+                results[idx] = run_tasks([task], jobs=1, store=store)
+            except BaseException as exc:  # surfaced below, not swallowed
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(results) == 4
+        payloads = {pickle.dumps(r[0]) for r in results.values()}
+        assert len(payloads) == 1, "concurrent callers saw divergent results"
+        stats = last_stats()
+        assert stats["tasks"] == 1
+        assert stats["hits"] + stats["misses"] == 1  # a coherent snapshot
