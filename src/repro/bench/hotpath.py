@@ -57,6 +57,10 @@ GATED_BENCHMARKS = {
     # Gated per submission (``BENCH_serve.json``): stable across the
     # benchmark's window length, unlike total wall.
     "serve_loop": "ms_per_submission",
+    # Gated against ``BENCH_clusterscale.json``: the scheduling pass and
+    # the dense end-to-end run at the 1024x8 scale.
+    "cluster_scale_pass": "ms_per_pass",
+    "cluster_scale_dense": "ms_run",
 }
 
 #: The scale the acceptance numbers are quoted at.
@@ -264,12 +268,18 @@ def run_benchmarks(quick: bool = False, only: list[str] | None = None) -> dict:
         bench_sim_dense,
         bench_sim_sparse,
     )
+    from repro.bench.clusterscale import (
+        CLUSTERSCALE_BENCHMARKS,
+        bench_cluster_scale_dense,
+        bench_cluster_scale_pass,
+    )
     from repro.bench.serve import SERVE_BENCHMARKS, bench_serve_loop
     from repro.bench.sweep import SWEEP_BENCHMARKS, bench_sweep_parallel
 
     all_benches = ("tsdb_window_query", "correlation_matrix", "ar1_heartbeat_fit",
                    "cbp_pass", "pp_pass", "simulate_e2e") \
-        + SIMLOOP_BENCHMARKS + SWEEP_BENCHMARKS + SERVE_BENCHMARKS
+        + SIMLOOP_BENCHMARKS + SWEEP_BENCHMARKS + SERVE_BENCHMARKS \
+        + CLUSTERSCALE_BENCHMARKS
     selected = set(only) if only else set(all_benches)
     unknown = selected - set(all_benches)
     if unknown:
@@ -304,6 +314,10 @@ def run_benchmarks(quick: bool = False, only: list[str] | None = None) -> dict:
         results["sweep_parallel"] = bench_sweep_parallel(quick)
     if "serve_loop" in selected:
         results["serve_loop"] = bench_serve_loop(quick)
+    if "cluster_scale_pass" in selected:
+        results["cluster_scale_pass"] = bench_cluster_scale_pass(quick)
+    if "cluster_scale_dense" in selected:
+        results["cluster_scale_dense"] = bench_cluster_scale_dense(quick)
     return {
         "schema": "kube-knots/bench-hotpath/v1",
         "mode": "quick" if quick else "full",
@@ -351,8 +365,18 @@ def format_report(payload: dict) -> str:
             unit = "ms" if "before_ms" in b else "us"
             rows.append((name, f"{before:.2f} {unit}", f"{after:.2f} {unit}",
                          f"{b['speedup']:.1f}x"))
+        elif "sweep" in b:
+            detail = "  ".join(
+                f"{p['nodes']}n:{p['ms_per_pass']:.2f}" for p in b["sweep"]
+            )
+            rows.append((name, f"{b['ms_per_pass']:.3f} ms/pass @ {b['nodes']}n",
+                         detail, ""))
         elif "ms_per_pass" in b:
             rows.append((name, f"{b['ms_per_pass']:.3f} ms/pass", f"{b['passes']} passes", ""))
+        elif "ratio_1024_vs_32" in b:
+            rows.append((name, f"{b['ms_run_32']:.0f} ms @ 32n",
+                         f"{b['ms_run']:.0f} ms @ 1024n",
+                         f"{b['ratio_1024_vs_32']:.1f}x"))
         elif "ms_warm" in b:
             rows.append((name,
                          f"{b['ms_cold_serial']:.0f} ms cold serial",

@@ -220,6 +220,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             duration_s=args.duration,
             seed=args.seed,
             num_nodes=args.nodes,
+            gpus_per_node=args.gpus,
             config=SimConfig(fast_forward=args.fast_forward),
             load_factor=args.load_factor,
             obs=obs,
@@ -350,6 +351,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print("cleared the persistent result store (.repro-cache)")
     configure(jobs=args.jobs, cache=not args.no_cache)
     settings = QUICK_SETTINGS if args.quick else DEFAULT_SETTINGS
+    # The scale axis is part of each task's frozen repr, so the
+    # content-addressed cache keys on it: a 256-node sweep never
+    # collides with the paper-scale grid.
+    overrides = {}
+    if args.nodes is not None:
+        overrides["num_nodes"] = args.nodes
+    if args.gpus is not None:
+        overrides["gpus_per_node"] = args.gpus
+    if overrides:
+        from dataclasses import replace
+
+        settings = replace(settings, **overrides)
     tasks: list = [MixTask(m, s, settings) for m in MIX_ORDER for s in SCHEDULER_ORDER]
     dl_config = None
     if args.quick:
@@ -522,6 +535,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker processes for cache misses (default: os.cpu_count(); "
                               "1 = serial, no pool)")
     p_sweep.add_argument("--seed", type=int, default=1, help="DL workload seed")
+    p_sweep.add_argument("--nodes", type=int, default=None,
+                         help="cluster-grid node count (default: experiment settings)")
+    p_sweep.add_argument("--gpus", type=int, default=None,
+                         help="GPUs per node for the cluster grid "
+                              "(default: experiment settings)")
     p_sweep.add_argument("--no-cache", action="store_true", dest="no_cache",
                          help="recompute everything; do not read or write .repro-cache")
     p_sweep.add_argument("--clear", action="store_true",
@@ -538,6 +556,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--duration", type=float, default=20.0, help="arrival window, seconds")
     p_sim.add_argument("--seed", type=int, default=1)
     p_sim.add_argument("--nodes", type=int, default=10)
+    p_sim.add_argument("--gpus", type=int, default=1,
+                       help="GPUs per node (scale axis; paper clusters use 1 or 8)")
     p_sim.add_argument("--load-factor", type=float, default=1.0, dest="load_factor")
     p_sim.add_argument("--export", default=None, metavar="PATH",
                        help="write the run (pods + telemetry) to a JSON file")
@@ -591,7 +611,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--scheduler", default="peak-prediction",
                        help="uniform | res-ag | cbp | peak-prediction (alias: pp)")
     p_srv.add_argument("--nodes", type=int, default=32, help="paper scale: 32 nodes")
-    p_srv.add_argument("--gpus-per-node", type=int, default=8, dest="gpus_per_node")
+    p_srv.add_argument("--gpus-per-node", "--gpus", type=int, default=8,
+                       dest="gpus_per_node")
     p_srv.add_argument("--queue-capacity", type=int, default=1024, dest="queue_capacity",
                        help="admission queue bound; overflow answers 429 + Retry-After")
     p_srv.add_argument("--mode", choices=("open", "closed"), default="open",

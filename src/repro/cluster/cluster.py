@@ -11,6 +11,7 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.cluster.gpu import GPU
 from repro.cluster.node import GPU_MODELS, GpuNode, HeadNode, HostSpec
+from repro.cluster.state import ClusterState
 
 __all__ = ["Cluster", "make_paper_cluster", "make_heterogeneous_cluster"]
 
@@ -27,6 +28,8 @@ class Cluster:
         self.nodes: list[GpuNode] = list(nodes)
         self.head = head or HeadNode()
         self._by_id = {n.node_id: n for n in self.nodes}
+        #: SoA mirror every GPU writes through to (see cluster/state.py).
+        self.state = ClusterState(self.nodes)
 
     def __len__(self) -> int:
         return len(self.nodes)

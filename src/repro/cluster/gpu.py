@@ -106,10 +106,60 @@ class GPU:
             self.INTERFERENCE_ALPHA if interference_alpha is None else float(interference_alpha)
         )
         self.containers: dict[str, ContainerAllocation] = {}
-        self.asleep = False
-        self.failed = False
+        #: Bound SoA mirror (:class:`repro.cluster.state.ClusterState`)
+        #: and this device's row in it; ``None`` for standalone GPUs.
+        self._state = None
+        self._state_idx = -1
+        self._asleep = False
+        self._failed = False
         self._attach_counter = 0
-        self.last_sample: GpuSample = self.idle_sample()
+        self._idle_memo: dict[bool, GpuSample] = {}
+        self._last_sample: GpuSample = self.idle_sample()
+
+    def bind_state(self, state, index: int) -> None:
+        """Attach the cluster's SoA mirror; mutations write through."""
+        self._state = state
+        self._state_idx = index
+
+    # -- mirrored attributes ------------------------------------------------
+    #
+    # ``asleep``/``failed``/``last_sample`` are assigned from outside
+    # (orchestrator Wake, kubelet failed-device branch), so they are
+    # properties whose setters push into the bound ClusterState.
+
+    @property
+    def asleep(self) -> bool:
+        return self._asleep
+
+    @asleep.setter
+    def asleep(self, value: bool) -> None:
+        self._asleep = bool(value)
+        if self._state is not None:
+            self._state.sync_flags(self._state_idx, self._asleep, self._failed)
+
+    @property
+    def failed(self) -> bool:
+        return self._failed
+
+    @failed.setter
+    def failed(self, value: bool) -> None:
+        self._failed = bool(value)
+        if self._state is not None:
+            self._state.sync_flags(self._state_idx, self._asleep, self._failed)
+
+    @property
+    def last_sample(self) -> GpuSample:
+        return self._last_sample
+
+    @last_sample.setter
+    def last_sample(self, sample: GpuSample) -> None:
+        self._last_sample = sample
+        if self._state is not None:
+            self._state.sync_sample(self._state_idx, sample)
+
+    def _sync_alloc(self) -> None:
+        if self._state is not None:
+            self._state.sync_alloc(self._state_idx, self)
 
     # -- allocation bookkeeping -------------------------------------------
 
@@ -156,12 +206,14 @@ class GPU:
             exclusive=exclusive,
             attach_seq=self._attach_counter,
         )
+        self._sync_alloc()
         self.asleep = False
 
     def detach(self, pod_uid: str) -> None:
         if pod_uid not in self.containers:
             raise KeyError(f"pod {pod_uid} not on {self.gpu_id}")
         del self.containers[pod_uid]
+        self._sync_alloc()
 
     def resize(self, pod_uid: str, new_alloc_mb: float) -> float:
         """Resize a container's reservation (harvesting).
@@ -184,6 +236,7 @@ class GPU:
                 f"only {self.free_mem_mb:.0f} MB free"
             )
         alloc.alloc_mb = float(new_alloc_mb)
+        self._sync_alloc()
         return delta
 
     def sleep(self) -> None:
@@ -203,6 +256,7 @@ class GPU:
         """
         victims = sorted(self.containers)
         self.containers.clear()
+        self._sync_alloc()
         self.failed = True
         return victims
 
@@ -281,16 +335,25 @@ class GPU:
         return shares, sample, violation
 
     def idle_sample(self) -> GpuSample:
-        """Telemetry sample for a device with no running containers."""
-        return GpuSample(
-            sm_util=0.0,
-            mem_used_mb=0.0,
-            mem_util=0.0,
-            power_w=self.power_model.power(0.0, asleep=self.asleep),
-            tx_mbps=0.0,
-            rx_mbps=0.0,
-            num_containers=0,
-        )
+        """Telemetry sample for a device with no running containers.
+
+        Memoized per power state (the sample is frozen and depends only
+        on ``asleep``), so idle devices can compare by identity and skip
+        redundant mirror writes on wide clusters.
+        """
+        sample = self._idle_memo.get(self._asleep)
+        if sample is None:
+            sample = GpuSample(
+                sm_util=0.0,
+                mem_used_mb=0.0,
+                mem_util=0.0,
+                power_w=self.power_model.power(0.0, asleep=self._asleep),
+                tx_mbps=0.0,
+                rx_mbps=0.0,
+                num_containers=0,
+            )
+            self._idle_memo[self._asleep] = sample
+        return sample
 
     def _pick_victim(self, demands: Mapping[str, ResourceDemand]) -> str:
         """Pick the container to OOM-kill on a capacity violation.

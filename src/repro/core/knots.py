@@ -20,6 +20,7 @@ from repro.cluster.cluster import Cluster
 from repro.core.profiles import ProfileStore
 from repro.obs.context import NOOP, Observability
 from repro.telemetry.aggregator import GpuView, NodeMonitor, UtilizationAggregator
+from repro.telemetry.matrix import MatrixTelemetry, TsdbFacade
 from repro.telemetry.tsdb import SeriesWindow
 
 __all__ = ["KnotsConfig", "Knots"]
@@ -45,8 +46,15 @@ class Knots:
         self.cluster = cluster
         self.config = config or KnotsConfig()
         self.obs = obs or NOOP
+        #: Telemetry storage is the cluster-wide matrix ring; each node
+        #: monitor reads/writes it through a TSDB-compatible facade.
+        self.state = cluster.state
+        self.matrix = MatrixTelemetry(
+            self.state, self.config.heartbeat_ms, self.config.window_ms
+        )
         self.monitors: dict[str, NodeMonitor] = {
-            node.node_id: NodeMonitor(node) for node in cluster
+            node.node_id: NodeMonitor(node, tsdb=TsdbFacade(self.matrix, node))
+            for node in cluster
         }
         self.aggregator = UtilizationAggregator(list(self.monitors.values()), obs=self.obs)
         self.profiles = ProfileStore()
@@ -57,9 +65,15 @@ class Knots:
     # -- monitoring plane ---------------------------------------------------
 
     def heartbeat(self, now: float) -> None:
-        """Sample every node's devices into its TSDB (one heartbeat)."""
-        for monitor in self.monitors.values():
-            monitor.heartbeat(now)
+        """Sample every node's devices into its TSDB (one heartbeat).
+
+        One vectorized row append covers every clean node; nodes whose
+        facade was written to directly (tests seeding telemetry) keep
+        the legacy per-series monitor walk into their override store.
+        """
+        self.matrix.append_from_state(now)
+        for node_id in self.matrix.dirty_nodes:
+            self.monitors[node_id].heartbeat(now)
         self._m_heartbeats.inc()
 
     # -- Algorithm 1 primitives ---------------------------------------------

@@ -10,6 +10,8 @@ device plugin's docker-resize path, sleep/wake on the devices.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.cluster.cluster import Cluster
 from repro.core.knots import Knots, KnotsConfig
 from repro.core.schedulers.base import (
@@ -53,6 +55,23 @@ class KubeKnots:
             self.kubelets[node.node_id] = Kubelet(
                 node, self.api, plugin, kubelet_config, obs=self.obs
             )
+        #: Tick-skip bookkeeping, indexed like ``cluster.state.node_epoch``
+        #: (both follow cluster node order).  A node is stepped when its
+        #: epoch moved (external mutation) or its quiet horizon passed.
+        self._kubelet_list: list[Kubelet] = list(self.kubelets.values())
+        n_nodes = len(self._kubelet_list)
+        self._quiet_until = np.full(n_nodes, -np.inf)
+        self._epoch_seen = np.full(n_nodes, -1, dtype=np.int64)
+        self._prev_tick_now: float | None = None
+        #: Conservative "may host pods" mask over nodes: set when a Bind
+        #: is applied, lazily cleared when a context build finds the
+        #: node empty.  OR-ed with the live container counts from the
+        #: SoA mirror, so the resident walk skips the (at 1024 nodes,
+        #: vast) idle majority instead of polling every kubelet.
+        self._hosting = np.zeros(n_nodes, dtype=bool)
+        self._node_starts = np.array(
+            [start for start, _ in cluster.state.node_slices], dtype=np.intp
+        )
         metrics = self.obs.metrics
         self._m_passes = metrics.counter(
             "scheduler_passes_total", "Scheduling passes executed"
@@ -71,8 +90,18 @@ class KubeKnots:
 
     def build_context(self, now: float) -> SchedulingContext:
         residents: dict[str, list[ResidentPod]] = {}
-        for kubelet in self.kubelets.values():
-            for pod in kubelet.hosted_pods():
+        state = self.cluster.state
+        scan = self._hosting | (
+            np.add.reduceat(state.num_containers, self._node_starts) > 0
+        )
+        kubelets = self._kubelet_list
+        for i in np.nonzero(scan)[0]:
+            kubelet = kubelets[i]
+            pods = kubelet.hosted_map()
+            if not pods:
+                self._hosting[i] = False
+                continue
+            for pod in pods.values():
                 residents.setdefault(pod.gpu_id, []).append(
                     ResidentPod(
                         uid=pod.uid,
@@ -121,6 +150,7 @@ class KubeKnots:
             node_id = action.gpu_id.split("/", 1)[0]
             self.api.bind(pod, node_id, action.gpu_id, action.alloc_mb, now)
             self.kubelets[node_id].admit(pod, now)
+            self._hosting[self.cluster.state.node_index[node_id]] = True
         elif isinstance(action, Resize):
             pod = self.api.pod(action.pod_uid)
             node_id = action.gpu_id.split("/", 1)[0]
@@ -141,10 +171,39 @@ class KubeKnots:
     # -- execution hooks used by the simulator ----------------------------------
 
     def step_kubelets(self, now: float, dt_ms: float) -> None:
-        """Advance every node by one tick; record completed-pod profiles."""
-        before = {p.uid for p in self.api.pods() if p.done}
-        for kubelet in self.kubelets.values():
-            kubelet.step(now, dt_ms)
+        """Advance every due node by one tick; record completed-pod profiles.
+
+        A node with no hosted pods and no pending auto-pstate transition
+        is provably inert (:meth:`Kubelet.quiet_horizon`), so its step
+        is skipped until its horizon passes or its devices are mutated
+        externally — any bind/resize/sleep/wake/fail/repair bumps the
+        node's epoch in :class:`~repro.cluster.state.ClusterState`,
+        which re-arms stepping on the next tick.  Under the sanitizer
+        every node steps every tick, exactly like the legacy loop.
+        """
+        state = self.cluster.state
+        if self.obs.sanitizer is not None:
+            before = {p.uid for p in self.api.pods() if p.done}
+            for kubelet in self.kubelets.values():
+                kubelet.step(now, dt_ms)
+            self._record_completions(before)
+            self._prev_tick_now = now
+            return
+        due = (state.node_epoch != self._epoch_seen) | (self._quiet_until <= now)
+        if due.any():
+            before = {p.uid for p in self.api.pods() if p.done}
+            epochs = state.node_epoch
+            prev = self._prev_tick_now
+            kubelets = self._kubelet_list
+            for i in np.nonzero(due)[0]:
+                kubelet = kubelets[i]
+                kubelet.step(now, dt_ms, prev)
+                self._quiet_until[i] = kubelet.quiet_horizon(now, dt_ms)
+                self._epoch_seen[i] = epochs[i]
+            self._record_completions(before)
+        self._prev_tick_now = now
+
+    def _record_completions(self, before: set[str]) -> None:
         for pod in self.api.pods():
             if pod.done and pod.uid not in before:
                 self.knots.profiles.record_trace(pod.spec.image, pod.spec.trace)

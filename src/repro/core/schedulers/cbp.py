@@ -43,6 +43,7 @@ from repro.core.schedulers.base import (
     Scheduler,
     SchedulingContext,
 )
+from repro.core.schedulers.vectorized import ArrayPassState
 from repro.forecast.correlation import spearman_from_ranks
 from repro.kube.pod import Pod
 from repro.workloads.base import QoSClass
@@ -67,6 +68,7 @@ class CBPScheduler(Scheduler):
         batch_sm_ceiling: float = 1.15,
         lc_sm_ceiling: float = 0.25,
         interference_alpha: float = 0.7,
+        vectorized: bool = True,
     ) -> None:
         self.percentile = percentile
         self.correlation_threshold = correlation_threshold
@@ -91,6 +93,11 @@ class CBPScheduler(Scheduler):
         #: The interference coefficient assumed when inverting the
         #: co-location slowdown model (matches the device default).
         self.interference_alpha = interference_alpha
+        #: Use the array-native pass over :class:`ClusterState` when no
+        #: per-candidate observer is live (see :meth:`_fast_pass_ok`).
+        #: Decisions are bit-identical either way; ``False`` pins the
+        #: dict path (the A/B axis the equivalence tests exercise).
+        self.vectorized = vectorized
         #: Evidence captured by the last :meth:`_admit` call — the
         #: per-resident-image Spearman ρ values the gate evaluated.
         #: Only populated while the decision audit log is enabled.
@@ -110,9 +117,35 @@ class CBPScheduler(Scheduler):
         self._auditing = self.obs.audit.enabled
         self._rho_memo.clear()
 
+    def _fast_pass_ok(self, ctx: SchedulingContext) -> bool:
+        """Whether the array-native pass may replace the dict pass.
+
+        Requires observability fully off — the audit trail records one
+        attempt line per *enumerated* candidate, and the fast path
+        deliberately never enumerates the devices it skips — plus a
+        knots runtime that exposes the SoA :class:`ClusterState`.
+        Subclasses that override candidate ordering (the heterogeneity-
+        aware PP) are excluded by the exact-type checks at the call
+        sites.
+        """
+        return (
+            self.vectorized
+            and not self._auditing
+            and not self.obs.enabled
+            and self.obs.sanitizer is None
+            and getattr(ctx.knots, "state", None) is not None
+        )
+
     def schedule(self, ctx: SchedulingContext) -> list[Action]:
         actions: list[Action] = []
         self._begin_pass()
+        if type(self) is CBPScheduler and self._fast_pass_ok(ctx):
+            cs = ctx.knots.state
+            aps = ArrayPassState(cs, ~cs.failed)
+            aps.load_residents(ctx, ctx.knots)
+            actions.extend(self._harvest_fast(ctx, aps))
+            actions.extend(self._place_fast(ctx, aps))
+            return actions
         views = ctx.knots.all_gpus_by_free_memory()
         state = PassState.from_views(views, ctx.residents_on)
         self._load_pressure(ctx, state)
@@ -187,6 +220,70 @@ class CBPScheduler(Scheduler):
                             },
                         )
         return resizes
+
+    # -- array-native fast pass (see schedulers/vectorized.py) ---------------
+
+    def _harvest_fast(self, ctx: SchedulingContext, aps: ArrayPassState) -> list[Resize]:
+        """:meth:`_harvest` over the array state: same residents walk,
+        same resize predicate, free credited into the column vector."""
+        resizes: list[Resize] = []
+        if not ctx.pending:
+            return resizes
+        index = aps.cs.index
+        included = aps.included
+        profiles = ctx.knots.profiles
+        for gpu_id, residents in ctx.residents.items():
+            i = index.get(gpu_id)
+            if i is None or not included[i]:
+                continue
+            for res in residents:
+                if res.qos_class is QoSClass.LATENCY_CRITICAL:
+                    continue
+                target = profiles.provision_mb(res.image, res.alloc_mb, self.percentile)
+                if target < res.alloc_mb - self.resize_margin_mb:
+                    resizes.append(Resize(res.uid, gpu_id, target))
+                    aps.free[i] += res.alloc_mb - target
+        return resizes
+
+    def _place_fast(self, ctx: SchedulingContext, aps: ArrayPassState) -> list[Action]:
+        """:meth:`_place` with vectorized fit masks and arg-min candidate
+        picks.  The admission gate stays scalar and is invoked on exactly
+        the devices the dict path's candidate walk would reach — same
+        order, same rho-memo evolution, same binds."""
+        actions: list[Action] = []
+        gpu_ids = aps.cs.gpu_ids
+        for pod in self._ordered_pending(ctx):
+            alloc = self._provision(ctx, pod)
+            expected_sm = self._expected_sm(ctx, pod)
+            peak = self._peak_of(ctx, pod, alloc)
+            is_lc = pod.spec.qos_class is QoSClass.LATENCY_CRITICAL
+            fits = aps.fits_mask(
+                alloc, peak, expected_sm, not is_lc,
+                self.max_pods_per_gpu, self.usage_headroom, self.batch_sm_ceiling,
+            )
+            ceiling = self._lc_ceiling(ctx, pod) if is_lc else 0.0
+            aps.begin_pod()
+            hot = False
+            while True:
+                if is_lc:
+                    i = aps.pick_lc(fits, ceiling, hot)
+                    if i < 0 and not hot:
+                        hot = True
+                        continue
+                else:
+                    i = aps.pick_batch(fits)
+                if i < 0:
+                    break
+                gpu_id = gpu_ids[i]
+                if self._admit(ctx, pod, gpu_id, alloc, aps):
+                    actions.append(Bind(pod.uid, gpu_id, alloc))
+                    aps.book(
+                        i, gpu_id, pod.spec.image, is_lc,
+                        alloc, expected_sm, peak, self._peak_sm_of(pod),
+                    )
+                    break
+                aps.reject(i)
+        return actions
 
     # -- placement -----------------------------------------------------------
 

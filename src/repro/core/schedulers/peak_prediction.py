@@ -37,6 +37,7 @@ from repro.core.schedulers.base import (
     Wake,
 )
 from repro.core.schedulers.cbp import CBPScheduler
+from repro.core.schedulers.vectorized import ArrayPassState
 from repro.forecast.arima import Ar1Cache
 from repro.forecast.autocorr import autocorrelation
 from repro.kube.pod import Pod
@@ -93,6 +94,8 @@ class PeakPredictionScheduler(CBPScheduler):
     def schedule(self, ctx: SchedulingContext) -> list[Action]:
         actions: list[Action] = []
         self._begin_pass()
+        if type(self) is PeakPredictionScheduler and self._fast_pass_ok(ctx):
+            return self._schedule_fast(ctx)
         active = ctx.knots.active_gpus_by_free_memory()
         state = PassState.from_views(active, ctx.residents_on)
         self._load_pressure(ctx, state)
@@ -165,6 +168,120 @@ class PeakPredictionScheduler(CBPScheduler):
                 )
         actions.extend(sleeps)
         return actions
+
+    # -- array-native fast pass (see schedulers/vectorized.py) ---------------
+
+    def _schedule_fast(self, ctx: SchedulingContext) -> list[Action]:
+        """The PP pass over :class:`ArrayPassState`: same phase order,
+        same candidate orders, same wake/relaxed/consolidation logic as
+        the dict pass — scalar work only on the devices it actually
+        visits."""
+        actions: list[Action] = []
+        cs = ctx.knots.state
+        aps = ArrayPassState(cs, ~(cs.failed | cs.asleep))
+        aps.load_residents(ctx, ctx.knots)
+        actions.extend(self._harvest_fast(ctx, aps))
+
+        # Sleeping (healthy) devices in the legacy visit order:
+        # (-free, gpu_id).  Asleep devices host nothing, so their free
+        # memory is stable for the whole pass.
+        sleep_idx = np.nonzero(cs.asleep & ~cs.failed)[0]
+        if len(sleep_idx) > 1:
+            free = cs.mem_capacity_mb[sleep_idx] - cs.alloc_mb[sleep_idx]
+            order = np.lexsort((cs.id_rank[sleep_idx], -free))
+            sleep_idx = sleep_idx[order]
+        sleeping = [int(i) for i in sleep_idx]
+
+        gpu_ids = cs.gpu_ids
+        unplaced = 0
+        for pod in self._ordered_pending(ctx):
+            alloc = self._provision(ctx, pod)
+            expected_sm = self._expected_sm(ctx, pod)
+            peak = self._peak_of(ctx, pod, alloc)
+            is_lc = pod.spec.qos_class is QoSClass.LATENCY_CRITICAL
+            if self._place_one_fast(ctx, pod, aps, alloc, peak, expected_sm, actions, is_lc, relaxed=False):
+                continue
+            wake_i = next((j for j in sleeping if alloc <= aps.caps[j]), None)
+            if wake_i is not None:
+                sleeping.remove(wake_i)
+                gpu_id = gpu_ids[wake_i]
+                actions.append(Wake(gpu_id))
+                aps.wake(wake_i)
+                actions.append(Bind(pod.uid, gpu_id, alloc))
+                aps.book(
+                    wake_i, gpu_id, pod.spec.image, is_lc,
+                    alloc, expected_sm, peak, self._peak_sm_of(pod),
+                )
+            elif is_lc:
+                if not self._place_one_fast(
+                    ctx, pod, aps, alloc, peak, expected_sm, actions, is_lc, relaxed=True
+                ):
+                    unplaced += 1
+            else:
+                unplaced += 1
+
+        if not unplaced:
+            n_active = aps.n_included()
+            n_sleeps = 0
+            for i in aps.empty_included():
+                if n_active - n_sleeps <= self.min_active_gpus:
+                    break
+                actions.append(Sleep(gpu_ids[i]))
+                n_sleeps += 1
+        return actions
+
+    def _place_one_fast(
+        self,
+        ctx: SchedulingContext,
+        pod: Pod,
+        aps: ArrayPassState,
+        alloc: float,
+        peak: float,
+        expected_sm: float,
+        actions: list[Action],
+        is_lc: bool,
+        relaxed: bool,
+    ) -> bool:
+        """:meth:`_place_one` on the array state.  Non-relaxed LC pods
+        only see devices under their SLO ceiling (PP's candidate
+        override); the relaxed retry falls back to CBP's full order with
+        the default ceiling."""
+        fits = aps.fits_mask(
+            alloc, peak, expected_sm, not is_lc,
+            self.max_pods_per_gpu, self.usage_headroom, self.batch_sm_ceiling,
+        )
+        if is_lc:
+            ceiling = self.lc_sm_ceiling if relaxed else self._lc_ceiling(ctx, pod)
+            hot_allowed = relaxed
+        else:
+            ceiling = 0.0
+            hot_allowed = False
+        aps.begin_pod()
+        hot = False
+        gpu_ids = aps.cs.gpu_ids
+        while True:
+            if is_lc:
+                i = aps.pick_lc(fits, ceiling, hot)
+                if i < 0 and hot_allowed and not hot:
+                    hot = True
+                    continue
+            else:
+                i = aps.pick_batch(fits)
+            if i < 0:
+                return False
+            gpu_id = gpu_ids[i]
+            if self._admit(ctx, pod, gpu_id, alloc, aps):
+                ok = True
+            else:
+                ok = self._forecast_admit(ctx, gpu_id, alloc, float(aps.caps[i]))
+            if ok:
+                actions.append(Bind(pod.uid, gpu_id, alloc))
+                aps.book(
+                    i, gpu_id, pod.spec.image, is_lc,
+                    alloc, expected_sm, peak, self._peak_sm_of(pod),
+                )
+                return True
+            aps.reject(i)
 
     def _wake_pick(self, sleeping: list, pod: Pod, alloc: float, peak: float):
         """First sleeping device adequate for the pod, or None.

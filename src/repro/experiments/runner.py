@@ -45,6 +45,7 @@ class ExperimentSettings:
     duration_s: float = 30.0
     seed: int = 1
     num_nodes: int = 10
+    gpus_per_node: int = 1
     load_factor: float = 1.0
     #: Idle fast-forward in the event-driven core.  Outputs are pinned
     #: bit-identical either way; turning it off only changes wall-clock.

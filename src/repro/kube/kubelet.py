@@ -61,6 +61,9 @@ class Kubelet:
         self._pods: dict[str, Pod] = {}
         self._start_deadline: dict[str, float] = {}
         self._idle_since: dict[str, float] = {g.gpu_id: 0.0 for g in node.gpus}
+        #: Devices that were asleep (and healthy) at the end of the last
+        #: executed step — see the ``prev_now`` refresh in :meth:`step`.
+        self._asleep_refresh: list[str] = []
         metrics = self.obs.metrics
         self._m_admitted = metrics.counter("pods_admitted_total", "Pods admitted onto a node")
         self._m_completed = metrics.counter("pods_completed_total", "Pods that ran to completion")
@@ -121,11 +124,23 @@ class Kubelet:
 
     # -- execution ----------------------------------------------------------
 
-    def step(self, now: float, dt_ms: float) -> list[Pod]:
+    def step(self, now: float, dt_ms: float, prev_now: float | None = None) -> list[Pod]:
         """Advance all hosted pods by one tick.
 
         Returns pods OOM-killed this tick (already freed and reported).
+
+        ``prev_now`` is the previous tick's timestamp, passed by the
+        orchestrator when intermediate ticks may have been skipped
+        (see :meth:`quiet_horizon`): a sleeping device has its
+        ``idle_since`` refreshed every tick it stays asleep, so after a
+        skip the refresh is replayed once here.  Any device that
+        changed state since the last executed step did so after
+        ``prev_now`` (a state change re-arms stepping immediately), so
+        the end-of-last-step snapshot is exact.
         """
+        if prev_now is not None:
+            for gpu_id in self._asleep_refresh:
+                self._idle_since[gpu_id] = prev_now
         # Start pods whose pull finished.
         for uid, deadline in list(self._start_deadline.items()):
             if now >= deadline:
@@ -153,6 +168,19 @@ class Kubelet:
                 for p in self._pods.values()
                 if p.gpu_id == gpu.gpu_id and p.phase is PodPhase.RUNNING
             ]
+            if san is None and not running and not gpu.containers:
+                # Idle device: ``arbitrate({})`` reduces to the idle
+                # sample (every sum is empty, the power model sees the
+                # same ``asleep`` flag), so write that directly — and
+                # only when the memoized sample isn't already in place.
+                sample = gpu.idle_sample()
+                if gpu.last_sample is not sample:
+                    gpu.last_sample = sample
+                if gpu.containers or gpu.asleep:
+                    self._idle_since[gpu.gpu_id] = now
+                elif now - self._idle_since[gpu.gpu_id] >= self.config.auto_pstate_idle_ms:
+                    gpu.sleep()
+                continue
             demands = {p.uid: p.spec.trace.demand_at(p.progress_ms) for p in running}
             shares, _sample, violation = gpu.arbitrate(demands)
             if san is not None:
@@ -194,6 +222,44 @@ class Kubelet:
                 gpu.sleep()
         return victims
 
+    def quiet_horizon(self, now: float, dt_ms: float) -> float:
+        """Absolute time before which :meth:`step` is a proven no-op.
+
+        With no hosted pods, a step only (a) re-arbitrates empty devices
+        — whose ``last_sample`` is already at the idle fixed point — and
+        (b) fires the auto-pstate transition once an awake device has
+        idled long enough.  So until the earliest such transition the
+        whole step can be skipped without changing any observable state.
+        Returns ``-inf`` when the node must step every tick, ``+inf``
+        when no timed transition is pending (external mutations bump the
+        node epoch, which re-arms stepping).
+
+        The transition estimate backs off half a tick (``step`` compares
+        ``now - idle_since`` while we compare ``now`` against
+        ``idle_since + auto``; the two can disagree by one ulp) and
+        always lies at least half a tick ahead, so a conservative
+        wake-up re-runs the exact legacy check and still makes progress.
+        """
+        self._asleep_refresh = [
+            g.gpu_id for g in self.node.gpus if g.asleep and not g.failed
+        ]
+        if self._pods:
+            return float("-inf")
+        t_min = float("inf")
+        auto_ms = self.config.auto_pstate_idle_ms
+        idle_since = self._idle_since
+        for gpu in self.node.gpus:
+            if gpu.containers:
+                return float("-inf")
+            if gpu.failed or gpu.asleep:
+                continue
+            t = idle_since[gpu.gpu_id] + auto_ms
+            if t < t_min:
+                t_min = t
+        if t_min == float("inf"):
+            return t_min
+        return max(t_min - 0.5 * dt_ms, now + 0.5 * dt_ms)
+
     def _release(self, pod: Pod) -> None:
         self.plugin.free(pod.gpu_id, pod.uid)
         del self._pods[pod.uid]
@@ -217,6 +283,11 @@ class Kubelet:
 
     def num_hosted(self) -> int:
         return len(self._pods)
+
+    def hosted_map(self) -> dict[str, Pod]:
+        """Live uid -> pod mapping (the pass assembler's read-only view;
+        cheaper than the :meth:`hosted_pods` list copy on wide clusters)."""
+        return self._pods
 
     def has_image(self, image: str) -> bool:
         return image in self._image_cache

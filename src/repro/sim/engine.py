@@ -207,6 +207,17 @@ class EventLoop:
         """Number of pending (non-cancelled) events.  O(1)."""
         return self._pending
 
+    def count_inline_advances(self, n: int) -> None:
+        """Fold externally-advanced instants into the fired counter.
+
+        The DL simulator's drive cycle moves the clock across provably
+        event-free spans without a heap event; those jumps are engine
+        advances all the same, so drivers report them here to keep
+        ``engine_events_fired_total`` an honest instant count.
+        """
+        if n and self.obs.enabled:
+            self._m_fired.inc(n)
+
     def schedule(
         self, delay: float, callback: Callable[..., None], *args: Any, priority: int = 0
     ) -> EventHandle:

@@ -23,9 +23,6 @@ old-vs-new on identical inputs.
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.kube.api import EventType
 from repro.units import s_to_ms
 
 __all__ = ["run_tick_reference", "run_dl_reference"]
@@ -34,7 +31,6 @@ __all__ = ["run_tick_reference", "run_dl_reference"]
 def run_tick_reference(sim) -> "SimResult":  # noqa: F821 - forward ref, see import below
     """Drive a fresh :class:`~repro.sim.simulator.KubeKnotsSimulator`
     with the pre-PR fixed-tick loop and return its :class:`SimResult`."""
-    from repro.sim.simulator import SimResult
 
     cfg = sim.config
     api = sim.orchestrator.api
@@ -105,18 +101,7 @@ def run_tick_reference(sim) -> "SimResult":  # noqa: F821 - forward ref, see imp
 
     if tracer.enabled:
         tracer.end(args={"makespan_ms": t}, ts=t)
-    return SimResult(
-        scheduler=sim.orchestrator.scheduler.name,
-        pods=api.pods(),
-        makespan_ms=t,
-        energy_j_per_gpu={k: v for k, v in sim._energy_j.items()},
-        oom_kills=len(api.events_of(EventType.OOM_KILLED)),
-        evictions=len(api.events_of(EventType.EVICTED)),
-        resizes=len(api.events_of(EventType.RESIZED)),
-        gpu_util_series={k: np.asarray(v) for k, v in sim._util_hist.items()},
-        gpu_mem_series={k: np.asarray(v) for k, v in sim._mem_hist.items()},
-        sample_times_ms=np.asarray(sim._times),
-    )
+    return sim.collect_result(t)
 
 
 def run_dl_reference(sim) -> "DLSimResult":  # noqa: F821 - forward ref, see import below

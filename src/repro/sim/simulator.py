@@ -73,6 +73,12 @@ class SimConfig:
     #: Output-equivalent to ticking through the span; turn off to force
     #: every quantum to execute (e.g. when profiling the substrate).
     fast_forward: bool = True
+    #: Cluster-scale overrides: when set, :func:`run_appmix` sizes the
+    #: paper cluster from the config instead of its own arguments — the
+    #: axis the ``bench/clusterscale`` suite and ``--nodes/--gpus`` CLI
+    #: flags sweep.
+    nodes: int | None = None
+    gpus_per_node: int | None = None
     knots: KnotsConfig = field(default_factory=KnotsConfig)
     kubelet: KubeletConfig = field(default_factory=KubeletConfig)
 
@@ -157,6 +163,16 @@ class KubeKnotsSimulator:
             images = {spec.image for _, spec in self.workload}
             for kubelet in self.orchestrator.kubelets.values():
                 kubelet.prewarm(images)
+        self.state = cluster.state
+        #: Telemetry accounting is vectorized over the ClusterState
+        #: mirrors unless a per-device consumer is live: the tracer sums
+        #: per-GPU power inline, and the sanitizer cross-checks the
+        #: per-object path — both keep the legacy per-GPU loop.
+        self._vec_telemetry = not self.obs.tracer.enabled and self.obs.sanitizer is None
+        self._energy_arr = np.zeros(len(self.state))
+        self._sm_rows: list[np.ndarray] = []
+        self._mem_rows: list[np.ndarray] = []
+        self._row_counts: list[int] = []
         self._energy_j: dict[str, float] = {g.gpu_id: 0.0 for g in cluster.gpus()}
         self._util_hist: dict[str, list[float]] = {g.gpu_id: [] for g in cluster.gpus()}
         self._mem_hist: dict[str, list[float]] = {g.gpu_id: [] for g in cluster.gpus()}
@@ -215,16 +231,45 @@ class KubeKnotsSimulator:
 
         if tracer.enabled:
             tracer.end(args={"makespan_ms": t_end}, ts=t_end)
+        return self.collect_result(t_end)
+
+    def collect_result(self, makespan_ms: float) -> SimResult:
+        """Assemble the :class:`SimResult` from whichever telemetry
+        store this run filled (shared with the reference driver)."""
+        api = self.orchestrator.api
+        if self._vec_telemetry:
+            gpu_ids = self.state.gpu_ids
+            if self._row_counts:
+                counts = np.asarray(self._row_counts)
+                # Transpose to device-major *before* expanding, so each
+                # per-device series comes out a row view — one bulk op
+                # instead of thousands of strided column extractions on
+                # wide clusters.  Dense runs (every count 1) skip the
+                # expansion entirely.
+                sm = np.vstack(self._sm_rows).T
+                mem = np.vstack(self._mem_rows).T
+                if int(counts.sum()) != len(self._row_counts):
+                    sm = np.repeat(sm, counts, axis=1)
+                    mem = np.repeat(mem, counts, axis=1)
+            else:
+                sm = mem = np.empty((len(gpu_ids), 0))
+            energy = {gid: float(self._energy_arr[i]) for i, gid in enumerate(gpu_ids)}
+            util_series = {gid: sm[i] for i, gid in enumerate(gpu_ids)}
+            mem_series = {gid: mem[i] for i, gid in enumerate(gpu_ids)}
+        else:
+            energy = {k: v for k, v in self._energy_j.items()}
+            util_series = {k: np.asarray(v) for k, v in self._util_hist.items()}
+            mem_series = {k: np.asarray(v) for k, v in self._mem_hist.items()}
         return SimResult(
             scheduler=self.orchestrator.scheduler.name,
             pods=api.pods(),
-            makespan_ms=t_end,
-            energy_j_per_gpu={k: v for k, v in self._energy_j.items()},
+            makespan_ms=makespan_ms,
+            energy_j_per_gpu=energy,
             oom_kills=len(api.events_of(EventType.OOM_KILLED)),
             evictions=len(api.events_of(EventType.EVICTED)),
             resizes=len(api.events_of(EventType.RESIZED)),
-            gpu_util_series={k: np.asarray(v) for k, v in self._util_hist.items()},
-            gpu_mem_series={k: np.asarray(v) for k, v in self._mem_hist.items()},
+            gpu_util_series=util_series,
+            gpu_mem_series=mem_series,
             sample_times_ms=np.asarray(self._times),
         )
 
@@ -319,9 +364,15 @@ class KubeKnotsSimulator:
             return                      # next arrival lands on the very next tick
         if self._faults.pending:
             return
-        gpus = list(self.cluster.gpus())
-        if any(not (g.asleep or g.failed) for g in gpus):
-            return                      # a device is awake: auto-p-state still settling
+        if self._vec_telemetry:
+            state = self.state
+            if not bool(np.all(state.asleep | state.failed)):
+                return                  # a device is awake: auto-p-state still settling
+            gpus: list = []
+        else:
+            gpus = list(self.cluster.gpus())
+            if any(not (g.asleep or g.failed) for g in gpus):
+                return                  # a device is awake: auto-p-state still settling
 
         cfg = self.config
         tick = cfg.tick_ms
@@ -360,17 +411,34 @@ class KubeKnotsSimulator:
 
         # Per-device telemetry over the span is constant: arbitration of
         # an empty, parked device is a fixed point of the live path.
+        # Energy stays a *repeated* addition (never ``inc * skipped``) so
+        # floats match the tick loop bit for bit.
         ms = ms_to_s(tick)
-        for gpu in gpus:
-            s = gpu.last_sample
-            power = s.power_w if s.num_containers or not gpu.asleep else gpu.power_model.sleep_watts
+        if self._vec_telemetry:
+            state = self.state
+            power = np.where(
+                (state.sample_containers > 0) | ~state.asleep,
+                state.power_w,
+                state.sleep_watts,
+            )
             inc = power * ms
-            e = self._energy_j[gpu.gpu_id]
             for _ in range(skipped):
-                e += inc
-            self._energy_j[gpu.gpu_id] = e
-            self._util_hist[gpu.gpu_id].extend([s.sm_util] * skipped)
-            self._mem_hist[gpu.gpu_id].extend([s.mem_util] * skipped)
+                self._energy_arr += inc
+            if skipped:
+                self._sm_rows.append(state.sm_util.copy())
+                self._mem_rows.append(state.mem_util.copy())
+                self._row_counts.append(skipped)
+        else:
+            for gpu in gpus:
+                s = gpu.last_sample
+                power = s.power_w if s.num_containers or not gpu.asleep else gpu.power_model.sleep_watts
+                inc = power * ms
+                e = self._energy_j[gpu.gpu_id]
+                for _ in range(skipped):
+                    e += inc
+                self._energy_j[gpu.gpu_id] = e
+                self._util_hist[gpu.gpu_id].extend([s.sm_util] * skipped)
+                self._mem_hist[gpu.gpu_id].extend([s.mem_util] * skipped)
 
         if san is not None:
             san.check_fast_forward(
@@ -397,6 +465,18 @@ class KubeKnotsSimulator:
 
     def _record(self, t: float, dt_ms: float) -> None:
         self._times.append(t)
+        if self._vec_telemetry:
+            state = self.state
+            power = np.where(
+                (state.sample_containers > 0) | ~state.asleep,
+                state.power_w,
+                state.sleep_watts,
+            )
+            self._energy_arr += power * ms_to_s(dt_ms)
+            self._sm_rows.append(state.sm_util.copy())
+            self._mem_rows.append(state.mem_util.copy())
+            self._row_counts.append(1)
+            return
         tracing = self.obs.tracer.enabled
         sm_sum = mem_sum = power_sum = 0.0
         n = 0
@@ -434,11 +514,22 @@ def run_appmix(
     num_nodes: int = 10,
     config: SimConfig | None = None,
     load_factor: float = 1.0,
+    gpus_per_node: int = 1,
     obs: Observability | None = None,
 ) -> SimResult:
-    """Convenience wrapper: one Table-I mix on the paper cluster."""
+    """Convenience wrapper: one Table-I mix on the paper cluster.
+
+    ``config.nodes`` / ``config.gpus_per_node``, when set, override the
+    same-named arguments — the single knob the CLI and bench suite turn
+    to scale the cluster.
+    """
     from repro.workloads.appmix import generate_appmix_workload
 
-    cluster = make_paper_cluster(num_nodes=num_nodes)
+    cfg = config or SimConfig()
+    if cfg.nodes is not None:
+        num_nodes = cfg.nodes
+    if cfg.gpus_per_node is not None:
+        gpus_per_node = cfg.gpus_per_node
+    cluster = make_paper_cluster(num_nodes=num_nodes, gpus_per_node=gpus_per_node)
     workload = generate_appmix_workload(mix_name, duration_s=duration_s, seed=seed, load_factor=load_factor)
-    return KubeKnotsSimulator(cluster, scheduler, workload, config, obs=obs).run()
+    return KubeKnotsSimulator(cluster, scheduler, workload, cfg, obs=obs).run()

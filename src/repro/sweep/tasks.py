@@ -68,6 +68,7 @@ class MixTask:
             duration_s=s.duration_s,
             seed=s.seed,
             num_nodes=s.num_nodes,
+            gpus_per_node=s.gpus_per_node,
             config=config,
             load_factor=s.load_factor,
         )

@@ -138,6 +138,13 @@ class TestScoping:
             "src/repro/forecast/ar1.py",
             "src/repro/cluster/gpu.py",
             "src/repro/workloads/appmix.py",
+            # The SoA fast paths are replay-critical too: a host-clock
+            # read in the mirror, the matrix ring, or the array-native
+            # scheduler pass would break seeded determinism just as
+            # surely as one in the object path.
+            "src/repro/cluster/state.py",
+            "src/repro/telemetry/matrix.py",
+            "src/repro/core/schedulers/vectorized.py",
         ],
     )
     def test_extended_sim_critical_scope(self, path):
