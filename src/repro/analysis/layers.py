@@ -16,6 +16,12 @@ Concretely the contract is:
 * ``sim``, ``core``, ``forecast`` and ``cluster`` never import from
   ``serve``, ``sweep`` or ``cli`` — the simulation stack must stay
   runnable (and testable) without any driver;
+* ``scenario`` sits *beside* ``sim``: it describes **what** a run looks
+  like (capacity pattern, topology, gang mix) and never imports ``sim``
+  (which owns **when** things happen), ``serve``, ``sweep`` or ``cli``;
+  conversely ``core``, ``cluster``, ``forecast``, ``kube`` and
+  ``workloads`` never import ``scenario`` — only the simulation drivers
+  in ``sim`` thread a scenario through the stack;
 * ``experiments`` never imports ``serve`` — figure modules go through
   the sweep fabric, not the live service;
 * the module-scope import graph is acyclic — a cycle means two modules
@@ -56,9 +62,12 @@ __all__ = [
 #: dotted component of a module name (``repro.sim.engine`` -> ``sim``).
 FORBIDDEN_LAYER_IMPORTS: dict[str, frozenset[str]] = {
     "sim": frozenset({"serve", "sweep", "cli"}),
-    "core": frozenset({"serve", "sweep", "cli"}),
-    "forecast": frozenset({"serve", "sweep", "cli"}),
-    "cluster": frozenset({"serve", "sweep", "cli"}),
+    "core": frozenset({"serve", "sweep", "cli", "scenario"}),
+    "forecast": frozenset({"serve", "sweep", "cli", "scenario"}),
+    "cluster": frozenset({"serve", "sweep", "cli", "scenario"}),
+    "scenario": frozenset({"serve", "sweep", "cli", "sim"}),
+    "kube": frozenset({"serve", "sweep", "cli", "scenario"}),
+    "workloads": frozenset({"serve", "sweep", "cli", "scenario"}),
     "experiments": frozenset({"serve"}),
 }
 

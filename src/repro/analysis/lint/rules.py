@@ -26,9 +26,10 @@ __all__ = [
 #: set covers everything the seeded replay path executes: the event
 #: loop and harness (``sim``), the simulators and schedulers
 #: (``core``), the control plane (``kube``), telemetry, forecasting,
-#: cluster topology, and workload synthesis.
+#: cluster topology, workload synthesis, and scenario definitions
+#: (``scenario``: capacity plans, network model, gang mixes).
 SIM_CRITICAL_PACKAGES = frozenset(
-    {"sim", "core", "kube", "telemetry", "forecast", "cluster", "workloads"}
+    {"sim", "core", "kube", "telemetry", "forecast", "cluster", "workloads", "scenario"}
 )
 
 # -- import-alias helpers ---------------------------------------------------

@@ -31,6 +31,12 @@ paper's results silently rely on:
     The cluster simulator only fast-forwards its tick chains when the
     cluster is provably quiescent (every submitted pod finished, every
     device asleep or failed) and only to a strictly later time.
+``capacity_conservation``
+    After a capacity transition (cordon/reclaim/restore): no failed
+    device still holds allocations, per-node Σ allocations fits the
+    node's *live* (post-reclaim) capacity, and every accepted,
+    unfinished pod is still accounted for — pending or hosted, never
+    silently dropped.
 
 A :class:`Sanitizer` rides on the :class:`repro.obs.Observability`
 bundle (``Observability(sanitize=True)``); every instrumented call site
@@ -62,6 +68,7 @@ INVARIANTS = (
     "telemetry_staleness",
     "pool_accounting",
     "fast_forward_quiescence",
+    "capacity_conservation",
 )
 
 _EPS = 1e-6
@@ -224,6 +231,50 @@ class Sanitizer:
                     f"share outside [0, 1] on {gpu_id}",
                     gpu=gpu_id, pod=uid, share=share,
                 )
+
+    # -- capacity transitions -------------------------------------------------
+
+    def check_node_capacity(self, node) -> None:
+        """Capacity conservation after a cordon/reclaim/restore: a failed
+        (reclaimed) device holds no allocations and the node's total
+        allocation fits its *live* capacity."""
+        self.checks += 1
+        live_capacity = 0.0
+        allocated = 0.0
+        for gpu in node.gpus:
+            dev_alloc = sum(a.alloc_mb for a in gpu.containers.values())
+            if gpu.failed:
+                if dev_alloc > _EPS:
+                    self.violation(
+                        "capacity_conservation",
+                        f"reclaimed device {gpu.gpu_id} still holds allocations",
+                        gpu=gpu.gpu_id, allocated_mb=dev_alloc,
+                    )
+            else:
+                live_capacity += gpu.mem_capacity_mb
+            allocated += dev_alloc
+        if allocated > live_capacity + _EPS:
+            self.violation(
+                "capacity_conservation",
+                f"allocations exceed live capacity on {node.node_id}",
+                node=node.node_id,
+                allocated_mb=allocated,
+                live_capacity_mb=live_capacity,
+            )
+
+    def check_pod_tracking(
+        self, unfinished: set, pending: set, hosted: set
+    ) -> None:
+        """No accepted pod is silently dropped across a capacity
+        transition: every unfinished pod is pending or hosted."""
+        self.checks += 1
+        lost = unfinished - pending - hosted
+        if lost:
+            self.violation(
+                "capacity_conservation",
+                "unfinished pods neither pending nor hosted after a capacity transition",
+                lost=sorted(lost)[:8], count=len(lost),
+            )
 
     # -- event-loop invariants ----------------------------------------------
 

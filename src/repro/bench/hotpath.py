@@ -61,6 +61,10 @@ GATED_BENCHMARKS = {
     # the dense end-to-end run at the 1024x8 scale.
     "cluster_scale_pass": "ms_per_pass",
     "cluster_scale_dense": "ms_run",
+    # Gated against ``BENCH_scenario.json``: the 256-node diurnal run
+    # and the gang-aware scheduling pass.
+    "scenario_diurnal": "ms_run",
+    "scenario_gang_pass": "ms_per_pass",
 }
 
 #: The scale the acceptance numbers are quoted at.
@@ -273,13 +277,18 @@ def run_benchmarks(quick: bool = False, only: list[str] | None = None) -> dict:
         bench_cluster_scale_dense,
         bench_cluster_scale_pass,
     )
+    from repro.bench.scenario import (
+        SCENARIO_BENCHMARKS,
+        bench_scenario_diurnal,
+        bench_scenario_gang_pass,
+    )
     from repro.bench.serve import SERVE_BENCHMARKS, bench_serve_loop
     from repro.bench.sweep import SWEEP_BENCHMARKS, bench_sweep_parallel
 
     all_benches = ("tsdb_window_query", "correlation_matrix", "ar1_heartbeat_fit",
                    "cbp_pass", "pp_pass", "simulate_e2e") \
         + SIMLOOP_BENCHMARKS + SWEEP_BENCHMARKS + SERVE_BENCHMARKS \
-        + CLUSTERSCALE_BENCHMARKS
+        + CLUSTERSCALE_BENCHMARKS + SCENARIO_BENCHMARKS
     selected = set(only) if only else set(all_benches)
     unknown = selected - set(all_benches)
     if unknown:
@@ -318,6 +327,10 @@ def run_benchmarks(quick: bool = False, only: list[str] | None = None) -> dict:
         results["cluster_scale_pass"] = bench_cluster_scale_pass(quick)
     if "cluster_scale_dense" in selected:
         results["cluster_scale_dense"] = bench_cluster_scale_dense(quick)
+    if "scenario_diurnal" in selected:
+        results["scenario_diurnal"] = bench_scenario_diurnal(quick)
+    if "scenario_gang_pass" in selected:
+        results["scenario_gang_pass"] = bench_scenario_gang_pass(quick)
     return {
         "schema": "kube-knots/bench-hotpath/v1",
         "mode": "quick" if quick else "full",

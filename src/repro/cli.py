@@ -17,6 +17,9 @@ The subcommands cover the workflows a user reaches for first:
 ``simulate``
     One cluster run: a Table-I app-mix under a chosen scheduler, with a
     summary of utilization, QoS, energy and crash counts.
+    ``--scenario NAME`` threads a scenario-catalog entry (time-varying
+    capacity, network model, gang-scheduled multi-GPU jobs) through the
+    run; the default scenario is bit-identical to omitting the flag.
 ``dlsim``
     The DL-cluster comparison (Sec. V-C) for a chosen policy set.
 ``replay``
@@ -82,6 +85,7 @@ EXPERIMENTS = (
     "ablation_dl",
     "hetero",
     "sensitivity",
+    "scenarios",
 )
 
 #: Short spellings accepted wherever a scheduler name is expected.
@@ -213,6 +217,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     args.mix = MIX_ALIASES.get(args.mix, args.mix)
     args.scheduler = SCHEDULER_ALIASES.get(args.scheduler, args.scheduler)
     obs, audit_path = _make_observability(args)
+    scenario = None
+    if args.scenario != "default":
+        from repro.scenario import make_scenario
+
+        try:
+            scenario = make_scenario(args.scenario)
+        except KeyError as exc:
+            print(str(exc.args[0]), file=sys.stderr)
+            return 2
     try:
         result = run_appmix(
             args.mix,
@@ -221,7 +234,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             seed=args.seed,
             num_nodes=args.nodes,
             gpus_per_node=args.gpus,
-            config=SimConfig(fast_forward=args.fast_forward),
+            config=SimConfig(fast_forward=args.fast_forward, scenario=scenario),
             load_factor=args.load_factor,
             obs=obs,
         )
@@ -301,10 +314,20 @@ def _cmd_dlsim(args: argparse.Namespace) -> int:
     config = None
     if args.quick:
         config = DLWorkloadConfig(n_training=100, n_inference=300, window_s=2 * 3_600.0)
+    scenario = None
+    if args.scenario != "default":
+        from repro.scenario import make_scenario
+
+        try:
+            scenario = make_scenario(args.scenario)
+        except KeyError as exc:
+            print(str(exc.args[0]), file=sys.stderr)
+            return 2
     obs, audit_path = _make_observability(args)
     try:
         results = run_dl_comparison(
-            jobs_seed=args.seed, policies=args.policies, config=config, obs=obs
+            jobs_seed=args.seed, policies=args.policies, config=config, obs=obs,
+            scenario=scenario,
         )
     except SanitizerError as exc:
         print(f"sanitizer violation: {exc}", file=sys.stderr)
@@ -559,6 +582,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--gpus", type=int, default=1,
                        help="GPUs per node (scale axis; paper clusters use 1 or 8)")
     p_sim.add_argument("--load-factor", type=float, default=1.0, dest="load_factor")
+    p_sim.add_argument("--scenario", default="default",
+                       help="scenario-catalog entry threading a capacity plan, "
+                            "network model and/or gang mix through the run "
+                            "(default | diurnal | spot | gang | diurnal-gang)")
     p_sim.add_argument("--export", default=None, metavar="PATH",
                        help="write the run (pods + telemetry) to a JSON file")
     p_sim.add_argument("--trace", default=None, metavar="PATH",
@@ -591,6 +618,9 @@ def build_parser() -> argparse.ArgumentParser:
                       default=["res-ag", "gandiva", "tiresias", "cbp-pp"])
     p_dl.add_argument("--seed", type=int, default=1)
     p_dl.add_argument("--quick", action="store_true", help="reduced workload")
+    p_dl.add_argument("--scenario", default="default",
+                      help="scenario-catalog entry; its network model sets the "
+                           "gang locality penalty and migration pause costs")
     p_dl.add_argument("--trace", default=None, metavar="PATH",
                       help="write a Chrome trace-event JSON of all policies' job lifecycles")
     p_dl.add_argument("--metrics", default=None, metavar="PATH",

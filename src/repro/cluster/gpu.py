@@ -112,6 +112,7 @@ class GPU:
         self._state_idx = -1
         self._asleep = False
         self._failed = False
+        self._cordoned = False
         self._attach_counter = 0
         self._idle_memo: dict[bool, GpuSample] = {}
         self._last_sample: GpuSample = self.idle_sample()
@@ -148,6 +149,18 @@ class GPU:
             self._state.sync_flags(self._state_idx, self._asleep, self._failed)
 
     @property
+    def cordoned(self) -> bool:
+        """Drained for a capacity transition: residents keep running,
+        but the device accepts no new placements until uncordoned."""
+        return self._cordoned
+
+    @cordoned.setter
+    def cordoned(self, value: bool) -> None:
+        self._cordoned = bool(value)
+        if self._state is not None:
+            self._state.sync_cordon(self._state_idx, self._cordoned)
+
+    @property
     def last_sample(self) -> GpuSample:
         return self._last_sample
 
@@ -178,7 +191,7 @@ class GPU:
 
     def can_fit(self, alloc_mb: float, exclusive: bool = False) -> bool:
         """Admission check against reservations."""
-        if self.failed:
+        if self.failed or self.cordoned:
             return False
         if exclusive:
             return not self.containers

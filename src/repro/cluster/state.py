@@ -54,7 +54,7 @@ class ClusterState:
         "gpu_ids", "index", "id_rank",
         "node_ids", "node_index", "node_of", "node_slices",
         "mem_capacity_mb", "cap_total_bytes", "sleep_watts",
-        "alloc_mb", "num_containers", "asleep", "failed",
+        "alloc_mb", "num_containers", "asleep", "failed", "cordoned",
         "sm_util", "mem_used_mb", "mem_util", "power_w",
         "tx_mbps", "rx_mbps", "sample_containers",
         "sample_dirty",
@@ -95,6 +95,7 @@ class ClusterState:
         self.num_containers = np.zeros(n, dtype=np.int64)
         self.asleep = np.zeros(n, dtype=bool)
         self.failed = np.zeros(n, dtype=bool)
+        self.cordoned = np.zeros(n, dtype=bool)
 
         self.sm_util = np.zeros(n)
         self.mem_used_mb = np.zeros(n)
@@ -114,6 +115,7 @@ class ClusterState:
             gpu.bind_state(self, i)
             self.asleep[i] = gpu.asleep
             self.failed[i] = gpu.failed
+            self.cordoned[i] = gpu.cordoned
             self.sync_sample(i, gpu.last_sample)
             self.sync_alloc(i, gpu)
 
@@ -137,6 +139,11 @@ class ClusterState:
     def sync_flags(self, i: int, asleep: bool, failed: bool) -> None:
         self.asleep[i] = asleep
         self.failed[i] = failed
+        self.node_epoch[self.node_of[i]] += 1
+
+    def sync_cordon(self, i: int, cordoned: bool) -> None:
+        """Mirror the cordon flag (a scheduling-relevant transition)."""
+        self.cordoned[i] = cordoned
         self.node_epoch[self.node_of[i]] += 1
 
     def sync_sample(self, i: int, sample: "GpuSample") -> None:

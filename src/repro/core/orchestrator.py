@@ -85,6 +85,18 @@ class KubeKnots:
         self._m_repairs = metrics.counter(
             "gpu_repairs_total", "Failed devices repaired"
         )
+        self._m_cordons = metrics.counter(
+            "node_cordons_total", "Nodes cordoned by the capacity plan"
+        )
+        self._m_reclaims = metrics.counter(
+            "node_reclaims_total", "Nodes reclaimed by the capacity plan"
+        )
+        self._m_restores = metrics.counter(
+            "node_restores_total", "Reclaimed/cordoned nodes restored"
+        )
+        self._m_gang_coevictions = metrics.counter(
+            "gang_coevictions_total", "Gang siblings evicted with a dying member"
+        )
 
     # -- context assembly ----------------------------------------------------
 
@@ -184,8 +196,11 @@ class KubeKnots:
         state = self.cluster.state
         if self.obs.sanitizer is not None:
             before = {p.uid for p in self.api.pods() if p.done}
+            victims: list = []
             for kubelet in self.kubelets.values():
-                kubelet.step(now, dt_ms)
+                victims.extend(kubelet.step(now, dt_ms))
+            if victims:
+                self._co_evict_gangs(victims, now)
             self._record_completions(before)
             self._prev_tick_now = now
             return
@@ -195,13 +210,38 @@ class KubeKnots:
             epochs = state.node_epoch
             prev = self._prev_tick_now
             kubelets = self._kubelet_list
+            victims = []
             for i in np.nonzero(due)[0]:
                 kubelet = kubelets[i]
-                kubelet.step(now, dt_ms, prev)
+                victims.extend(kubelet.step(now, dt_ms, prev))
                 self._quiet_until[i] = kubelet.quiet_horizon(now, dt_ms)
                 self._epoch_seen[i] = epochs[i]
+            if victims:
+                self._co_evict_gangs(victims, now)
             self._record_completions(before)
         self._prev_tick_now = now
+
+    def _co_evict_gangs(self, victims: list, now: float) -> None:
+        """When a gang member dies, evict its still-hosted siblings.
+
+        Gang semantics: members make progress in lock-step, so a lost
+        member invalidates the others' work — requeue the whole gang
+        together and let the scheduler re-place it atomically.  Pods
+        without a gang spec (the default) are untouched.
+        """
+        seen: set[str] = set()
+        for pod in victims:
+            gang = pod.spec.gang
+            if gang is None or gang.gang_id in seen:
+                continue
+            seen.add(gang.gang_id)
+            for member in self.api.gang_members(gang.gang_id):
+                if member.uid == pod.uid or member.node_id is None or member.done:
+                    continue
+                kubelet = self.kubelets.get(member.node_id)
+                if kubelet is not None and kubelet.evict_pod(member.uid, now) is not None:
+                    if self.obs.enabled:
+                        self._m_gang_coevictions.inc()
 
     def _record_completions(self, before: set[str]) -> None:
         for pod in self.api.pods():
@@ -235,3 +275,87 @@ class KubeKnots:
             self._m_repairs.inc()
             if self.obs.tracer.enabled:
                 self.obs.tracer.instant("gpu_repair", cat="fault", args={"gpu": gpu_id})
+
+    # -- capacity transitions (driven by the simulator's capacity plan) ----------
+
+    def cordon_node(self, node_id: str) -> bool:
+        """Drain a node: residents keep running, no new placements.
+
+        Returns False when every device was already cordoned (tolerant
+        of overlapping capacity windows re-draining a spare)."""
+        node = self.kubelets[node_id].node
+        changed = False
+        for gpu in node.gpus:
+            if not gpu.cordoned:
+                gpu.cordoned = True
+                changed = True
+        if changed and self.obs.enabled:
+            self._m_cordons.inc()
+            if self.obs.tracer.enabled:
+                self.obs.tracer.instant("node_cordon", cat="capacity", args={"node": node_id})
+        return changed
+
+    def uncordon_node(self, node_id: str) -> None:
+        """Re-open a drained node for placement."""
+        for gpu in self.kubelets[node_id].node.gpus:
+            if gpu.cordoned:
+                gpu.cordoned = False
+
+    def reclaim_node(self, node_id: str, now: float) -> bool:
+        """Take a node away (spot reclaim): evict every hosted pod back
+        to the pending queue, then fail its devices.  Gang siblings of
+        the victims are co-evicted cluster-wide.  Returns False if the
+        node was already fully reclaimed."""
+        kubelet = self.kubelets[node_id]
+        node = kubelet.node
+        if all(gpu.failed for gpu in node.gpus):
+            return False
+        self.cordon_node(node_id)
+        victims = [
+            kubelet.evict_pod(uid, now) for uid in list(kubelet.hosted_map())
+        ]
+        victims = [pod for pod in victims if pod is not None]
+        if victims:
+            self._co_evict_gangs(victims, now)
+        for gpu in node.gpus:
+            if not gpu.failed:
+                gpu.fail()
+        if self.obs.enabled:
+            self._m_reclaims.inc()
+            if self.obs.tracer.enabled:
+                self.obs.tracer.instant(
+                    "node_reclaim", cat="capacity",
+                    args={"node": node_id, "evicted": len(victims)},
+                )
+        self._check_capacity_conservation(node)
+        return True
+
+    def restore_node(self, node_id: str) -> None:
+        """Bring a reclaimed (or merely drained) node back into service."""
+        node = self.kubelets[node_id].node
+        for gpu in node.gpus:
+            if gpu.failed:
+                gpu.repair()
+            if gpu.cordoned:
+                gpu.cordoned = False
+        if self.obs.enabled:
+            self._m_restores.inc()
+            if self.obs.tracer.enabled:
+                self.obs.tracer.instant("node_restore", cat="capacity", args={"node": node_id})
+        self._check_capacity_conservation(node)
+
+    def _check_capacity_conservation(self, node) -> None:
+        """Sanitizer hook: after a capacity transition, allocations must
+        fit the node's live capacity and no accepted pod may be lost."""
+        san = self.obs.sanitizer
+        if san is None:
+            return
+        san.check_node_capacity(node)
+        hosted: set[str] = set()
+        for kubelet in self.kubelets.values():
+            hosted.update(kubelet.hosted_map())
+        san.check_pod_tracking(
+            {p.uid for p in self.api.unfinished()},
+            {p.uid for p in self.api.pending_pods()},
+            hosted,
+        )

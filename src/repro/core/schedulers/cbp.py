@@ -141,7 +141,7 @@ class CBPScheduler(Scheduler):
         self._begin_pass()
         if type(self) is CBPScheduler and self._fast_pass_ok(ctx):
             cs = ctx.knots.state
-            aps = ArrayPassState(cs, ~cs.failed)
+            aps = ArrayPassState(cs, ~(cs.failed | cs.cordoned))
             aps.load_residents(ctx, ctx.knots)
             actions.extend(self._harvest_fast(ctx, aps))
             actions.extend(self._place_fast(ctx, aps))

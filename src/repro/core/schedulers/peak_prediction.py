@@ -101,7 +101,9 @@ class PeakPredictionScheduler(CBPScheduler):
         self._load_pressure(ctx, state)
         actions.extend(self._harvest(ctx, state))
 
-        sleeping = [v for v in ctx.knots.all_gpus_by_free_memory() if v.asleep]
+        sleeping = [
+            v for v in ctx.knots.all_gpus_by_free_memory() if v.asleep and not v.cordoned
+        ]
         queue_depth = len(ctx.pending)
         unplaced = 0
         for pod in self._ordered_pending(ctx):
@@ -178,14 +180,14 @@ class PeakPredictionScheduler(CBPScheduler):
         visits."""
         actions: list[Action] = []
         cs = ctx.knots.state
-        aps = ArrayPassState(cs, ~(cs.failed | cs.asleep))
+        aps = ArrayPassState(cs, ~(cs.failed | cs.asleep | cs.cordoned))
         aps.load_residents(ctx, ctx.knots)
         actions.extend(self._harvest_fast(ctx, aps))
 
         # Sleeping (healthy) devices in the legacy visit order:
         # (-free, gpu_id).  Asleep devices host nothing, so their free
         # memory is stable for the whole pass.
-        sleep_idx = np.nonzero(cs.asleep & ~cs.failed)[0]
+        sleep_idx = np.nonzero(cs.asleep & ~cs.failed & ~cs.cordoned)[0]
         if len(sleep_idx) > 1:
             free = cs.mem_capacity_mb[sleep_idx] - cs.alloc_mb[sleep_idx]
             order = np.lexsort((cs.id_rank[sleep_idx], -free))

@@ -24,4 +24,5 @@ __all__ = [
     "table4",
     "ablation",
     "runner",
+    "scenarios",
 ]

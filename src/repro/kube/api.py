@@ -48,6 +48,8 @@ class APIServer:
         # per-tick ``all_done`` termination check is O(1) instead of a
         # scan over every pod ever submitted.
         self._n_unfinished = 0
+        # Gang membership: gang_id -> member uids, in submission order.
+        self._gangs: dict[str, list[str]] = {}
 
     # -- submission ---------------------------------------------------------
 
@@ -57,6 +59,8 @@ class APIServer:
         pod.mark_submitted(now)
         self._pods[pod.uid] = pod
         self._n_unfinished += 1
+        if spec.gang is not None:
+            self._gangs.setdefault(spec.gang.gang_id, []).append(pod.uid)
         self._pending.append(pod.uid)
         self._log(now, EventType.SUBMITTED, pod.uid)
         return pod
@@ -86,6 +90,10 @@ class APIServer:
 
     def unfinished(self) -> list[Pod]:
         return [p for p in self._pods.values() if p.phase is not PodPhase.SUCCEEDED]
+
+    def gang_members(self, gang_id: str) -> list[Pod]:
+        """All submitted members of a gang, in submission order."""
+        return [self._pods[uid] for uid in self._gangs.get(gang_id, [])]
 
     def all_done(self) -> bool:
         return self._n_unfinished == 0

@@ -57,6 +57,10 @@ class Kubelet:
         self.plugin = plugin or SharedGPUDevicePlugin(node)
         self.config = config or KubeletConfig()
         self.obs = obs or NOOP
+        #: Optional shared network fabric (scenario runs): when set,
+        #: cold image pulls are charged per-link transfer costs instead
+        #: of the constant ``image_pull_ms``.
+        self.network = None
         self._image_cache: set[str] = set()
         self._pods: dict[str, Pod] = {}
         self._start_deadline: dict[str, float] = {}
@@ -87,7 +91,10 @@ class Kubelet:
         if san is not None:
             san.check_gpu(self.node.find_gpu(pod.gpu_id))
         cold = pod.spec.image not in self._image_cache
-        delay = self.config.image_pull_ms if cold else self.config.warm_start_ms
+        if cold and self.network is not None:
+            delay = self.network.pull_ms(self.node.node_id, now)
+        else:
+            delay = self.config.image_pull_ms if cold else self.config.warm_start_ms
         self._image_cache.add(pod.spec.image)
         self._pods[pod.uid] = pod
         self._start_deadline[pod.uid] = now + delay
@@ -264,6 +271,26 @@ class Kubelet:
         self.plugin.free(pod.gpu_id, pod.uid)
         del self._pods[pod.uid]
         self._start_deadline.pop(pod.uid, None)
+
+    # -- forced eviction (capacity reclaim, gang co-eviction) ---------------
+
+    def evict_pod(self, uid: str, now: float) -> Pod | None:
+        """Evict one hosted pod (freed, reported, requeued).
+
+        Used when a node is reclaimed out from under its pods and when a
+        gang member dies elsewhere and its siblings must requeue with
+        it.  Returns the evicted pod, or ``None`` if ``uid`` is not
+        hosted here (it may have completed in the same tick).
+        """
+        pod = self._pods.get(uid)
+        if pod is None:
+            return None
+        self._release(pod)
+        self.api.notify_evicted(pod, now)
+        if self.obs.enabled:
+            self._m_evicted.inc()
+            self._pod_trace_end(pod, "evicted", now)
+        return pod
 
     def _pod_trace_end(self, pod: Pod, outcome: str, now: float) -> None:
         tracer = self.obs.tracer

@@ -17,7 +17,7 @@ from enum import Enum
 
 from repro.workloads.base import QoSClass, WorkloadTrace
 
-__all__ = ["PodPhase", "PodSpec", "Pod", "reset_uid_counter"]
+__all__ = ["PodPhase", "GangSpec", "PodSpec", "Pod", "reset_uid_counter"]
 
 
 class _UidState(threading.local):
@@ -61,6 +61,22 @@ class PodPhase(Enum):
 
 
 @dataclass(frozen=True)
+class GangSpec:
+    """Membership of a multi-GPU gang job.
+
+    A gang's member pods (one device each) are submitted at the same
+    instant and placed all-or-nothing: either every pending member gets
+    a distinct device in one scheduling pass, or none does.  When one
+    member is evicted the orchestrator co-evicts its still-hosted
+    siblings, so the gang requeues — and later replaces — as a unit.
+    """
+
+    gang_id: str
+    size: int
+    rank: int
+
+
+@dataclass(frozen=True)
 class PodSpec:
     """Immutable submission-time description of a pod."""
 
@@ -68,6 +84,7 @@ class PodSpec:
     image: str                     # docker image; keys cold-start and profiles
     trace: WorkloadTrace
     qos_threshold_ms: float | None = None  # only for latency-critical pods
+    gang: GangSpec | None = None   # set on multi-GPU gang members
 
     @property
     def qos_class(self) -> QoSClass:

@@ -1,0 +1,44 @@
+"""Scenario engine: capacity patterns, network topology, gang-job mixes.
+
+A :class:`Scenario` is a frozen, picklable description of everything
+about a run that is *not* the workload mix or the scheduler: how the
+fleet's capacity varies over time (diurnal dips, spot reclaims, spare
+pools), what the wire between nodes looks like (per-link bandwidth and
+latency, rack fan-in), and how many jobs arrive as multi-GPU gangs.
+The default scenario — static capacity, free network, single-GPU pods —
+is exactly the hard-coded world every earlier PR assumed, so default
+runs stay bit-identical.
+
+Layering: ``scenario`` sits beside ``sim``.  It describes *what* should
+happen (frozen specs, pure event/cost computations) and never imports
+the simulators; ``sim`` imports ``scenario`` and owns *when* (the event
+loop, the ticks).  ``cluster`` and ``core`` never import it.
+"""
+
+from repro.scenario.capacity import CapacityEvent, build_capacity_events
+from repro.scenario.gangs import GangScheduler, apply_gang_mix
+from repro.scenario.network import NetworkFabric
+from repro.scenario.spec import (
+    SCENARIOS,
+    CapacityPattern,
+    GangMix,
+    LinkSpec,
+    NetworkModel,
+    Scenario,
+    make_scenario,
+)
+
+__all__ = [
+    "CapacityEvent",
+    "CapacityPattern",
+    "GangMix",
+    "GangScheduler",
+    "LinkSpec",
+    "NetworkFabric",
+    "NetworkModel",
+    "SCENARIOS",
+    "Scenario",
+    "apply_gang_mix",
+    "build_capacity_events",
+    "make_scenario",
+]

@@ -1,0 +1,135 @@
+"""Compile a :class:`CapacityPattern` into a schedule of node events.
+
+This module is pure computation: given a pattern, the node inventory
+and a horizon it returns a sorted tuple of :class:`CapacityEvent`
+values.  The *runtime* that executes them — scheduling each event on
+the tick grid, calling into the orchestrator — is
+:class:`repro.sim.harness.CapacityPlan`, which accepts these events
+duck-typed so the layer contract stays clean (``scenario`` never
+imports ``sim``).
+
+Event kinds:
+
+``drain``
+    Cordon the node: existing pods keep running, no new placements.
+``reclaim``
+    Take the node away: cordon, evict every hosted pod (requeued, like
+    a device failure), mark the devices failed.
+``restore``
+    Bring the node back: repair devices, uncordon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.scenario.spec import CapacityPattern
+
+__all__ = ["CapacityEvent", "build_capacity_events", "split_spares"]
+
+#: Same-instant ordering: drains and reclaims land in the fault phase,
+#: restores in the repair phase (matching FaultPlan's fault-then-repair
+#: order when both hit one instant).
+_KIND_ORDER = {"drain": 0, "reclaim": 1, "restore": 2}
+
+
+@dataclass(frozen=True)
+class CapacityEvent:
+    """One scheduled node transition."""
+
+    at_ms: float
+    node_id: str
+    kind: str  # "drain" | "reclaim" | "restore"
+
+
+def split_spares(
+    node_ids: Sequence[str], pattern: CapacityPattern
+) -> tuple[list[str], list[str]]:
+    """``(regular, spares)`` — spares come off the tail of the fleet."""
+    ids = list(node_ids)
+    n_spare = min(max(pattern.spare_nodes, 0), max(len(ids) - 1, 0))
+    if n_spare == 0:
+        return ids, []
+    return ids[:-n_spare], ids[-n_spare:]
+
+
+def build_capacity_events(
+    pattern: CapacityPattern, node_ids: Sequence[str], horizon_ms: float
+) -> tuple[CapacityEvent, ...]:
+    """The full event schedule for one run, sorted and deterministic."""
+    regular, spares = split_spares(node_ids, pattern)
+    events: list[CapacityEvent] = []
+    # Spares start cordoned: they are reserve capacity, not regular fleet.
+    for node in spares:
+        events.append(CapacityEvent(0.0, node, "drain"))
+
+    if pattern.kind == "diurnal":
+        windows = _diurnal_windows(pattern, regular, horizon_ms)
+    elif pattern.kind == "spot":
+        windows = _spot_windows(pattern, regular, horizon_ms)
+    else:
+        raise ValueError(
+            f"unknown capacity pattern kind {pattern.kind!r}; known: diurnal, spot"
+        )
+
+    for start_ms, end_ms, nodes in windows:
+        for node in nodes:
+            events.append(CapacityEvent(max(start_ms - pattern.drain_ms, 0.0), node, "drain"))
+            events.append(CapacityEvent(start_ms, node, "reclaim"))
+            events.append(CapacityEvent(end_ms, node, "restore"))
+        # Spares swap in for the window, then return to reserve.
+        for node in spares[: len(nodes)]:
+            events.append(CapacityEvent(start_ms, node, "restore"))
+            events.append(CapacityEvent(end_ms, node, "drain"))
+
+    events.sort(key=lambda e: (e.at_ms, _KIND_ORDER[e.kind], e.node_id))
+    return tuple(events)
+
+
+def _diurnal_windows(
+    pattern: CapacityPattern, regular: Sequence[str], horizon_ms: float
+) -> list[tuple[float, float, list[str]]]:
+    """Reclaim windows covering the second half of each period, with a
+    rotating node selection so the dip moves around the fleet."""
+    if not regular or pattern.amplitude <= 0.0:
+        return []
+    k = max(1, min(len(regular), round(pattern.amplitude * len(regular))))
+    windows = []
+    period = 0
+    while True:
+        start = period * pattern.period_ms + pattern.period_ms / 2.0
+        if start >= horizon_ms:
+            break
+        end = (period + 1) * pattern.period_ms
+        chosen: list[str] = []
+        for j in range(k):
+            node = regular[(period * k + j) % len(regular)]
+            if node not in chosen:
+                chosen.append(node)
+        windows.append((start, end, chosen))
+        period += 1
+    return windows
+
+
+def _spot_windows(
+    pattern: CapacityPattern, regular: Sequence[str], horizon_ms: float
+) -> list[tuple[float, float, list[str]]]:
+    """Single-node reclaims at seeded exponential arrivals, each lasting
+    a seeded fraction of one period."""
+    if not regular:
+        return []
+    rng = np.random.default_rng(pattern.seed)
+    windows = []
+    t = 0.0
+    i = 0
+    while True:
+        t += float(rng.exponential(pattern.period_ms))
+        if t >= horizon_ms:
+            break
+        duration = pattern.period_ms * (0.25 + 0.5 * float(rng.random()))
+        windows.append((t, t + duration, [regular[i % len(regular)]]))
+        i += 1
+    return windows

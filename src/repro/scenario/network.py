@@ -1,0 +1,92 @@
+"""Runtime network fabric: per-link bandwidth/latency with contention.
+
+Helix-style (SNIPPETS.md snippet 1) first-class link objects: every
+node owns a NIC, every rack of ``rack_size`` nodes shares one uplink.
+A transfer charges the latency of both hops plus its size over the
+*currently shared* bandwidth of the narrower link — each link tracks
+the end times of its in-flight transfers, so concurrent image pulls on
+one rack genuinely slow each other down instead of hiding behind the
+old per-pod ``image_pull_ms`` constant.
+
+The fabric is deterministic: "in flight" is evaluated against the sim
+clock passed in by the caller, and expired transfers are pruned lazily.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.scenario.spec import NetworkModel
+
+__all__ = ["NetworkFabric"]
+
+
+class NetworkFabric:
+    """Charges transfer costs against shared node/rack links."""
+
+    def __init__(self, model: NetworkModel, node_ids: Sequence[str]) -> None:
+        self.model = model
+        ordered = list(node_ids)
+        #: Node -> rack index (consecutive nodes share a rack).
+        self.rack_of = {
+            node: i // max(model.rack_size, 1) for i, node in enumerate(ordered)
+        }
+        # End times (sim ms) of in-flight transfers per link.
+        self._nic_busy: dict[str, list[float]] = {}
+        self._uplink_busy: dict[int, list[float]] = {}
+
+    # -- link sharing --------------------------------------------------------
+
+    @staticmethod
+    def _active(in_flight: list[float], now: float) -> int:
+        """Prune finished transfers; return the count still moving."""
+        if in_flight:
+            in_flight[:] = [end for end in in_flight if end > now]
+        return len(in_flight)
+
+    def in_flight(self, node_id: str, now: float) -> int:
+        """Transfers currently occupying ``node_id``'s NIC."""
+        return self._active(self._nic_busy.setdefault(node_id, []), now)
+
+    # -- costs ---------------------------------------------------------------
+
+    def transfer_ms(self, node_id: str, now: float, size_mb: float) -> float:
+        """Start one transfer to ``node_id`` and return its duration.
+
+        The transfer occupies the node NIC and the rack uplink until it
+        completes; its bandwidth is the narrower link's fair share
+        given everything already in flight when it starts.
+        """
+        nic = self._nic_busy.setdefault(node_id, [])
+        uplink = self._uplink_busy.setdefault(self.rack_of.get(node_id, 0), [])
+        nic_share = self.model.nic.bandwidth_mbps / (1 + self._active(nic, now))
+        up_share = self.model.uplink.bandwidth_mbps / (1 + self._active(uplink, now))
+        bandwidth = min(nic_share, up_share)
+        duration = (
+            self.model.nic.latency_ms
+            + self.model.uplink.latency_ms
+            + size_mb / bandwidth * 1_000.0
+        )
+        end = now + duration
+        nic.append(end)
+        uplink.append(end)
+        return duration
+
+    def pull_ms(self, node_id: str, now: float) -> float:
+        """Cost of pulling the container image to ``node_id`` now."""
+        return self.transfer_ms(node_id, now, self.model.image_size_mb)
+
+    def migration_pause_s(self, num_gpus: int) -> float:
+        """Uncontended checkpoint+restore time for a ``num_gpus`` gang
+        migration, in seconds (the dlsim baselines' pause cost)."""
+        size_mb = self.model.checkpoint_mb_per_gpu * max(num_gpus, 1)
+        bandwidth = min(self.model.nic.bandwidth_mbps, self.model.uplink.bandwidth_mbps)
+        latency_s = (self.model.nic.latency_ms + self.model.uplink.latency_ms) / 1_000.0
+        return latency_s + size_mb / bandwidth
+
+    def locality_penalty(self) -> float:
+        """Per-extra-node gang sync tax for the DL simulator, derived
+        from round-trip link latency (capped so a slow wire degrades
+        rather than stalls cross-node gangs)."""
+        rtt_ms = self.model.nic.latency_ms + self.model.uplink.latency_ms
+        return min(0.25, rtt_ms / 20.0)

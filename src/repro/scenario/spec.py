@@ -1,0 +1,137 @@
+"""The frozen scenario vocabulary.
+
+Every type here follows the sweep-fabric task rules
+(:mod:`repro.sweep.tasks`): frozen, holding only primitives and other
+frozen dataclasses, so a scenario is picklable across the process pool
+and its auto-generated ``repr`` is canonical — a
+:class:`~repro.sweep.tasks.ScenarioTask` embeds the scenario *name* and
+the registry resolves it identically in every worker.
+
+``None`` fields mean "the hard-coded pre-scenario behavior": no
+capacity events, the prewarm/constant-delay image model, single-GPU
+pods.  :meth:`Scenario.is_default` gates every new code path, which is
+what keeps default runs bit-identical to pre-scenario output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "LinkSpec",
+    "NetworkModel",
+    "CapacityPattern",
+    "GangMix",
+    "Scenario",
+    "SCENARIOS",
+    "make_scenario",
+]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One link class: bandwidth in MB/s (the package's ``mbps``
+    convention, see ``PCIE_LINK_MBPS``) plus a fixed latency."""
+
+    bandwidth_mbps: float
+    latency_ms: float
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Per-link network topology: every node owns a NIC, every rack of
+    ``rack_size`` nodes shares one uplink.  Transfers charge latency plus
+    size over the *currently shared* bandwidth of the narrower link —
+    concurrent pulls on one rack genuinely slow each other down."""
+
+    rack_size: int = 8
+    #: Node NIC: 10 GbE ≈ 1250 MB/s.
+    nic: LinkSpec = LinkSpec(bandwidth_mbps=1_250.0, latency_ms=0.2)
+    #: Rack uplink (shared by ``rack_size`` NICs): 40 GbE ≈ 5000 MB/s.
+    uplink: LinkSpec = LinkSpec(bandwidth_mbps=5_000.0, latency_ms=0.5)
+    #: Container image size charged on a cold pull.
+    image_size_mb: float = 2_000.0
+    #: Checkpoint traffic per GPU for a job migration (dlsim baselines).
+    checkpoint_mb_per_gpu: float = 4_000.0
+
+
+@dataclass(frozen=True)
+class CapacityPattern:
+    """Time-varying fleet capacity (litosly's pattern/period idiom).
+
+    ``diurnal`` reclaims ``amplitude`` of the regular nodes during the
+    second half of every ``period_ms`` (the trough) and restores them at
+    the period boundary, rotating which nodes dip.  ``spot`` reclaims
+    single nodes at seeded exponential arrivals for roughly half a
+    period.  Both drain (cordon, no new placements) ``drain_ms`` before
+    reclaiming, and both can hold ``spare_nodes`` in a cordoned reserve
+    pool that comes online exactly while regular capacity is reclaimed.
+    """
+
+    kind: str = "diurnal"
+    period_ms: float = 8_000.0
+    #: Fraction of the regular (non-spare) fleet reclaimed at the trough.
+    amplitude: float = 0.25
+    #: Nodes held in reserve, swapped in during reclaim windows.
+    spare_nodes: int = 0
+    #: Cordon lead time before each reclaim.
+    drain_ms: float = 500.0
+    #: Seed for the ``spot`` arrival process.
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class GangMix:
+    """Convert a seeded fraction of batch arrivals into multi-GPU gangs.
+
+    Each converted arrival becomes ``size`` member pods (one GPU each)
+    submitted at the same instant and placed all-or-nothing with
+    ``prefer`` locality (``"node"`` packs a gang onto one node when it
+    fits, falling back to one rack, then to spanning).
+    """
+
+    fraction: float = 0.3
+    sizes: tuple[int, ...] = (2, 4)
+    probs: tuple[float, ...] = (0.7, 0.3)
+    prefer: str = "node"
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One complete scenario: capacity pattern + network + gang mix."""
+
+    name: str = "default"
+    capacity: CapacityPattern | None = None
+    network: NetworkModel | None = None
+    gangs: GangMix | None = None
+
+    def is_default(self) -> bool:
+        """True when every axis is the hard-coded pre-scenario behavior."""
+        return self.capacity is None and self.network is None and self.gangs is None
+
+
+#: The named scenario registry — what ``--scenario`` and
+#: :class:`~repro.sweep.tasks.ScenarioTask` resolve through.
+SCENARIOS: dict[str, Scenario] = {
+    "default": Scenario(),
+    "diurnal": Scenario(name="diurnal", capacity=CapacityPattern(kind="diurnal")),
+    "spot": Scenario(name="spot", capacity=CapacityPattern(kind="spot")),
+    "gang": Scenario(name="gang", gangs=GangMix()),
+    "diurnal-gang": Scenario(
+        name="diurnal-gang",
+        capacity=CapacityPattern(kind="diurnal", spare_nodes=1),
+        network=NetworkModel(),
+        gangs=GangMix(),
+    ),
+}
+
+
+def make_scenario(name: str) -> Scenario:
+    """Resolve a registry name; raises ``KeyError`` with the catalog."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {sorted(SCENARIOS)}"
+        ) from None

@@ -775,16 +775,41 @@ def run_dl_comparison(
     policies: Iterable[str] = ("res-ag", "gandiva", "tiresias", "cbp-pp"),
     config=None,
     obs: Observability | None = None,
+    scenario=None,
 ) -> dict[str, DLSimResult]:
-    """Run the same workload under each policy (paired comparison)."""
+    """Run the same workload under each policy (paired comparison).
+
+    When ``scenario`` (a :class:`repro.scenario.spec.Scenario`) carries
+    a network model, its per-link costs parameterize the DL simulator:
+    the cross-node sync tax on gang progress comes from the fabric's
+    locality penalty, and Gandiva's migration pause from checkpointing
+    an average-sized gang over the uplink.  Without a scenario the
+    defaults are untouched, so existing runs stay bit-identical.
+    """
     import copy
 
     from repro.workloads.dlt import generate_dl_workload
+
+    locality_penalty = 0.0
+    policy_kwargs: dict[str, dict] = {}
+    if scenario is not None and scenario.network is not None:
+        from repro.scenario.network import NetworkFabric
+
+        fabric = NetworkFabric(scenario.network, [])
+        locality_penalty = fabric.locality_penalty()
+        policy_kwargs["gandiva"] = {
+            "migration_pause_s": fabric.migration_pause_s(2)
+        }
 
     base_jobs = generate_dl_workload(config, seed=jobs_seed)
     results = {}
     for name in policies:
         jobs = copy.deepcopy(base_jobs)
-        sim = DLClusterSimulator(jobs, make_dl_policy(name), obs=obs)
+        sim = DLClusterSimulator(
+            jobs,
+            make_dl_policy(name, **policy_kwargs.get(name, {})),
+            locality_penalty=locality_penalty,
+            obs=obs,
+        )
         results[name] = sim.run()
     return results

@@ -20,6 +20,9 @@ holds the scaffolding they share:
   first-class events; each applied fault schedules a **cancellable**
   repair event, replacing the old per-tick list-scan-and-``remove``
   repair bookkeeping.
+* :class:`CapacityPlan` — the fault plan generalized to node-granular
+  capacity transitions (drain/reclaim/restore) driven by a scenario's
+  pre-computed event schedule.
 * :func:`run_until_idle` — drive a loop until it drains or a handler
   calls :meth:`~repro.sim.engine.EventLoop.stop`.
 
@@ -51,6 +54,7 @@ __all__ = [
     "PhaseGate",
     "GridOneShot",
     "FaultPlan",
+    "CapacityPlan",
     "run_until_idle",
     "run_paced",
 ]
@@ -70,6 +74,12 @@ class _FaultLike(Protocol):
     at_ms: float
     gpu_id: str
     duration_ms: float
+
+
+class _CapacityEventLike(Protocol):
+    at_ms: float
+    node_id: str
+    kind: str  # "drain" | "reclaim" | "restore"
 
 
 class TickHarness:
@@ -357,6 +367,76 @@ class FaultPlan:
 
     def repair_pending(self, gpu_id: str) -> bool:
         return gpu_id in self._repairs and self._repairs[gpu_id].pending
+
+
+class CapacityPlan:
+    """A scheduled capacity plan (the :class:`FaultPlan` generalized to
+    node-granular transitions).
+
+    Each event is a pre-computed ``(at_ms, node_id, kind)`` triple —
+    see :func:`repro.scenario.capacity.build_capacity_events` — turned
+    into a :class:`GridOneShot`.  Kinds:
+
+    ``drain``
+        Cordon the node ahead of a reclaim (residents keep running,
+        no new placements) — the drain-before-reclaim grace window.
+    ``reclaim``
+        Take the node away: evict its pods back to the pending queue,
+        fail its devices.  Fires in the fault phase slot.
+    ``restore``
+        Bring the node back into service.  Fires in the repair phase
+        slot, so a same-instant reclaim+restore nets out to a repaired
+        node, exactly like a same-instant fault+repair.
+
+    The plan only *schedules*; the transition callbacks (the
+    orchestrator's ``cordon_node``/``reclaim_node``/``restore_node``)
+    own the semantics, keeping this module free of any scenario import.
+    """
+
+    __slots__ = ("harness", "_drain_fn", "_reclaim_fn", "_restore_fn", "_events")
+
+    _PHASES = {"drain": PHASE_FAULT, "reclaim": PHASE_FAULT, "restore": PHASE_REPAIR}
+
+    def __init__(
+        self,
+        harness: TickHarness,
+        events: Iterable[_CapacityEventLike],
+        drain_fn: Callable[[str], object],
+        reclaim_fn: Callable[[str], object],
+        restore_fn: Callable[[str], object],
+    ) -> None:
+        self.harness = harness
+        self._drain_fn = drain_fn
+        self._reclaim_fn = reclaim_fn
+        self._restore_fn = restore_fn
+        self._events: list[GridOneShot] = []
+        for event in sorted(events, key=lambda e: (e.at_ms, self._PHASES[e.kind], e.node_id)):
+            self._events.append(
+                harness.at(
+                    max(event.at_ms, 0.0),
+                    self._on_event,
+                    event,
+                    priority=self._PHASES[event.kind],
+                )
+            )
+
+    def _on_event(self, event: _CapacityEventLike) -> None:
+        # Transition callbacks are idempotent-tolerant: overlapping
+        # windows may re-drain or re-restore a node; that is swallowed
+        # by the orchestrator exactly like a duplicate fault.
+        if event.kind == "drain":
+            self._drain_fn(event.node_id)
+        elif event.kind == "reclaim":
+            self._reclaim_fn(event.node_id)
+        elif event.kind == "restore":
+            self._restore_fn(event.node_id)
+        else:  # pragma: no cover - validated at construction
+            raise SimulationError(f"unknown capacity event kind {event.kind!r}")
+
+    @property
+    def pending(self) -> int:
+        """Capacity events still scheduled to fire."""
+        return sum(1 for event in self._events if event.pending)
 
 
 def run_until_idle(loop: EventLoop, max_events: int | None = None) -> int:

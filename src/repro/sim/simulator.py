@@ -23,6 +23,7 @@ ticks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -36,6 +37,7 @@ from repro.kube.pod import Pod
 from repro.obs.context import NOOP, Observability
 from repro.sim.engine import EventLoop
 from repro.sim.harness import (
+    CapacityPlan,
     FaultPlan,
     PhaseGate,
     TickHarness,
@@ -44,6 +46,9 @@ from repro.sim.harness import (
 from repro.units import ms_to_s
 from repro.workloads.appmix import WorkloadItem
 from repro.workloads.base import QoSClass
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenario.spec import Scenario
 
 __all__ = ["DeviceFault", "SimConfig", "SimResult", "KubeKnotsSimulator", "run_appmix"]
 
@@ -81,6 +86,12 @@ class SimConfig:
     gpus_per_node: int | None = None
     knots: KnotsConfig = field(default_factory=KnotsConfig)
     kubelet: KubeletConfig = field(default_factory=KubeletConfig)
+    #: Scenario axes (capacity plan, network model, gang mix) threaded
+    #: through the whole stack — see :mod:`repro.scenario`.  ``None``
+    #: and the default scenario (all axes off) leave every code path
+    #: inert: same-seed runs stay bit-identical to a pre-scenario
+    #: build.
+    scenario: "Scenario | None" = None
 
 
 @dataclass
@@ -150,6 +161,22 @@ class KubeKnotsSimulator:
     ) -> None:
         self.config = config or SimConfig()
         self.obs = obs or NOOP
+        scenario = self.config.scenario
+        self._network = None
+        self._capacity: CapacityPlan | None = None
+        if scenario is not None and scenario.network is not None:
+            from repro.scenario.network import NetworkFabric
+
+            self._network = NetworkFabric(
+                scenario.network, [node.node_id for node in cluster]
+            )
+        if scenario is not None and scenario.gangs is not None:
+            from repro.scenario.gangs import GangScheduler
+
+            rack_size = scenario.network.rack_size if scenario.network else 8
+            scheduler = GangScheduler(
+                scheduler, rack_size=rack_size, prefer=scenario.gangs.prefer
+            )
         self.orchestrator = KubeKnots(
             cluster,
             scheduler,
@@ -159,7 +186,12 @@ class KubeKnotsSimulator:
         )
         self.cluster = cluster
         self.workload = sorted(workload, key=lambda item: item[0])
-        if self.config.prewarm_images:
+        if self._network is not None:
+            # With a network model, image pulls are charged per-link
+            # transfer costs instead of the flat prewarm shortcut.
+            for kubelet in self.orchestrator.kubelets.values():
+                kubelet.network = self._network
+        elif self.config.prewarm_images:
             images = {spec.image for _, spec in self.workload}
             for kubelet in self.orchestrator.kubelets.values():
                 kubelet.prewarm(images)
@@ -225,6 +257,23 @@ class KubeKnotsSimulator:
         self._hb = PhaseGate(cfg.knots.heartbeat_ms, start_due=loop.now)
         self._sched = PhaseGate(cfg.schedule_interval_ms, start_due=loop.now)
         self._faults = FaultPlan(harness, cfg.faults, self._fail_gpu, self._repair_gpu)
+        scenario = cfg.scenario
+        if scenario is not None and scenario.capacity is not None:
+            from repro.scenario.capacity import build_capacity_events
+
+            orch = self.orchestrator
+            events = build_capacity_events(
+                scenario.capacity,
+                [node.node_id for node in self.cluster],
+                self._horizon,
+            )
+            self._capacity = CapacityPlan(
+                harness,
+                events,
+                orch.cordon_node,
+                lambda node_id: orch.reclaim_node(node_id, loop.now),
+                orch.restore_node,
+            )
 
         self.events_fired = run_until_idle(loop)
         t_end = self._makespan
@@ -364,6 +413,8 @@ class KubeKnotsSimulator:
             return                      # next arrival lands on the very next tick
         if self._faults.pending:
             return
+        if self._capacity is not None and self._capacity.pending:
+            return                      # a capacity transition would wake the span
         if self._vec_telemetry:
             state = self.state
             if not bool(np.all(state.asleep | state.failed)):
@@ -532,4 +583,8 @@ def run_appmix(
         gpus_per_node = cfg.gpus_per_node
     cluster = make_paper_cluster(num_nodes=num_nodes, gpus_per_node=gpus_per_node)
     workload = generate_appmix_workload(mix_name, duration_s=duration_s, seed=seed, load_factor=load_factor)
+    if cfg.scenario is not None and cfg.scenario.gangs is not None:
+        from repro.scenario.gangs import apply_gang_mix
+
+        workload = apply_gang_mix(workload, cfg.scenario.gangs)
     return KubeKnotsSimulator(cluster, scheduler, workload, cfg, obs=obs).run()

@@ -7,8 +7,9 @@ and (policy x workload) DL runs.  This package turns that grid into
 ``repr`` doubles as the cache identity.
 
 * :mod:`repro.sweep.tasks` — the task vocabulary (:class:`MixTask`,
-  :class:`DLTask`, :class:`HeteroTask`) and :func:`execute_task`, the
-  module-level entry point a worker process runs.
+  :class:`DLTask`, :class:`HeteroTask`, :class:`ScenarioTask`) and
+  :func:`execute_task`, the module-level entry point a worker process
+  runs.
 * :mod:`repro.sweep.store` — :class:`ResultStore`, a content-addressed
   pickle store under ``.repro-cache/`` keyed by
   ``sha256(schema tag | repro version | task repr)``; hits are shared
@@ -25,12 +26,13 @@ pool and a warm cache — see ``tests/test_sweep.py``.
 
 from repro.sweep.fabric import SweepError, clear, configure, last_stats, run_tasks
 from repro.sweep.store import SCHEMA_TAG, ResultStore, task_key
-from repro.sweep.tasks import DLTask, HeteroTask, MixTask, execute_task
+from repro.sweep.tasks import DLTask, HeteroTask, MixTask, ScenarioTask, execute_task
 
 __all__ = [
     "MixTask",
     "DLTask",
     "HeteroTask",
+    "ScenarioTask",
     "execute_task",
     "ResultStore",
     "task_key",

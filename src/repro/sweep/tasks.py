@@ -28,7 +28,7 @@ if TYPE_CHECKING:  # imported lazily at runtime to keep workers light
     from repro.sim.simulator import SimResult
     from repro.workloads.dlt import DLWorkloadConfig
 
-__all__ = ["MixTask", "DLTask", "HeteroTask", "execute_task"]
+__all__ = ["MixTask", "DLTask", "HeteroTask", "ScenarioTask", "execute_task"]
 
 
 @dataclass(frozen=True)
@@ -97,6 +97,42 @@ class DLTask:
         jobs = generate_dl_workload(self.config, seed=self.jobs_seed)
         policy = make_dl_policy(self.policy, **dict(self.policy_kwargs))
         return DLClusterSimulator(jobs, policy).run()
+
+
+@dataclass(frozen=True)
+class ScenarioTask:
+    """One (scenario, app-mix, scheduler) cluster simulation.
+
+    The scenario is referenced by *registry name*
+    (:data:`repro.scenario.spec.SCENARIOS`) rather than by value: the
+    name is the content of the catalog entry, so the task repr — and
+    with it the cache key — stays short, canonical and stable.
+    """
+
+    scenario: str
+    mix: str
+    scheduler: str
+    settings: "ExperimentSettings"
+
+    def execute(self) -> "SimResult":
+        from repro.core.schedulers import make_scheduler
+        from repro.scenario.spec import make_scenario
+        from repro.sim.simulator import SimConfig, run_appmix
+
+        s = self.settings
+        config = SimConfig(
+            fast_forward=s.fast_forward, scenario=make_scenario(self.scenario)
+        )
+        return run_appmix(
+            self.mix,
+            make_scheduler(self.scheduler),
+            duration_s=s.duration_s,
+            seed=s.seed,
+            num_nodes=s.num_nodes,
+            gpus_per_node=s.gpus_per_node,
+            config=config,
+            load_factor=s.load_factor,
+        )
 
 
 @dataclass(frozen=True)

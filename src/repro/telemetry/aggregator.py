@@ -65,6 +65,7 @@ class GpuView:
     num_containers: int
     asleep: bool
     failed: bool = False
+    cordoned: bool = False    # drained: residents run, no new placements
 
     @property
     def free_physical_mb(self) -> float:
@@ -148,6 +149,7 @@ class UtilizationAggregator:
                         num_containers=len(gpu.containers),
                         asleep=gpu.asleep,
                         failed=gpu.failed,
+                        cordoned=gpu.cordoned,
                     )
                 )
         if self._san is not None:
@@ -157,8 +159,12 @@ class UtilizationAggregator:
 
     def active_views(self) -> list[GpuView]:
         """Awake, healthy devices only (Algorithm 1 skips deep-sleep
-        GPUs; failed devices are invisible until repaired)."""
-        return [v for v in self.snapshot() if not v.asleep and not v.failed]
+        GPUs; failed devices are invisible until repaired, cordoned
+        devices take no new placements)."""
+        return [
+            v for v in self.snapshot()
+            if not v.asleep and not v.failed and not v.cordoned
+        ]
 
     def sorted_by_free_memory(self, active_only: bool = True) -> list[GpuView]:
         """Devices sorted by free (unreserved) memory, descending.
@@ -170,7 +176,7 @@ class UtilizationAggregator:
         if active_only:
             views = self.active_views()
         else:
-            views = [v for v in self.snapshot() if not v.failed]
+            views = [v for v in self.snapshot() if not v.failed and not v.cordoned]
         return sorted(views, key=lambda v: (-v.free_alloc_mb, v.gpu_id))
 
     def cluster_utilization(self, window: float, now: float, metric: str = "sm_util") -> np.ndarray:

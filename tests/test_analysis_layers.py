@@ -48,6 +48,30 @@ class TestRepoSatisfiesContract:
             assert FORBIDDEN_LAYER_IMPORTS[layer] >= {"serve", "sweep", "cli"}
         assert "serve" in FORBIDDEN_LAYER_IMPORTS["experiments"]
 
+    def test_contract_covers_the_scenario_package(self):
+        # scenario sits beside sim: it may never import the simulation
+        # drivers (or any driver), and the substrate below it may never
+        # import scenario — only sim threads a scenario through.
+        assert FORBIDDEN_LAYER_IMPORTS["scenario"] >= {"serve", "sweep", "cli", "sim"}
+        for layer in ("core", "cluster", "forecast", "kube", "workloads"):
+            assert "scenario" in FORBIDDEN_LAYER_IMPORTS[layer]
+
+    def test_scenario_importing_sim_is_a_layer_violation(self, tmp_path):
+        pkg = write_pkg(tmp_path, {
+            "scenario/capacity.py": "from repro.sim.harness import FaultPlan\n",
+            "sim/harness.py": "class FaultPlan: ...\n",
+        })
+        report = check_layers(pkg)
+        assert [v["dst_layer"] for v in report.layer_violations] == ["sim"]
+
+    def test_kube_importing_scenario_is_a_layer_violation(self, tmp_path):
+        pkg = write_pkg(tmp_path, {
+            "kube/pod.py": "from repro.scenario.spec import GangMix\n",
+            "scenario/spec.py": "class GangMix: ...\n",
+        })
+        report = check_layers(pkg)
+        assert [v["dst_layer"] for v in report.layer_violations] == ["scenario"]
+
 
 class TestLayerOf:
     def test_layers(self):

@@ -1,0 +1,170 @@
+"""Tests for :class:`repro.sim.harness.CapacityPlan` edge cases.
+
+The generalization of ``FaultPlan`` to whole-node capacity transitions:
+same-instant reclaim+restore phase ordering, reclaiming a node hosting
+an unfinished gang member, and the interaction between pending capacity
+events and the event loop's idle fast-forward.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schedulers import make_scheduler
+from repro.scenario import make_scenario
+from repro.scenario.capacity import CapacityEvent
+from repro.sim.engine import EventLoop
+from repro.sim.harness import (
+    PHASE_FAULT,
+    PHASE_REPAIR,
+    CapacityPlan,
+    TickHarness,
+    run_until_idle,
+)
+from repro.sim.simulator import SimConfig, run_appmix
+
+
+def make_harness(tick_ms: float = 10.0, horizon: float = 200.0):
+    loop = EventLoop()
+    harness = TickHarness(loop, tick_ms, lambda now: None)
+    harness.every_tick(lambda now: loop.stop() if now >= horizon else None, priority=99)
+    return loop, harness
+
+
+class TestCapacityPlan:
+    def test_events_fire_in_phase_order(self):
+        loop, harness = make_harness()
+        log = []
+        CapacityPlan(
+            harness,
+            [
+                CapacityEvent(30.0, "node1", "restore"),
+                CapacityEvent(10.0, "node1", "drain"),
+                CapacityEvent(20.0, "node1", "reclaim"),
+            ],
+            drain_fn=lambda n: log.append(("drain", n, loop.now)),
+            reclaim_fn=lambda n: log.append(("reclaim", n, loop.now)),
+            restore_fn=lambda n: log.append(("restore", n, loop.now)),
+        )
+        run_until_idle(loop)
+        assert log == [
+            ("drain", "node1", 10.0),
+            ("reclaim", "node1", 20.0),
+            ("restore", "node1", 30.0),
+        ]
+
+    def test_same_instant_reclaim_and_restore_nets_to_restored(self):
+        """Reclaim and restore at the same instant behave like the
+        same-tick fault+repair pair: the reclaim (PHASE_FAULT) fires
+        first, the restore (PHASE_REPAIR) second — the node ends live."""
+        loop, harness = make_harness()
+        log = []
+        CapacityPlan(
+            harness,
+            [
+                CapacityEvent(20.0, "node1", "restore"),
+                CapacityEvent(20.0, "node1", "reclaim"),
+            ],
+            drain_fn=lambda n: log.append("drain"),
+            reclaim_fn=lambda n: log.append("reclaim"),
+            restore_fn=lambda n: log.append("restore"),
+        )
+        run_until_idle(loop)
+        assert log == ["reclaim", "restore"]
+        assert PHASE_FAULT < PHASE_REPAIR
+
+    def test_events_quantize_to_the_tick_grid(self):
+        loop, harness = make_harness(tick_ms=10.0)
+        times = []
+        CapacityPlan(
+            harness,
+            [CapacityEvent(13.0, "node1", "drain")],
+            drain_fn=lambda n: times.append(loop.now),
+            reclaim_fn=lambda n: None,
+            restore_fn=lambda n: None,
+        )
+        run_until_idle(loop)
+        assert times == [20.0]
+
+    def test_pending_counts_unfired_events(self):
+        loop, harness = make_harness(horizon=50.0)
+        plan = CapacityPlan(
+            harness,
+            [
+                CapacityEvent(10.0, "node1", "drain"),
+                CapacityEvent(1_000.0, "node1", "restore"),
+            ],
+            drain_fn=lambda n: None,
+            reclaim_fn=lambda n: None,
+            restore_fn=lambda n: None,
+        )
+        assert plan.pending == 2
+        counts = []
+        loop.schedule_at(25.0, lambda: counts.append(plan.pending), priority=9)
+        run_until_idle(loop)
+        assert counts == [1]   # drain fired, far-future restore outstanding
+
+    def test_unknown_kind_is_rejected_at_construction(self):
+        loop, harness = make_harness()
+        with pytest.raises(KeyError):
+            CapacityPlan(
+                harness,
+                [CapacityEvent(10.0, "node1", "explode")],
+                drain_fn=lambda n: None,
+                reclaim_fn=lambda n: None,
+                restore_fn=lambda n: None,
+            )
+
+    def test_negative_times_clamp_to_zero(self):
+        loop, harness = make_harness()
+        times = []
+        CapacityPlan(
+            harness,
+            [CapacityEvent(-5.0, "node1", "drain")],
+            drain_fn=lambda n: times.append(loop.now),
+            reclaim_fn=lambda n: None,
+            restore_fn=lambda n: None,
+        )
+        run_until_idle(loop)
+        assert times == [0.0]
+
+
+class TestGangReclaimEndToEnd:
+    def test_reclaimed_gang_member_requeues_and_finishes(self):
+        """A diurnal dip that reclaims a node hosting gang members must
+        co-evict the whole gang, requeue it, and still let every member
+        finish once capacity returns."""
+        result = run_appmix(
+            "app-mix-1", make_scheduler("cbp"),
+            duration_s=6.0, seed=9, num_nodes=8, gpus_per_node=2,
+            config=SimConfig(scenario=make_scenario("diurnal-gang")),
+        )
+        ganged = [p for p in result.pods if p.spec.gang is not None]
+        assert ganged
+        restarted = [p for p in ganged if p.restart_count > 0]
+        finished_after_restart = [p for p in restarted if p.done]
+        # The capacity dips must actually disturb gangs in this mix,
+        # and a disturbed gang must be able to recover.
+        assert restarted
+        assert finished_after_restart
+
+
+class TestFastForwardAcrossCapacityEvents:
+    @pytest.mark.parametrize("scenario_name", ["diurnal", "diurnal-gang"])
+    def test_fast_forward_ab_is_bit_identical(self, scenario_name):
+        """Idle fast-forward may never skip over a pending capacity
+        event; with the guard in place, fast_forward on/off is pinned
+        bit-identical under capacity scenarios."""
+        runs = []
+        for ff in (True, False):
+            cfg = SimConfig(fast_forward=ff, scenario=make_scenario(scenario_name))
+            runs.append(run_appmix("app-mix-1", make_scheduler("cbp"),
+                                   duration_s=5.0, seed=6, num_nodes=8,
+                                   config=cfg))
+        a, b = runs
+        assert a.makespan_ms == b.makespan_ms
+        assert a.evictions == b.evictions
+        assert [(p.uid, p.phase, p.started_ms, p.finished_ms, p.restart_count)
+                for p in a.pods] == \
+               [(p.uid, p.phase, p.started_ms, p.finished_ms, p.restart_count)
+                for p in b.pods]

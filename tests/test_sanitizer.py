@@ -243,6 +243,7 @@ class TestReporting:
             "memory_conservation", "sm_shares", "schedule_in_past",
             "time_monotonicity", "heap_consistency", "telemetry_staleness",
             "pool_accounting", "fast_forward_quiescence",
+            "capacity_conservation",
         }
 
 

@@ -1,0 +1,153 @@
+"""Bit-identity and integration guarantees for the scenario engine.
+
+The cornerstone contract of the refactor: a run with ``scenario=None``
+and a run with the catalog's "default" scenario (all axes ``None``)
+produce byte-for-byte identical output — the scenario machinery must be
+perfectly inert until an axis is switched on.  Also covers the sanitized
+non-default smoke and the sweep-cache round trip for ScenarioTask.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.schedulers import make_scheduler
+from repro.experiments.runner import ExperimentSettings
+from repro.obs.context import Observability
+from repro.scenario import make_scenario
+from repro.sim.dlsim import run_dl_comparison
+from repro.sim.simulator import SimConfig, run_appmix
+from repro.sweep import ResultStore, ScenarioTask, last_stats, run_tasks
+
+
+def _fingerprint(result):
+    return (
+        result.scheduler,
+        result.makespan_ms,
+        result.oom_kills,
+        result.evictions,
+        result.resizes,
+        sorted(result.energy_j_per_gpu.items()),
+        [(p.uid, p.phase, p.submitted_ms, p.started_ms, p.finished_ms,
+          p.gpu_id, p.restart_count) for p in result.pods],
+        {k: v.tobytes() for k, v in result.gpu_util_series.items()},
+        {k: v.tobytes() for k, v in result.gpu_mem_series.items()},
+        result.sample_times_ms.tobytes(),
+    )
+
+
+class TestDefaultScenarioBitIdentity:
+    def test_run_appmix_default_scenario_matches_no_scenario(self):
+        base = run_appmix("app-mix-1", make_scheduler("cbp"),
+                          duration_s=3.0, seed=11, num_nodes=4)
+        scen = run_appmix("app-mix-1", make_scheduler("cbp"),
+                          duration_s=3.0, seed=11, num_nodes=4,
+                          config=SimConfig(scenario=make_scenario("default")))
+        assert _fingerprint(base) == _fingerprint(scen)
+
+    def test_run_dl_comparison_default_scenario_matches_no_scenario(self):
+        base = run_dl_comparison(jobs_seed=5, policies=("gandiva", "tiresias"))
+        scen = run_dl_comparison(jobs_seed=5, policies=("gandiva", "tiresias"),
+                                 scenario=make_scenario("default"))
+        for name in base:
+            for a, b in zip(base[name].jobs, scen[name].jobs, strict=True):
+                assert (a.start_s, a.finish_s, a.preemptions, a.migrations) == \
+                    (b.start_s, b.finish_s, b.preemptions, b.migrations)
+
+    def test_runs_are_reproducible_across_calls(self):
+        # Guard rail for the fingerprint itself: same seed twice is stable.
+        a = run_appmix("app-mix-1", make_scheduler("cbp"), duration_s=2.0,
+                       seed=3, num_nodes=4)
+        b = run_appmix("app-mix-1", make_scheduler("cbp"), duration_s=2.0,
+                       seed=3, num_nodes=4)
+        assert _fingerprint(a) == _fingerprint(b)
+
+
+class TestNonDefaultScenarios:
+    def test_diurnal_scenario_runs_sanitized(self):
+        obs = Observability(trace=False, metrics=False, audit=True, sanitize=True)
+        result = run_appmix("app-mix-1", make_scheduler("cbp"),
+                            duration_s=4.0, seed=2, num_nodes=8,
+                            config=SimConfig(scenario=make_scenario("diurnal")),
+                            obs=obs)
+        assert obs.sanitizer.violations == []
+        assert obs.sanitizer.checks > 0
+        assert result.completed()
+
+    def test_gang_scenario_places_whole_gangs(self):
+        result = run_appmix("app-mix-1", make_scheduler("cbp"),
+                            duration_s=4.0, seed=2, num_nodes=8,
+                            gpus_per_node=2,
+                            config=SimConfig(scenario=make_scenario("gang")))
+        gangs: dict[str, list] = {}
+        for pod in result.pods:
+            if pod.spec.gang is not None:
+                gangs.setdefault(pod.spec.gang.gang_id, []).append(pod)
+        assert gangs, "gang mix produced no gangs"
+        for members in gangs.values():
+            started = [p for p in members if p.started_ms is not None]
+            # All-or-nothing: a gang either fully starts or fully waits.
+            assert len(started) in (0, len(members))
+
+    def test_network_scenario_charges_pull_latency(self):
+        fast = run_appmix("app-mix-1", make_scheduler("cbp"),
+                          duration_s=3.0, seed=4, num_nodes=4)
+        slow = run_appmix("app-mix-1", make_scheduler("cbp"),
+                          duration_s=3.0, seed=4, num_nodes=4,
+                          config=SimConfig(scenario=make_scenario("diurnal-gang")))
+        # Pulls over the modeled fabric are events, not free prewarms;
+        # the run still completes work.
+        assert slow.completed()
+        assert fast.completed()
+
+    def test_scenario_changes_the_outcome(self):
+        base = run_appmix("app-mix-1", make_scheduler("cbp"),
+                          duration_s=4.0, seed=2, num_nodes=8)
+        diurnal = run_appmix("app-mix-1", make_scheduler("cbp"),
+                             duration_s=4.0, seed=2, num_nodes=8,
+                             config=SimConfig(scenario=make_scenario("diurnal")))
+        assert _fingerprint(base) != _fingerprint(diurnal)
+
+
+class TestScenarioTaskSweep:
+    SMALL = ExperimentSettings(duration_s=2.0, num_nodes=4, seed=7)
+
+    def test_repr_is_a_stable_cache_key(self):
+        a = ScenarioTask("diurnal", "app-mix-1", "cbp", self.SMALL)
+        b = ScenarioTask("diurnal", "app-mix-1", "cbp", self.SMALL)
+        assert repr(a) == repr(b)
+        assert a == b
+
+    def test_execute_produces_a_result(self):
+        result = ScenarioTask("default", "app-mix-1", "cbp", self.SMALL).execute()
+        assert result.scheduler == "cbp"
+        assert result.pods
+
+    def test_cache_round_trip_warm_hit(self, tmp_path):
+        store = ResultStore(tmp_path)
+        tasks = [ScenarioTask("diurnal", "app-mix-1", "cbp", self.SMALL)]
+        cold = run_tasks(tasks, jobs=1, store=store, memo=False)
+        assert last_stats()["misses"] == 1
+        warm = run_tasks(tasks, jobs=1, store=store, memo=False)
+        stats = last_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 0
+        assert _fingerprint(cold[0]) == _fingerprint(warm[0])
+
+
+class TestExperimentHelpers:
+    def test_fragmentation_metric_bounds(self):
+        from repro.experiments.scenarios import fragmentation, mean_utilization_pct
+
+        result = run_appmix("app-mix-1", make_scheduler("cbp"),
+                            duration_s=2.0, seed=1, num_nodes=4)
+        frag = fragmentation(result)
+        assert 0.0 <= frag <= 1.0
+        assert 0.0 <= mean_utilization_pct(result) <= 100.0
+
+    def test_run_scenarios_reports_per_cell(self):
+        from repro.experiments.scenarios import run_scenarios
+
+        settings = ExperimentSettings(duration_s=2.0, num_nodes=4, seed=7)
+        out = run_scenarios(("default",), ("cbp",), settings=settings)
+        assert ("default", "cbp") in out
