@@ -65,6 +65,9 @@ GATED_BENCHMARKS = {
     # and the gang-aware scheduling pass.
     "scenario_diurnal": "ms_run",
     "scenario_gang_pass": "ms_per_pass",
+    # Gated against ``BENCH_quantum.json``: the vectorized dense
+    # kubelet tick at the 1024x8 scale.
+    "quantum_tick": "ms_per_tick",
 }
 
 #: The scale the acceptance numbers are quoted at.
@@ -282,13 +285,14 @@ def run_benchmarks(quick: bool = False, only: list[str] | None = None) -> dict:
         bench_scenario_diurnal,
         bench_scenario_gang_pass,
     )
+    from repro.bench.quantum import QUANTUM_BENCHMARKS, bench_quantum_tick
     from repro.bench.serve import SERVE_BENCHMARKS, bench_serve_loop
     from repro.bench.sweep import SWEEP_BENCHMARKS, bench_sweep_parallel
 
     all_benches = ("tsdb_window_query", "correlation_matrix", "ar1_heartbeat_fit",
                    "cbp_pass", "pp_pass", "simulate_e2e") \
         + SIMLOOP_BENCHMARKS + SWEEP_BENCHMARKS + SERVE_BENCHMARKS \
-        + CLUSTERSCALE_BENCHMARKS + SCENARIO_BENCHMARKS
+        + CLUSTERSCALE_BENCHMARKS + SCENARIO_BENCHMARKS + QUANTUM_BENCHMARKS
     selected = set(only) if only else set(all_benches)
     unknown = selected - set(all_benches)
     if unknown:
@@ -331,6 +335,8 @@ def run_benchmarks(quick: bool = False, only: list[str] | None = None) -> dict:
         results["scenario_diurnal"] = bench_scenario_diurnal(quick)
     if "scenario_gang_pass" in selected:
         results["scenario_gang_pass"] = bench_scenario_gang_pass(quick)
+    if "quantum_tick" in selected:
+        results["quantum_tick"] = bench_quantum_tick(quick)
     return {
         "schema": "kube-knots/bench-hotpath/v1",
         "mode": "quick" if quick else "full",
@@ -378,6 +384,14 @@ def format_report(payload: dict) -> str:
             unit = "ms" if "before_ms" in b else "us"
             rows.append((name, f"{before:.2f} {unit}", f"{after:.2f} {unit}",
                          f"{b['speedup']:.1f}x"))
+        elif "ms_per_tick" in b:
+            detail = "  ".join(
+                f"{p['nodes']}n:{p['ms_per_tick_vec']:.2f}/{p['ms_per_tick_obj']:.2f}"
+                for p in b["sweep"]
+            )
+            rows.append((name, f"{b['ms_per_tick']:.3f} ms/tick @ {b['nodes']}n",
+                         f"vec/obj per scale: {detail}",
+                         f"{b['speedup_1024']:.1f}x"))
         elif "sweep" in b:
             detail = "  ".join(
                 f"{p['nodes']}n:{p['ms_per_pass']:.2f}" for p in b["sweep"]

@@ -253,6 +253,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         ("mean cluster power", f"{mean_power:.0f} W"),
         ("total energy", f"{result.total_energy_j() / 1_000.0:.1f} kJ"),
     ]
+    if result.fast_quantum_ticks:
+        rows.append(("fast quantum ticks", str(result.fast_quantum_ticks)))
     if obs is not None and getattr(args, "metrics", None):
         fired = obs.metrics.get("engine_events_fired_total").value()
         rows.append(("engine events fired", f"{fired:.0f}"))

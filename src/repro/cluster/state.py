@@ -32,6 +32,16 @@ that loophole harmless.
 Each mutation also bumps a per-node *epoch* counter, which is what lets
 the orchestrator skip quiescent kubelets and schedulers reuse cached
 candidate state without re-walking idle nodes.
+
+**Pod-major companion.**  The vectorized execution quantum
+(:mod:`repro.cluster.quantum`) keeps a second, pod-major set of arrays
+(progress, demand row, device row, reservation) under the same
+write-through discipline: the kubelet's dicts stay the source of truth
+and every admit/start/release/resize pushes into the engine, so the
+per-tick advance can run as a handful of ndarray ops.  The static
+per-device columns it needs beyond the scheduling mirror — idle/TDP
+wattage, PCIe link rate, the interference coefficient — live here so
+every array consumer shares one gather.
 """
 
 from __future__ import annotations
@@ -54,6 +64,7 @@ class ClusterState:
         "gpu_ids", "index", "id_rank",
         "node_ids", "node_index", "node_of", "node_slices",
         "mem_capacity_mb", "cap_total_bytes", "sleep_watts",
+        "idle_watts", "tdp_watts", "pcie_mbps", "interference_alpha",
         "alloc_mb", "num_containers", "asleep", "failed", "cordoned",
         "sm_util", "mem_used_mb", "mem_util", "power_w",
         "tx_mbps", "rx_mbps", "sample_containers",
@@ -90,6 +101,10 @@ class ClusterState:
             [float(int(g.mem_capacity_mb * 1024 * 1024)) for g in gpus]
         )
         self.sleep_watts = np.array([g.power_model.sleep_watts for g in gpus])
+        self.idle_watts = np.array([g.power_model.idle_watts for g in gpus])
+        self.tdp_watts = np.array([g.power_model.tdp_watts for g in gpus])
+        self.pcie_mbps = np.array([g.pcie_mbps for g in gpus])
+        self.interference_alpha = np.array([g.interference_alpha for g in gpus])
 
         self.alloc_mb = np.zeros(n)
         self.num_containers = np.zeros(n, dtype=np.int64)

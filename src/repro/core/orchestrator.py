@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.quantum import QuantumEngine
 from repro.core.knots import Knots, KnotsConfig
 from repro.core.schedulers.base import (
     Action,
@@ -72,6 +73,25 @@ class KubeKnots:
         self._node_starts = np.array(
             [start for start, _ in cluster.state.node_slices], dtype=np.intp
         )
+        #: Vectorized execution quantum: advances all hosting nodes'
+        #: pods in one array pass per tick, dropping rare events (OOM,
+        #: completion, failure) back through ``Kubelet.step_device``.
+        #: Engages under the same conditions as the PR 8 scheduling
+        #: fast pass — observability fully off and a scheduler whose
+        #: telemetry reads go through the SoA mirror — so a sanitized
+        #: or ``vectorized=False`` run pins the object path everywhere.
+        self.quantum: QuantumEngine | None = None
+        if (
+            self.obs.sanitizer is None
+            and not self.obs.enabled
+            and getattr(scheduler, "quantum_ok", None) is not None
+            and scheduler.quantum_ok()
+        ):
+            self.quantum = QuantumEngine(
+                cluster, self._kubelet_list, self._quiet_until, self._epoch_seen
+            )
+            for kubelet in self._kubelet_list:
+                kubelet.engine = self.quantum
         metrics = self.obs.metrics
         self._m_passes = metrics.counter(
             "scheduler_passes_total", "Scheduling passes executed"
@@ -195,30 +215,32 @@ class KubeKnots:
         """
         state = self.cluster.state
         if self.obs.sanitizer is not None:
-            before = {p.uid for p in self.api.pods() if p.done}
             victims: list = []
             for kubelet in self.kubelets.values():
                 victims.extend(kubelet.step(now, dt_ms))
             if victims:
                 self._co_evict_gangs(victims, now)
-            self._record_completions(before)
+            self._record_completions()
             self._prev_tick_now = now
             return
         due = (state.node_epoch != self._epoch_seen) | (self._quiet_until <= now)
         if due.any():
-            before = {p.uid for p in self.api.pods() if p.done}
-            epochs = state.node_epoch
             prev = self._prev_tick_now
-            kubelets = self._kubelet_list
-            victims = []
-            for i in np.nonzero(due)[0]:
-                kubelet = kubelets[i]
-                victims.extend(kubelet.step(now, dt_ms, prev))
-                self._quiet_until[i] = kubelet.quiet_horizon(now, dt_ms)
-                self._epoch_seen[i] = epochs[i]
+            due_idx = np.nonzero(due)[0]
+            if self.quantum is not None:
+                victims = self.quantum.step_due(now, dt_ms, prev, due_idx)
+            else:
+                epochs = state.node_epoch
+                kubelets = self._kubelet_list
+                victims = []
+                for i in due_idx:
+                    kubelet = kubelets[i]
+                    victims.extend(kubelet.step(now, dt_ms, prev))
+                    self._quiet_until[i] = kubelet.quiet_horizon(now, dt_ms)
+                    self._epoch_seen[i] = epochs[i]
             if victims:
                 self._co_evict_gangs(victims, now)
-            self._record_completions(before)
+            self._record_completions()
         self._prev_tick_now = now
 
     def _co_evict_gangs(self, victims: list, now: float) -> None:
@@ -243,10 +265,13 @@ class KubeKnots:
                     if self.obs.enabled:
                         self._m_gang_coevictions.inc()
 
-    def _record_completions(self, before: set[str]) -> None:
-        for pod in self.api.pods():
-            if pod.done and pod.uid not in before:
-                self.knots.profiles.record_trace(pod.spec.image, pod.spec.trace)
+    def _record_completions(self) -> None:
+        # Event-driven: the API server hands over this tick's
+        # completions in submission order (the order the old full-scan
+        # diff visited them — the profile store's running means are
+        # order-sensitive in floats).
+        for pod in self.api.drain_succeeded():
+            self.knots.profiles.record_trace(pod.spec.image, pod.spec.trace)
 
     def heartbeat(self, now: float) -> None:
         self.knots.heartbeat(now)

@@ -162,6 +162,21 @@ class Scheduler(ABC):
     def schedule(self, ctx: SchedulingContext) -> list[Action]:
         """Produce placement/resize/power actions for this pass."""
 
+    def quantum_ok(self) -> bool:
+        """Whether the vectorized execution quantum may run under this
+        policy (:mod:`repro.cluster.quantum`).
+
+        The fast quantum keeps the SoA sample mirror exact but lets the
+        per-object ``gpu.last_sample`` go stale between rare events, so
+        it is only safe under policies that read telemetry through
+        ``ClusterState`` (the PR 8 fast pass), never through the
+        aggregator's object snapshot.  Defaults to ``False``; CBP/PP
+        opt in with the same exact-type + ``vectorized`` gate as the
+        scheduling fast pass, and wrappers delegate to their inner
+        policy.
+        """
+        return False
+
     # -- observability hook --------------------------------------------------
 
     def bind_observability(self, obs: Observability) -> None:

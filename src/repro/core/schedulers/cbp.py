@@ -136,6 +136,15 @@ class CBPScheduler(Scheduler):
             and getattr(ctx.knots, "state", None) is not None
         )
 
+    def quantum_ok(self) -> bool:
+        """The vectorized execution quantum is safe under stock CBP:
+        with observability off it always takes the array-native pass,
+        which reads telemetry through ``ClusterState`` (kept exact by
+        the quantum), never through the per-object aggregator snapshot.
+        Subclasses that override candidate ordering fall back to the
+        dict pass, so the same exact-type gate applies."""
+        return type(self) is CBPScheduler and self.vectorized
+
     def schedule(self, ctx: SchedulingContext) -> list[Action]:
         actions: list[Action] = []
         self._begin_pass()

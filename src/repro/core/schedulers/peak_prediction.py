@@ -91,6 +91,12 @@ class PeakPredictionScheduler(CBPScheduler):
 
     # -- pass ---------------------------------------------------------------
 
+    def quantum_ok(self) -> bool:
+        """Same contract as CBP's: stock PP with observability off runs
+        the array-native pass over ``ClusterState``, which the
+        vectorized quantum keeps exact."""
+        return type(self) is PeakPredictionScheduler and self.vectorized
+
     def schedule(self, ctx: SchedulingContext) -> list[Action]:
         actions: list[Action] = []
         self._begin_pass()

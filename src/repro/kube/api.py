@@ -48,6 +48,12 @@ class APIServer:
         # per-tick ``all_done`` termination check is O(1) instead of a
         # scan over every pod ever submitted.
         self._n_unfinished = 0
+        # Completions since the last ``drain_succeeded`` call, plus each
+        # pod's submission rank — the orchestrator's per-tick profile
+        # recording used to diff two full scans of every pod ever
+        # submitted, which dominates dense ticks at cluster scale.
+        self._succ_fresh: list[Pod] = []
+        self._order: dict[str, int] = {}
         # Gang membership: gang_id -> member uids, in submission order.
         self._gangs: dict[str, list[str]] = {}
 
@@ -58,6 +64,7 @@ class APIServer:
         pod = Pod(spec=spec)
         pod.mark_submitted(now)
         self._pods[pod.uid] = pod
+        self._order[pod.uid] = len(self._order)
         self._n_unfinished += 1
         if spec.gang is not None:
             self._gangs.setdefault(spec.gang.gang_id, []).append(pod.uid)
@@ -98,6 +105,21 @@ class APIServer:
     def all_done(self) -> bool:
         return self._n_unfinished == 0
 
+    def drain_succeeded(self) -> list[Pod]:
+        """Pods that reached SUCCEEDED since the last drain.
+
+        Returned in submission order — the same order a scan over
+        :meth:`pods` would visit them — so order-sensitive consumers
+        (the profile store's running means) see identical sequences.
+        """
+        fresh = self._succ_fresh
+        if not fresh:
+            return fresh
+        self._succ_fresh = []
+        order = self._order
+        fresh.sort(key=lambda p: order[p.uid])
+        return fresh
+
     # -- binding (scheduler -> node) -----------------------------------------
 
     def bind(self, pod: Pod, node_id: str, gpu_id: str, alloc_mb: float, now: float) -> None:
@@ -120,6 +142,7 @@ class APIServer:
     def notify_succeeded(self, pod: Pod, now: float) -> None:
         if pod.phase is not PodPhase.SUCCEEDED:
             self._n_unfinished -= 1
+            self._succ_fresh.append(pod)
         pod.mark_succeeded(now)
         self._log(now, EventType.SUCCEEDED, pod.uid)
 

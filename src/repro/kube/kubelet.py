@@ -61,6 +61,12 @@ class Kubelet:
         #: cold image pulls are charged per-link transfer costs instead
         #: of the constant ``image_pull_ms``.
         self.network = None
+        #: Optional vectorized execution quantum
+        #: (:class:`repro.cluster.quantum.QuantumEngine`).  When set,
+        #: admit/start/release/resize write through so the engine's
+        #: pod-major arrays mirror the dicts below — the dicts stay the
+        #: source of truth either way.
+        self.engine = None
         self._image_cache: set[str] = set()
         self._pods: dict[str, Pod] = {}
         self._start_deadline: dict[str, float] = {}
@@ -97,7 +103,10 @@ class Kubelet:
             delay = self.config.image_pull_ms if cold else self.config.warm_start_ms
         self._image_cache.add(pod.spec.image)
         self._pods[pod.uid] = pod
-        self._start_deadline[pod.uid] = now + delay
+        deadline = now + delay
+        self._start_deadline[pod.uid] = deadline
+        if self.engine is not None:
+            self.engine.on_admit(pod, deadline)
         if self.obs.enabled:
             self._m_admitted.inc()
             self._m_queue_wait.observe(max(now - pod.submitted_ms, 0.0))
@@ -118,6 +127,8 @@ class Kubelet:
         if san is not None:
             san.check_gpu(self.node.find_gpu(pod.gpu_id))
         self.api.notify_resized(pod, new_alloc_mb, now)
+        if self.engine is not None:
+            self.engine.on_resize(pod.uid, float(new_alloc_mb))
         if self.obs.enabled:
             self._m_resizes.inc()
             tracer = self.obs.tracer
@@ -148,86 +159,120 @@ class Kubelet:
         if prev_now is not None:
             for gpu_id in self._asleep_refresh:
                 self._idle_since[gpu_id] = prev_now
-        # Start pods whose pull finished.
+        if self._start_deadline:
+            self.start_due_pods(now)
+
+        victims: list[Pod] = []
+        san = self.obs.sanitizer
+        for gpu in self.node.gpus:
+            self.step_device(gpu, now, dt_ms, victims, san)
+        return victims
+
+    def start_due_pods(self, now: float) -> None:
+        """Start every pod whose image pull deadline has passed.
+
+        Also the vectorized quantum's entry point: the engine calls it
+        only for nodes its pull-deadline mask flagged, so the common
+        all-pods-running tick never scans the dict.
+        """
+        engine = self.engine
         for uid, deadline in list(self._start_deadline.items()):
             if now >= deadline:
                 pod = self._pods[uid]
                 self.api.notify_started(pod, now)
                 del self._start_deadline[uid]
+                if engine is not None:
+                    engine.on_pod_started(pod)
 
-        victims: list[Pod] = []
-        san = self.obs.sanitizer
-        for gpu in self.node.gpus:
-            if gpu.failed:
-                # The device fell off the bus: every hosted pod dies.
-                for pod in [p for p in self._pods.values() if p.gpu_id == gpu.gpu_id]:
-                    del self._pods[pod.uid]
+    def step_device(
+        self, gpu, now: float, dt_ms: float, victims: list[Pod], san=None
+    ) -> None:
+        """Advance one device by one tick (the object execution path).
+
+        The single per-device implementation: :meth:`step` calls it for
+        every device, and the vectorized quantum replays it verbatim
+        for devices hit by a rare event (OOM, completion, failure), so
+        both modes share one set of semantics.  OOM/eviction victims
+        are appended to ``victims``.
+        """
+        pods = self._pods
+        if gpu.failed:
+            # The device fell off the bus: every hosted pod dies.
+            if pods:
+                engine = self.engine
+                for pod in [p for p in pods.values() if p.gpu_id == gpu.gpu_id]:
+                    del pods[pod.uid]
                     self._start_deadline.pop(pod.uid, None)
+                    if engine is not None:
+                        engine.on_release(pod.uid)
                     self.api.notify_evicted(pod, now)
                     victims.append(pod)
                     if self.obs.enabled:
                         self._m_evicted.inc()
                         self._pod_trace_end(pod, "evicted", now)
-                gpu.last_sample = gpu.idle_sample()
-                continue
-            running = [
+            gpu.last_sample = gpu.idle_sample()
+            return
+        running = (
+            [
                 p
-                for p in self._pods.values()
+                for p in pods.values()
                 if p.gpu_id == gpu.gpu_id and p.phase is PodPhase.RUNNING
             ]
-            if san is None and not running and not gpu.containers:
-                # Idle device: ``arbitrate({})`` reduces to the idle
-                # sample (every sum is empty, the power model sees the
-                # same ``asleep`` flag), so write that directly — and
-                # only when the memoized sample isn't already in place.
-                sample = gpu.idle_sample()
-                if gpu.last_sample is not sample:
-                    gpu.last_sample = sample
-                if gpu.containers or gpu.asleep:
-                    self._idle_since[gpu.gpu_id] = now
-                elif now - self._idle_since[gpu.gpu_id] >= self.config.auto_pstate_idle_ms:
-                    gpu.sleep()
-                continue
-            demands = {p.uid: p.spec.trace.demand_at(p.progress_ms) for p in running}
-            shares, _sample, violation = gpu.arbitrate(demands)
-            if san is not None:
-                san.check_shares(gpu.gpu_id, shares)
-
-            if violation is not None:
-                victim = self._pods[violation.victim_uid]
-                self._release(victim)
-                self.api.notify_oom_killed(victim, now)
-                victims.append(victim)
-                if self.obs.enabled:
-                    self._m_oom.inc()
-                    tracer = self.obs.tracer
-                    if tracer.enabled:
-                        tracer.instant(
-                            "oom_kill", cat="pod",
-                            args={"pod": victim.uid, "gpu": gpu.gpu_id}, ts=now,
-                        )
-                    self._pod_trace_end(victim, "oom-killed", now)
-
-            for pod in running:
-                if pod.uid == (violation.victim_uid if violation else None):
-                    continue
-                pod.progress_ms += dt_ms * shares[pod.uid]
-                if pod.progress_ms >= pod.spec.trace.total_ms:
-                    self._release(pod)
-                    self.api.notify_succeeded(pod, now)
-                    if self.obs.enabled:
-                        self._m_completed.inc()
-                        self._pod_trace_end(pod, "succeeded", now)
-
-            if san is not None:
-                san.check_gpu(gpu)
-            # Hardware power management: devices idle long enough fall
-            # into deep sleep on their own (attach() wakes them).
+            if pods
+            else ()
+        )
+        if san is None and not running and not gpu.containers:
+            # Idle device: ``arbitrate({})`` reduces to the idle
+            # sample (every sum is empty, the power model sees the
+            # same ``asleep`` flag), so write that directly — and
+            # only when the memoized sample isn't already in place.
+            sample = gpu.idle_sample()
+            if gpu.last_sample is not sample:
+                gpu.last_sample = sample
             if gpu.containers or gpu.asleep:
                 self._idle_since[gpu.gpu_id] = now
             elif now - self._idle_since[gpu.gpu_id] >= self.config.auto_pstate_idle_ms:
                 gpu.sleep()
-        return victims
+            return
+        demands = {p.uid: p.spec.trace.demand_at(p.progress_ms) for p in running}
+        shares, _sample, violation = gpu.arbitrate(demands)
+        if san is not None:
+            san.check_shares(gpu.gpu_id, shares)
+
+        if violation is not None:
+            victim = self._pods[violation.victim_uid]
+            self._release(victim)
+            self.api.notify_oom_killed(victim, now)
+            victims.append(victim)
+            if self.obs.enabled:
+                self._m_oom.inc()
+                tracer = self.obs.tracer
+                if tracer.enabled:
+                    tracer.instant(
+                        "oom_kill", cat="pod",
+                        args={"pod": victim.uid, "gpu": gpu.gpu_id}, ts=now,
+                    )
+                self._pod_trace_end(victim, "oom-killed", now)
+
+        for pod in running:
+            if pod.uid == (violation.victim_uid if violation else None):
+                continue
+            pod.progress_ms += dt_ms * shares[pod.uid]
+            if pod.progress_ms >= pod.spec.trace.total_ms:
+                self._release(pod)
+                self.api.notify_succeeded(pod, now)
+                if self.obs.enabled:
+                    self._m_completed.inc()
+                    self._pod_trace_end(pod, "succeeded", now)
+
+        if san is not None:
+            san.check_gpu(gpu)
+        # Hardware power management: devices idle long enough fall
+        # into deep sleep on their own (attach() wakes them).
+        if gpu.containers or gpu.asleep:
+            self._idle_since[gpu.gpu_id] = now
+        elif now - self._idle_since[gpu.gpu_id] >= self.config.auto_pstate_idle_ms:
+            gpu.sleep()
 
     def quiet_horizon(self, now: float, dt_ms: float) -> float:
         """Absolute time before which :meth:`step` is a proven no-op.
@@ -271,6 +316,8 @@ class Kubelet:
         self.plugin.free(pod.gpu_id, pod.uid)
         del self._pods[pod.uid]
         self._start_deadline.pop(pod.uid, None)
+        if self.engine is not None:
+            self.engine.on_release(pod.uid)
 
     # -- forced eviction (capacity reclaim, gang co-eviction) ---------------
 

@@ -87,6 +87,13 @@ class GangScheduler(Scheduler):
         super().bind_observability(obs)
         self.inner.bind_observability(obs)
 
+    def quantum_ok(self) -> bool:
+        """Gang placement reads only allocation-derived view fields
+        (free memory, node id, failed/cordoned) — all object-synced —
+        so the vectorized quantum is safe exactly when the inner
+        policy's own telemetry reads are."""
+        return self.inner.quantum_ok()
+
     # -- the pass ------------------------------------------------------------
 
     def schedule(self, ctx: SchedulingContext) -> list[Action]:

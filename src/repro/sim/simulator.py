@@ -108,6 +108,11 @@ class SimResult:
     gpu_util_series: dict[str, np.ndarray]    # gpu_id -> sm_util samples
     gpu_mem_series: dict[str, np.ndarray]     # gpu_id -> mem_util samples
     sample_times_ms: np.ndarray
+    #: Ticks the vectorized execution quantum handled (0 when the
+    #: engine was disengaged or never left the object path).  Substrate
+    #: accounting, not an output — excluded from equality on purpose so
+    #: fast-on and fast-off runs still compare identical.
+    fast_quantum_ticks: int = field(default=0, compare=False)
 
     # Derived-metric caches: every figure asks for completed()/
     # latency_pods() repeatedly; pods never change after the run.
@@ -285,6 +290,11 @@ class KubeKnotsSimulator:
     def collect_result(self, makespan_ms: float) -> SimResult:
         """Assemble the :class:`SimResult` from whichever telemetry
         store this run filled (shared with the reference driver)."""
+        quantum = getattr(self.orchestrator, "quantum", None)
+        if quantum is not None:
+            # Write array-side progress back to the surviving pod
+            # objects so per-pod accounting matches the object path.
+            quantum.flush()
         api = self.orchestrator.api
         if self._vec_telemetry:
             gpu_ids = self.state.gpu_ids
@@ -320,6 +330,7 @@ class KubeKnotsSimulator:
             gpu_util_series=util_series,
             gpu_mem_series=mem_series,
             sample_times_ms=np.asarray(self._times),
+            fast_quantum_ticks=quantum.fast_ticks if quantum is not None else 0,
         )
 
     # -- event handlers ------------------------------------------------------

@@ -110,6 +110,9 @@ class WorkloadTrace:
         self.qos_class = qos_class
         # Cumulative end-times of phases, for O(log n) progress lookup.
         self._cum = np.cumsum([p.duration_ms for p in self.phases])
+        # Lazily-compiled phase table for the array-native execution
+        # quantum (see :meth:`demand_table`).
+        self._table: tuple[np.ndarray, np.ndarray] | None = None
         self.requested_mem_mb = (
             float(requested_mem_mb) if requested_mem_mb is not None else self.peak_mem_mb()
         )
@@ -129,6 +132,29 @@ class WorkloadTrace:
             return self.phases[-1].demand
         idx = int(np.searchsorted(self._cum, progress_ms, side="right"))
         return self.phases[idx].demand
+
+    def demand_table(self) -> tuple[np.ndarray, np.ndarray]:
+        """Compile the trace into arrays for batched progress lookups.
+
+        Returns ``(cum_ends, rows)``: ``cum_ends`` is the float64
+        cumulative phase end-times (``cum_ends[-1] == total_ms``) and
+        ``rows`` is a ``(num_phases, 4)`` float64 matrix whose columns
+        are ``sm, mem_mb, tx_mbps, rx_mbps`` — the exact values
+        :meth:`demand_at` returns for a progress inside each phase.
+        Compiled once and cached; the arrays are shared, do not mutate.
+        """
+        table = self._table
+        if table is None:
+            cum = np.asarray(self._cum, dtype=float)
+            rows = np.array(
+                [
+                    (p.demand.sm, p.demand.mem_mb, p.demand.tx_mbps, p.demand.rx_mbps)
+                    for p in self.phases
+                ],
+                dtype=float,
+            )
+            self._table = table = (cum, rows)
+        return table
 
     # -- summary statistics used by the schedulers ------------------------
 
